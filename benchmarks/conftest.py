@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at the scale
+selected by ``REPRO_SCALE`` (default: ``reduced``) and writes the formatted
+table to ``benchmarks/results/``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 6: the optimization ablation."""
+
+from repro.experiments import figure6
+from repro.experiments.harness import format_table, save_result
+
+
+def test_figure6_ablation(benchmark):
+    headers, rows = benchmark.pedantic(figure6.run, rounds=1, iterations=1)
+    text = format_table(headers, rows, title="Figure 6: cumulative optimization levels (ms)")
+    save_result("figure6", text)
+    print("\n" + text)
+    # shape check: the fully optimized configuration beats the unoptimized
+    # one for every model/size, and standard kernel fusion alone already helps
+    for row in rows:
+        latencies = row[3:]
+        assert latencies[-1] < latencies[0], row[:3]
+    # control-flow-heavy models benefit from coarsening + inline depth
+    for row in rows:
+        if row[0] in ("treelstm", "mvrnn"):
+            assert row[3 + 3] < row[3 + 0], row[:3]

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Table 6: runtime activity breakdown."""
+
+from repro.experiments import table6
+from repro.experiments.harness import format_table, save_result
+
+
+def test_table6_breakdown(benchmark):
+    headers, rows = benchmark.pedantic(table6.run, rounds=1, iterations=1)
+    text = format_table(headers, rows, title="Table 6: runtime activity breakdown")
+    save_result("table6", text)
+    print("\n" + text)
+    by_activity = {row[0]: row[1:] for row in rows}
+    # ACROBAT's scheduling cost is a fraction of DyNet's (both configurations)
+    sched = by_activity["Scheduling (ms)"]
+    assert sched[1] < sched[0]
+    assert sched[3] < sched[2]
+    # ACROBAT launches far fewer kernels
+    calls = by_activity["#Kernel calls"]
+    assert calls[1] < calls[0]
+    assert calls[3] < calls[2]

@@ -1,0 +1,17 @@
+"""Benchmark regenerating Table 8: Cortex vs ACROBAT."""
+
+from repro.experiments import table8
+from repro.experiments.harness import format_table, save_result
+
+
+def test_table8_cortex(benchmark):
+    headers, rows = benchmark.pedantic(table8.run, rounds=1, iterations=1)
+    text = format_table(headers, rows, title="Table 8: Cortex vs ACROBAT (ms)")
+    save_result("table8", text)
+    print("\n" + text)
+    # shape check: Cortex (hand-specialized) is at least competitive on
+    # TreeLSTM/BiRNN but loses on MV-RNN due to forced embedding copies
+    mv = [r for r in rows if r[0] == "mvrnn"]
+    other = [r for r in rows if r[0] != "mvrnn"]
+    assert all(r[-1] > 1.0 for r in mv)
+    assert all(r[-1] < 1.5 for r in other)

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 9: PGO-guided auto-scheduling."""
+
+from repro.experiments import table9
+from repro.experiments.harness import format_table, save_result
+
+
+def test_table9_pgo(benchmark):
+    headers, rows = benchmark.pedantic(
+        table9.run, kwargs={"budgets": (100, 250, 500, 750, 1000)}, rounds=1, iterations=1
+    )
+    text = format_table(headers, rows, title="Table 9: auto-scheduling with/without PGO (NestedRNN)")
+    save_result("table9", text)
+    print("\n" + text)
+    # shape check: at the smallest budget PGO is at least as good as the
+    # uniform static allocation
+    assert rows[0][2] <= rows[0][1] * 1.05

@@ -1,0 +1,108 @@
+"""Quickstart: the paper's Listing-1 RNN, compiled and auto-batched.
+
+Builds a simple sequential RNN in the IR (dynamic control flow = recursion
+over a linked list of token embeddings), compiles it with ACROBAT, runs a
+mini-batch of variable-length sentences and compares against the eager
+reference — both for correctness and for the number of kernel launches.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CompilerOptions, compile_model, reference_run
+from repro.baselines import compile_eager
+from repro.ir import (
+    ScopeBuilder,
+    call,
+    ctor,
+    function,
+    match,
+    op,
+    pat_ctor,
+    prelude_module,
+    var,
+)
+from repro.utils import values_allclose
+
+HIDDEN = 64
+CLASSES = 8
+
+
+def build_rnn_module():
+    """The RNN of Listing 1: a recursive cell followed by per-token outputs."""
+    mod = prelude_module()
+    nil, cons = mod.get_constructor("Nil"), mod.get_constructor("Cons")
+    rnn_gv = mod.get_global_var("rnn")
+
+    inps, state, bias, i_wt, h_wt = (
+        var("inps"), var("state"), var("bias"), var("i_wt"), var("h_wt"),
+    )
+    inp, tail = var("inp"), var("tail")
+    sb = ScopeBuilder()
+    inp_linear = sb.let("inp_linear", op.add(bias, op.dense(inp, i_wt)))
+    new_state = sb.let("new_state", op.sigmoid(op.add(inp_linear, op.dense(state, h_wt))))
+    sb.ret(ctor(cons, new_state, call(rnn_gv, tail, new_state, bias, i_wt, h_wt)))
+    body = match(inps, [(pat_ctor(nil), ctor(nil)), (pat_ctor(cons, inp, tail), sb.get())])
+    mod.add_function("rnn", function([inps, state, bias, i_wt, h_wt], body, name="rnn"))
+
+    rnn_bias, rnn_i, rnn_h, rnn_init = var("rnn_bias"), var("rnn_i_wt"), var("rnn_h_wt"), var("rnn_init")
+    c_wt, c_bias, m_inps = var("c_wt"), var("c_bias"), var("inps")
+    p = var("p")
+    out_fn = function([p], op.relu(op.add(c_bias, op.dense(p, c_wt))))
+    msb = ScopeBuilder()
+    rnn_res = msb.let("rnn_res", call(rnn_gv, m_inps, rnn_init, rnn_bias, rnn_i, rnn_h))
+    msb.ret(call(mod.get_global_var("map"), out_fn, rnn_res))
+    mod.add_function(
+        "main",
+        function([rnn_bias, rnn_i, rnn_h, rnn_init, c_wt, c_bias, m_inps], msb.get(), name="main"),
+    )
+    return mod
+
+
+def main():
+    rng = np.random.default_rng(0)
+    mod = build_rnn_module()
+    params = {
+        "rnn_bias": rng.standard_normal((1, HIDDEN)).astype(np.float32) * 0.1,
+        "rnn_i_wt": rng.standard_normal((HIDDEN, HIDDEN)).astype(np.float32) * 0.1,
+        "rnn_h_wt": rng.standard_normal((HIDDEN, HIDDEN)).astype(np.float32) * 0.1,
+        "rnn_init": np.zeros((1, HIDDEN), dtype=np.float32),
+        "c_wt": rng.standard_normal((HIDDEN, CLASSES)).astype(np.float32) * 0.1,
+        "c_bias": np.zeros((1, CLASSES), dtype=np.float32),
+    }
+    lengths = [7, 12, 5, 9, 15, 6, 11, 8]
+    instances = [
+        mod.make_list(
+            [rng.standard_normal((1, HIDDEN)).astype(np.float32) * 0.1 for _ in range(n)]
+        )
+        for n in lengths
+    ]
+
+    compiled = compile_model(mod, params, CompilerOptions())
+    print("=== AOT-generated unbatched program ===")
+    print(compiled.source)
+
+    outputs, stats = compiled.run(instances)
+    reference = reference_run(mod, params, instances)
+    assert all(
+        values_allclose(mod.from_list(r), mod.from_list(o)) for r, o in zip(reference, outputs)
+    ), "batched outputs must match the unbatched reference"
+
+    eager = compile_eager(mod, params)
+    _, eager_stats = eager.run(instances)
+
+    print("\n=== auto-batching effect ===")
+    print(f"tokens processed            : {sum(lengths)}")
+    print(f"DFG nodes recorded          : {stats.num_dfg_nodes}")
+    print(f"batched kernel launches     : {stats.kernel_calls}")
+    print(f"eager (unbatched) launches  : {eager_stats.kernel_calls}")
+    print(f"ACROBAT latency             : {stats.latency_ms:.2f} ms")
+    print(f"eager latency               : {eager_stats.latency_ms:.2f} ms")
+    print(f"speedup over eager          : {eager_stats.latency_ms / stats.latency_ms:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""ACROBAT reproduction: compile-time optimized auto-batching for dynamic
+deep learning (Fegade et al., MLSys 2024).
+
+Package map:
+
+* :mod:`repro.ir` -- the Relay-like functional input language.
+* :mod:`repro.analysis` -- static analyses (taint/parameter-reuse, hoisting,
+  phases, duplication, structure).
+* :mod:`repro.kernels` -- operator registry, static blocks, fusion, batched
+  kernels, auto-scheduling.
+* :mod:`repro.runtime` -- lazy DFGs, schedulers, batched executor, fibers,
+  GPU simulator, profiler.
+* :mod:`repro.compiler` -- options, AOT Python codegen, compiled-model driver.
+* :mod:`repro.vm` -- Relay-VM-style interpreter baseline + eager reference.
+* :mod:`repro.baselines` -- DyNet-style dynamic batching, eager (PyTorch-like)
+  execution, Cortex-style recursive batching.
+* :mod:`repro.models` -- the seven evaluation models from the paper.
+* :mod:`repro.data` -- synthetic datasets standing in for SST / XNLI.
+* :mod:`repro.experiments` -- drivers regenerating every table and figure.
+"""
+
+from .compiler.options import CompilerOptions
+
+__version__ = "0.1.0"
+
+
+def compile_model(*args, **kwargs):
+    """Compile an IR module into an executable model.
+
+    Lazy re-export of :func:`repro.core.api.compile_model`.
+    """
+    from .core.api import compile_model as _impl
+
+    return _impl(*args, **kwargs)
+
+
+def reference_run(*args, **kwargs):
+    """Run a model unbatched with the eager reference interpreter.
+
+    Lazy re-export of :func:`repro.core.api.reference_run`.
+    """
+    from .core.api import reference_run as _impl
+
+    return _impl(*args, **kwargs)
+
+
+__all__ = ["CompilerOptions", "compile_model", "reference_run", "__version__"]

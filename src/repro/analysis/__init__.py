@@ -1,0 +1,31 @@
+"""Static analyses used by the ACROBAT compiler."""
+
+from .duplication import specialize_functions
+from .phases import PhaseAssignment, STRUCTURAL_FUNCTIONS, infer_phases
+from .structure import (
+    call_graph,
+    concurrent_groups,
+    hoistable_bindings,
+    reachable_functions,
+    recursive_functions,
+    uses_tensor_dependent_control_flow,
+)
+from .taint import INVARIANT, TAINTED, TaintAnalysis, TaintResult, analyze_taint
+
+__all__ = [
+    "analyze_taint",
+    "TaintAnalysis",
+    "TaintResult",
+    "TAINTED",
+    "INVARIANT",
+    "specialize_functions",
+    "infer_phases",
+    "PhaseAssignment",
+    "STRUCTURAL_FUNCTIONS",
+    "call_graph",
+    "reachable_functions",
+    "recursive_functions",
+    "concurrent_groups",
+    "hoistable_bindings",
+    "uses_tensor_dependent_control_flow",
+]

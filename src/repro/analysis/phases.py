@@ -1,0 +1,117 @@
+"""Program-phase inference (§4.1, §A.3).
+
+Depth-based scheduling alone can batch too eagerly across the semantic
+stages of a model (e.g. the per-token output classifier of an RNN should run
+as one batched kernel only after the recurrent stage finished for *every*
+instance, but the per-instance depth counters differ because sentence
+lengths differ).  The paper divides the computation of ``main`` into
+*program phases*: the scheduler drains all DFG nodes of phase *p* before any
+node of phase *p+1* executes.
+
+Heuristic (matching the paper's "individual semantic stages"): every
+top-level binding of ``main`` that invokes a (non-structural) global
+function or one of the higher-order prelude functions is a *stage*.  A
+stage's phase is ``max(phase of the stages it depends on) + 1``; independent
+stages share a phase (so e.g. the forward and backward RNNs of BiRNN stay
+batchable with each other).  Users can override the heuristic by annotating
+calls with ``phase_boundary`` (see :func:`repro.ir.builder.phase_boundary`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..ir.expr import Call, Expr, Function, GlobalVar, Let, Var
+from ..ir.module import IRModule, PRELUDE_FUNCTIONS
+from ..ir.visitor import collect, free_vars
+
+
+#: prelude functions that move data around without invoking tensor kernels
+STRUCTURAL_FUNCTIONS = {"reverse", "rev_append"}
+
+
+@dataclass
+class PhaseAssignment:
+    """Phases of the top-level bindings of ``main``."""
+
+    #: phase per top-level binding, keyed by ``id(binding value expr)``
+    binding_phase: Dict[int, int] = field(default_factory=dict)
+    #: phase of the final (return) expression of ``main``
+    result_phase: int = 0
+    #: total number of phases
+    num_phases: int = 1
+
+    def phase_of(self, value_expr: Expr, default: int = 0) -> int:
+        return self.binding_phase.get(id(value_expr), default)
+
+
+def _is_stage_call(expr: Expr, module: IRModule) -> bool:
+    """A binding value that constitutes its own semantic stage."""
+    if not isinstance(expr, Call):
+        return False
+    if expr.attrs.get("phase_boundary"):
+        return True
+    op = expr.op
+    if isinstance(op, GlobalVar):
+        if op.name in STRUCTURAL_FUNCTIONS:
+            return False
+        func = module.functions.get(op.name)
+        if func is not None and func.attrs.get("structural"):
+            return False
+        return True
+    return False
+
+
+def infer_phases(module: IRModule, enabled: bool = True) -> PhaseAssignment:
+    """Compute the phase of every top-level binding in ``main``.
+
+    With ``enabled=False`` (ablation: program phases off) every binding gets
+    phase 0.
+    """
+    main = module.main
+    assignment = PhaseAssignment()
+
+    bindings: List[Tuple[Var, Expr]] = []
+    body: Expr = main.body
+    while isinstance(body, Let):
+        bindings.append((body.var, body.value))
+        body = body.body
+
+    if not enabled:
+        for _, value in bindings:
+            assignment.binding_phase[id(value)] = 0
+        assignment.result_phase = 0
+        assignment.num_phases = 1
+        return assignment
+
+    var_phase: Dict[int, int] = {}
+    var_is_stage: Dict[int, bool] = {}
+    max_phase = 0
+
+    def expr_phase(expr: Expr) -> int:
+        """Phase induced by the bindings an expression depends on: a use of a
+        stage output forces at least ``stage_phase + 1``; non-stage values
+        propagate their own phase."""
+        phase = 0
+        for v in free_vars(expr):
+            if id(v) in var_phase:
+                bump = 1 if var_is_stage.get(id(v), False) else 0
+                phase = max(phase, var_phase[id(v)] + bump)
+        return phase
+
+    for var, value in bindings:
+        is_stage = _is_stage_call(value, module)
+        explicit = isinstance(value, Call) and value.attrs.get("phase_boundary")
+        phase = expr_phase(value)
+        if explicit:
+            phase = max(phase, max_phase + 1)
+        assignment.binding_phase[id(value)] = phase
+        var_phase[id(var)] = phase
+        var_is_stage[id(var)] = is_stage
+        max_phase = max(max_phase, phase)
+
+    assignment.result_phase = expr_phase(body)
+    max_phase = max(max_phase, assignment.result_phase)
+    assignment.num_phases = max_phase + 1
+    return assignment

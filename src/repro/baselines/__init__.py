@@ -1,0 +1,25 @@
+"""Baseline systems the paper compares against."""
+
+from .cortex import SUPPORTED_MODELS as CORTEX_SUPPORTED_MODELS
+from .cortex import CortexModel
+from .dynet import (
+    DyNetImprovements,
+    DyNetModel,
+    DyNetRuntime,
+    compile_dynet,
+    dynet_compiler_options,
+    run_best_of_schedulers,
+)
+from .eager import compile_eager
+
+__all__ = [
+    "CortexModel",
+    "CORTEX_SUPPORTED_MODELS",
+    "DyNetModel",
+    "DyNetRuntime",
+    "DyNetImprovements",
+    "compile_dynet",
+    "dynet_compiler_options",
+    "run_best_of_schedulers",
+    "compile_eager",
+]

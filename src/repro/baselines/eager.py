@@ -1,0 +1,33 @@
+"""Eager, no-auto-batching baseline (the paper's PyTorch comparison, Fig. 5).
+
+PyTorch executes the per-instance program eagerly: every operator is its own
+kernel launch and there is no batching across instances or across
+instance-parallel sub-computations.  We model this by interpreting the same
+IR per instance and dispatching every operator as a batch of one against the
+shared device simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..ir.module import IRModule
+from ..runtime.device import GPUSpec
+from ..vm.interpreter import VMModel
+
+
+def compile_eager(
+    module: IRModule,
+    params: Mapping[str, np.ndarray],
+    gpu_spec: Optional[GPUSpec] = None,
+) -> VMModel:
+    """Build the eager (unbatched) execution baseline for ``module``."""
+    return VMModel(
+        module=module,
+        params={k: np.asarray(v) for k, v in params.items()},
+        gpu_spec=gpu_spec,
+        gather_fusion=True,  # irrelevant: batches have size one
+        batching=False,
+    )

@@ -1,0 +1,14 @@
+"""ACROBAT's ahead-of-time compiler."""
+
+from .codegen import GeneratedProgram, PythonCodegen, py_func_name
+from .driver import CompiledModel, compile_module
+from .options import CompilerOptions
+
+__all__ = [
+    "CompilerOptions",
+    "CompiledModel",
+    "compile_module",
+    "PythonCodegen",
+    "GeneratedProgram",
+    "py_func_name",
+]

@@ -1,0 +1,131 @@
+"""Static-block construction during compilation.
+
+The code generator walks each function's ``let`` chain; maximal runs of
+tensor-operator bindings (plus any operator calls nested inside their
+argument expressions) become one :class:`~repro.kernels.block.StaticBlock`
+when grain-size coarsening is enabled, or one block per operator otherwise.
+This module builds the block object, decides which external values flow in
+(and whether they are shared, using the taint analysis) and which bound
+variables escape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..analysis.taint import TaintResult
+from ..ir.expr import Call, Constant, Expr, OpRef, Var
+from ..kernels.block import BlockInput, BlockOp, StaticBlock, const_ref, input_ref, op_ref
+from ..kernels.registry import get_op
+
+
+@dataclass
+class BlockBuildResult:
+    """A built block plus how it connects to the surrounding generated code."""
+
+    block: StaticBlock
+    #: expressions (usually :class:`Var`) to evaluate in the generated code and
+    #: pass as the block's runtime arguments, in input order
+    input_exprs: List[Expr]
+    #: bound variables whose values escape the block (same order as outputs)
+    output_vars: List[Var]
+    #: True when every operator in the block was classified hoistable
+    hoisted: bool = False
+
+
+class BlockBuilder:
+    """Builds :class:`StaticBlock` objects and assigns global block ids."""
+
+    def __init__(self, taint: TaintResult) -> None:
+        self.taint = taint
+        self.blocks: List[StaticBlock] = []
+
+    def _next_id(self) -> int:
+        return len(self.blocks)
+
+    def build(
+        self,
+        bindings: Sequence[Tuple[Optional[Var], Call]],
+        escaping_vars: Sequence[Var],
+        name: str,
+        hoisted: bool = False,
+    ) -> BlockBuildResult:
+        """Build a block from a run of op bindings.
+
+        ``bindings`` maps bound variables (possibly ``None`` for an anonymous
+        trailing expression) to tensor-op calls whose argument expressions may
+        contain further nested tensor-op calls (which are flattened into the
+        block).  ``escaping_vars`` are the bound variables used after the run.
+        """
+        ops: List[BlockOp] = []
+        inputs: List[BlockInput] = []
+        input_exprs: List[Expr] = []
+        input_index_of: Dict[int, int] = {}  # id(expr) -> input index
+        op_index_of_var: Dict[int, int] = {}  # id(Var) -> producing op index
+
+        def external_input(expr: Expr) -> Tuple[str, int]:
+            key = id(expr)
+            if key in input_index_of:
+                return input_ref(input_index_of[key])
+            idx = len(inputs)
+            shared = self.taint.is_invariant(expr)
+            label = expr.name_hint if isinstance(expr, Var) else f"in{idx}"
+            inputs.append(BlockInput(idx, label, shared=shared))
+            input_exprs.append(expr)
+            input_index_of[key] = idx
+            return input_ref(idx)
+
+        def add_expr(expr: Expr) -> Tuple[str, int]:
+            """Return an ArgRef for ``expr``, flattening nested op calls."""
+            if isinstance(expr, Var):
+                if id(expr) in op_index_of_var:
+                    return op_ref(op_index_of_var[id(expr)])
+                return external_input(expr)
+            if isinstance(expr, Constant):
+                value = expr.value
+                if isinstance(value, np.ndarray):
+                    return const_ref(value)
+                return const_ref(np.asarray(value, dtype=np.float32))
+            if isinstance(expr, Call) and isinstance(expr.op, OpRef):
+                opdef = get_op(expr.op.name)
+                if opdef.kind == "tensor":
+                    return add_op(expr)
+            # anything else is evaluated outside the block and passed in
+            return external_input(expr)
+
+        def add_op(call: Call) -> Tuple[str, int]:
+            arg_refs = [add_expr(a) for a in call.args]
+            idx = len(ops)
+            ops.append(BlockOp(idx, call.op.name, arg_refs, dict(call.attrs)))
+            return op_ref(idx)
+
+        for var, call in bindings:
+            ref = add_op(call)
+            if var is not None:
+                op_index_of_var[id(var)] = ref[1]
+
+        output_vars = [v for v in escaping_vars if id(v) in op_index_of_var]
+        outputs = [op_ref(op_index_of_var[id(v)]) for v in output_vars]
+        if not outputs:
+            # the last op's value is the block result (anonymous expression)
+            outputs = [op_ref(len(ops) - 1)]
+            output_vars = []
+
+        block = StaticBlock(
+            block_id=self._next_id(),
+            name=f"{name}_b{self._next_id()}",
+            inputs=inputs,
+            ops=ops,
+            outputs=outputs,
+        )
+        block.validate()
+        self.blocks.append(block)
+        return BlockBuildResult(
+            block=block,
+            input_exprs=input_exprs,
+            output_vars=output_vars,
+            hoisted=hoisted,
+        )

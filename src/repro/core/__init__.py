@@ -1,0 +1,5 @@
+"""Facade over the ACROBAT compiler + runtime (the paper's core contribution)."""
+
+from .api import compile_model, reference_run
+
+__all__ = ["compile_model", "reference_run"]

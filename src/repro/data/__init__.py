@@ -1,0 +1,20 @@
+"""Synthetic datasets standing in for the paper's SST / XNLI workloads."""
+
+from .sequences import (
+    coin_run_lists,
+    random_matrix_sequence,
+    random_sequences,
+    xnli_like_lengths,
+)
+from .trees import TreeNode, random_tree, random_treebank, sst_like_lengths
+
+__all__ = [
+    "TreeNode",
+    "random_tree",
+    "random_treebank",
+    "sst_like_lengths",
+    "random_sequences",
+    "random_matrix_sequence",
+    "coin_run_lists",
+    "xnli_like_lengths",
+]

@@ -1,0 +1,68 @@
+"""Synthetic token sequences standing in for XNLI and other sequence data.
+
+The BiRNN / StackRNN / NestedRNN workloads only depend on sequence lengths
+and embedding dimensionality; token identities are irrelevant because the
+model weights are random.  Lengths follow an XNLI-like distribution
+(mean ~21 tokens, clipped to [5, 64]).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def xnli_like_lengths(batch_size: int, rng: np.random.Generator) -> List[int]:
+    """Sentence lengths following an XNLI-like distribution."""
+    lengths = rng.gamma(shape=5.0, scale=4.2, size=batch_size) + 5
+    return [int(np.clip(round(x), 5, 64)) for x in lengths]
+
+
+def random_sequences(
+    batch_size: int,
+    embed_dim: int,
+    seed: int = 0,
+    lengths: Optional[Sequence[int]] = None,
+) -> List[List[np.ndarray]]:
+    """A mini-batch of token-embedding sequences (one list of ``(1, embed)``
+    arrays per instance)."""
+    rng = np.random.default_rng(seed)
+    if lengths is None:
+        lengths = xnli_like_lengths(batch_size, rng)
+    return [
+        [rng.standard_normal((1, embed_dim)).astype(np.float32) * 0.1 for _ in range(n)]
+        for n in lengths
+    ]
+
+
+def random_matrix_sequence(
+    batch_size: int,
+    rows: int,
+    cols: int,
+    seed: int = 0,
+) -> List[np.ndarray]:
+    """A mini-batch of dense matrices (e.g. Berxit's token-embedding blocks
+    of shape ``(seq_len, hidden)``)."""
+    rng = np.random.default_rng(seed)
+    return [
+        rng.standard_normal((rows, cols)).astype(np.float32) * 0.05
+        for _ in range(batch_size)
+    ]
+
+
+def coin_run_lists(
+    batch_size: int,
+    min_iters: int,
+    max_iters: int,
+    seed: int = 0,
+) -> List[List[int]]:
+    """Per-instance iteration budgets in ``[min_iters, max_iters]`` encoded as
+    run-length lists.  Used by NestedRNN to *emulate* tensor-dependent control
+    flow with pre-determined pseudo-randomness, exactly as the paper does for
+    its evaluation (§7.3)."""
+    rng = np.random.default_rng(seed)
+    return [
+        [1] * int(rng.integers(min_iters, max_iters + 1)) + [0]
+        for _ in range(batch_size)
+    ]

@@ -1,0 +1,94 @@
+"""Synthetic parse trees standing in for the Stanford Sentiment Treebank.
+
+Only the structural statistics of SST matter for auto-batching behaviour
+(how many leaves per sentence, how balanced the binary parses are); token
+identities do not, because embeddings are random in any case (the paper
+itself evaluates with random weights).  The generator produces random binary
+trees whose leaf counts follow an SST-like distribution (mean ~19 tokens,
+clipped to [4, 52]) and whose shapes interpolate between balanced and
+left-branching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TreeNode:
+    """A binary parse-tree node; leaves carry an embedding vector."""
+
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    embedding: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def num_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        return self.left.num_leaves() + self.right.num_leaves()
+
+    def num_nodes(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.num_nodes() + self.right.num_nodes()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+def random_tree(
+    num_leaves: int,
+    embed_dim: int,
+    rng: np.random.Generator,
+    balance: float = 0.5,
+) -> TreeNode:
+    """Build a random binary tree with ``num_leaves`` leaves.
+
+    ``balance`` in [0, 1] controls the split point distribution: 1.0 gives
+    perfectly balanced splits, 0.0 gives left-branching chains.
+    """
+    if num_leaves < 1:
+        raise ValueError("num_leaves must be >= 1")
+    if num_leaves == 1:
+        emb = rng.standard_normal((1, embed_dim)).astype(np.float32) * 0.1
+        return TreeNode(embedding=emb)
+    if balance >= 1.0:
+        split = num_leaves // 2
+    elif balance <= 0.0:
+        split = num_leaves - 1
+    else:
+        mid = num_leaves / 2.0
+        split = int(round(rng.normal(mid * (balance) + (num_leaves - 1) * (1 - balance), mid * 0.3)))
+        split = int(np.clip(split, 1, num_leaves - 1))
+    left = random_tree(split, embed_dim, rng, balance)
+    right = random_tree(num_leaves - split, embed_dim, rng, balance)
+    return TreeNode(left=left, right=right)
+
+
+def sst_like_lengths(batch_size: int, rng: np.random.Generator) -> List[int]:
+    """Sentence lengths following an SST-like distribution."""
+    lengths = rng.gamma(shape=4.0, scale=4.8, size=batch_size) + 4
+    return [int(np.clip(round(x), 4, 52)) for x in lengths]
+
+
+def random_treebank(
+    batch_size: int,
+    embed_dim: int,
+    seed: int = 0,
+    balance: float = 0.6,
+    lengths: Optional[Sequence[int]] = None,
+) -> List[TreeNode]:
+    """A mini-batch of random parse trees (the TreeLSTM / MV-RNN workload)."""
+    rng = np.random.default_rng(seed)
+    if lengths is None:
+        lengths = sst_like_lengths(batch_size, rng)
+    return [random_tree(n, embed_dim, rng, balance) for n in lengths]

@@ -1,0 +1,56 @@
+"""Figure 6: ablation of ACROBAT's optimizations.
+
+Every model, both sizes, at the largest batch size, executed under the six
+cumulative optimization levels of the paper (no fusion → +standard fusion →
++grain-size coarsening → +inline depth computation → +program phases/ghost
+ops → +gather-operator fusion).  Expected shape: fusion helps everywhere;
+coarsening and inline depth matter most for control-flow-heavy models
+(TreeLSTM, MV-RNN, StackRNN, DRNN); program phases help BiRNN; gather
+fusion is mixed (it can hurt iterative models whose operands are already
+contiguous).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..compiler.options import CompilerOptions
+from .harness import ExperimentScale, current_scale, format_table, resolve_size_name, run_acrobat
+
+MODELS = ("treelstm", "mvrnn", "birnn", "nestedrnn", "drnn", "berxit", "stackrnn")
+
+
+def level_names() -> List[str]:
+    return [name for name, _ in CompilerOptions.ablation_levels()]
+
+
+def run(
+    scale: ExperimentScale | None = None, models: Sequence[str] = MODELS
+) -> Tuple[Tuple[str, ...], List[List]]:
+    scale = scale or current_scale()
+    levels = CompilerOptions.ablation_levels()
+    headers = ("model", "size", "batch") + tuple(name for name, _ in levels)
+    batch = scale.batch_sizes[-1]
+    rows: List[List] = []
+    for model in models:
+        for size_name in scale.size_names:
+            build_size = resolve_size_name(scale, size_name)
+            latencies = []
+            for _, options in levels:
+                stats = run_acrobat(model, build_size, batch, options=options, seed=scale.seed)
+                latencies.append(stats.latency_ms)
+            rows.append([model, size_name, batch] + latencies)
+    return headers, rows
+
+
+def main() -> str:
+    headers, rows = run()
+    text = format_table(
+        headers, rows, title="Figure 6: inference latency (ms) under cumulative optimization levels"
+    )
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

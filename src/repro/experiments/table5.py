@@ -1,0 +1,67 @@
+"""Table 5: DyNet vs ACROBAT inference latencies and speedups.
+
+All seven models, both sizes, both batch sizes; DyNet uses the better of its
+two scheduling schemes per configuration (as in the paper).  Expected shape:
+ACROBAT wins clearly on the control-flow-heavy models (TreeLSTM, MV-RNN,
+DRNN, StackRNN), more modestly on Berxit, and is roughly at parity on
+BiRNN / NestedRNN at the large size where per-kernel tensor work dominates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .harness import (
+    ExperimentScale,
+    current_scale,
+    format_table,
+    resolve_size_name,
+    run_acrobat,
+    run_dynet,
+)
+
+MODELS = ("treelstm", "mvrnn", "birnn", "nestedrnn", "drnn", "berxit", "stackrnn")
+HEADERS = ("model", "size", "batch", "dynet_ms", "acrobat_ms", "speedup")
+
+
+def run(
+    scale: ExperimentScale | None = None, models: Tuple[str, ...] = MODELS
+) -> Tuple[Tuple[str, ...], List[List]]:
+    scale = scale or current_scale()
+    rows: List[List] = []
+    for model in models:
+        for size_name in scale.size_names:
+            build_size = resolve_size_name(scale, size_name)
+            for batch in scale.batch_sizes:
+                dynet_stats = run_dynet(model, build_size, batch, seed=scale.seed)
+                acrobat_stats = run_acrobat(model, build_size, batch, seed=scale.seed)
+                rows.append(
+                    [
+                        model,
+                        size_name,
+                        batch,
+                        dynet_stats.latency_ms,
+                        acrobat_stats.latency_ms,
+                        dynet_stats.latency_ms / max(acrobat_stats.latency_ms, 1e-9),
+                    ]
+                )
+    return HEADERS, rows
+
+
+def geometric_mean_speedup(rows: List[List]) -> float:
+    import numpy as np
+
+    speedups = [row[-1] for row in rows]
+    return float(np.exp(np.mean(np.log(speedups)))) if speedups else 0.0
+
+
+def main() -> str:
+    headers, rows = run()
+    text = format_table(headers, rows, title="Table 5: DyNet vs ACROBAT (inference latency, ms)")
+    text += f"\n\nGeometric-mean speedup over DyNet: {geometric_mean_speedup(rows):.2f}x"
+    print(text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

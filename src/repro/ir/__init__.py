@@ -1,0 +1,106 @@
+"""The ACROBAT input IR: a small Relay-like functional language.
+
+Public surface:
+
+* types: :class:`TensorType`, :class:`ScalarType`, :class:`ListType`,
+  :class:`TupleType`, :class:`FuncType`, :class:`ADTType`
+* expressions: :class:`Var`, :class:`GlobalVar`, :class:`Constant`,
+  :class:`Call`, :class:`Function`, :class:`Let`, :class:`If`,
+  :class:`Match`, :class:`TupleExpr`, :class:`TupleGetItem`, :class:`OpRef`,
+  :class:`ConstructorRef`
+* ADTs and patterns: :class:`ADTDef`, :class:`Constructor`,
+  :class:`ADTValue`, pattern classes
+* :class:`IRModule` and :func:`prelude_module`
+* builders: :data:`op`, :class:`ScopeBuilder`, :func:`function`, ...
+* utilities: :func:`free_vars`, :func:`structural_equal`, printers
+"""
+
+from .adt import (
+    ADTDef,
+    ADTValue,
+    Constructor,
+    Pattern,
+    PatternConstructor,
+    PatternTuple,
+    PatternVar,
+    PatternWildcard,
+    pattern_bound_vars,
+)
+from .builder import (
+    ScopeBuilder,
+    call,
+    concurrent,
+    const,
+    ctor,
+    function,
+    if_else,
+    match,
+    op,
+    pat_ctor,
+    pat_var,
+    pat_wild,
+    phase_boundary,
+    tuple_expr,
+    tuple_get,
+    var,
+)
+from .expr import (
+    Call,
+    Clause,
+    Constant,
+    ConstructorRef,
+    Expr,
+    Function,
+    GlobalVar,
+    If,
+    Let,
+    Match,
+    OpRef,
+    TupleExpr,
+    TupleGetItem,
+    Var,
+    is_ctor_call,
+    is_global_call,
+    is_op_call,
+    iter_let_chain,
+    make_let_chain,
+)
+from .module import IRModule, PRELUDE_FUNCTIONS, prelude_module
+from .printer import expr_to_text, function_to_text, module_to_text
+from .struct_eq import structural_equal
+from .types import (
+    ADTType,
+    AnyType,
+    FuncType,
+    ListType,
+    ScalarType,
+    TensorType,
+    TupleType,
+    Type,
+    is_scalar,
+    is_tensor,
+)
+from .visitor import ExprMutator, ExprVisitor, collect, free_vars, post_order
+
+__all__ = [
+    # types
+    "Type", "TensorType", "ScalarType", "ListType", "TupleType", "FuncType",
+    "ADTType", "AnyType", "is_tensor", "is_scalar",
+    # adt
+    "ADTDef", "ADTValue", "Constructor", "Pattern", "PatternConstructor",
+    "PatternTuple", "PatternVar", "PatternWildcard", "pattern_bound_vars",
+    # expr
+    "Expr", "Var", "GlobalVar", "Constant", "Call", "Clause", "Function",
+    "Let", "If", "Match", "TupleExpr", "TupleGetItem", "OpRef",
+    "ConstructorRef", "is_op_call", "is_ctor_call", "is_global_call",
+    "iter_let_chain", "make_let_chain",
+    # module
+    "IRModule", "prelude_module", "PRELUDE_FUNCTIONS",
+    # builder
+    "op", "var", "const", "call", "ctor", "function", "if_else", "match",
+    "pat_ctor", "pat_var", "pat_wild", "tuple_expr", "tuple_get",
+    "ScopeBuilder", "concurrent", "phase_boundary",
+    # visitors / utils
+    "ExprVisitor", "ExprMutator", "post_order", "collect", "free_vars",
+    "structural_equal", "expr_to_text", "function_to_text", "module_to_text",
+]

@@ -1,0 +1,198 @@
+"""Algebraic data types (ADTs) and match patterns.
+
+Dynamic models in the paper consume irregular data structures: linked lists
+of token embeddings (RNN/BiRNN/StackRNN), binary parse trees (TreeLSTM,
+MV-RNN) and generated trees (DRNN).  These are expressed as ADTs, consumed
+with ``match`` expressions and produced with constructor calls, exactly as in
+the paper's Relay listings.
+
+At runtime ADT values are represented by :class:`ADTValue`, a tagged record
+holding field values (NumPy arrays, lazy tensors, nested ADT values, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .types import Type
+
+
+class Constructor:
+    """A constructor of an algebraic data type.
+
+    Parameters
+    ----------
+    name:
+        Constructor name, e.g. ``"Cons"``.
+    arg_types:
+        Types of the constructor fields (may be ``AnyType`` for generics).
+    adt_name:
+        Name of the ADT this constructor belongs to.
+    tag:
+        Dense integer tag used by the runtime representation and the AOT
+        generated code for cheap dispatch.
+    """
+
+    def __init__(self, name: str, arg_types: Sequence[Type], adt_name: str, tag: int) -> None:
+        self.name = name
+        self.arg_types: Tuple[Type, ...] = tuple(arg_types)
+        self.adt_name = adt_name
+        self.tag = tag
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_types)
+
+    def __repr__(self) -> str:
+        return f"Constructor({self.adt_name}.{self.name}/{self.arity})"
+
+
+class ADTDef:
+    """Definition of an algebraic data type: a name plus its constructors."""
+
+    def __init__(self, name: str, constructor_specs: Sequence[Tuple[str, Sequence[Type]]]) -> None:
+        self.name = name
+        self.constructors: List[Constructor] = [
+            Constructor(cname, ctypes, name, tag)
+            for tag, (cname, ctypes) in enumerate(constructor_specs)
+        ]
+        self._by_name = {c.name: c for c in self.constructors}
+
+    def constructor(self, name: str) -> Constructor:
+        """Look up a constructor by name."""
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:
+        return f"ADTDef({self.name}, {[c.name for c in self.constructors]})"
+
+
+class ADTValue:
+    """Runtime representation of an ADT value (used by the VM, the AOT
+    generated code and the baselines alike)."""
+
+    __slots__ = ("constructor", "fields")
+
+    def __init__(self, constructor: Constructor, fields: Sequence[Any]) -> None:
+        if len(fields) != constructor.arity:
+            raise ValueError(
+                f"constructor {constructor.name} expects {constructor.arity} fields, "
+                f"got {len(fields)}"
+            )
+        self.constructor = constructor
+        self.fields: Tuple[Any, ...] = tuple(fields)
+
+    @property
+    def tag(self) -> int:
+        return self.constructor.tag
+
+    def __repr__(self) -> str:
+        return f"{self.constructor.name}({', '.join(repr(f) for f in self.fields)})"
+
+
+# ---------------------------------------------------------------------------
+# Match patterns
+# ---------------------------------------------------------------------------
+
+
+class Pattern:
+    """Base class of match patterns."""
+
+
+class PatternWildcard(Pattern):
+    """Matches anything, binds nothing."""
+
+    def __repr__(self) -> str:
+        return "_"
+
+
+class PatternVar(Pattern):
+    """Matches anything and binds it to ``var``."""
+
+    def __init__(self, var) -> None:
+        self.var = var
+
+    def __repr__(self) -> str:
+        return f"{self.var.name}"
+
+
+class PatternConstructor(Pattern):
+    """Matches a specific constructor and recursively matches its fields."""
+
+    def __init__(self, constructor: Constructor, patterns: Optional[Sequence[Pattern]] = None) -> None:
+        self.constructor = constructor
+        self.patterns: Tuple[Pattern, ...] = tuple(patterns or ())
+        if self.patterns and len(self.patterns) != constructor.arity:
+            raise ValueError(
+                f"pattern for {constructor.name} must have {constructor.arity} sub-patterns"
+            )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(p) for p in self.patterns)
+        return f"{self.constructor.name}({inner})"
+
+
+class PatternTuple(Pattern):
+    """Destructures a tuple value."""
+
+    def __init__(self, patterns: Sequence[Pattern]) -> None:
+        self.patterns: Tuple[Pattern, ...] = tuple(patterns)
+
+    def __repr__(self) -> str:
+        return "(" + ", ".join(repr(p) for p in self.patterns) + ")"
+
+
+def pattern_bound_vars(pattern: Pattern) -> List:
+    """All variables bound by ``pattern`` in left-to-right order."""
+    out: List = []
+
+    def rec(p: Pattern) -> None:
+        if isinstance(p, PatternVar):
+            out.append(p.var)
+        elif isinstance(p, (PatternConstructor, PatternTuple)):
+            for sub in p.patterns:
+                rec(sub)
+
+    rec(pattern)
+    return out
+
+
+def matches(pattern: Pattern, value: Any) -> bool:
+    """Whether ``value`` matches ``pattern`` (ignoring bindings)."""
+    if isinstance(pattern, (PatternWildcard, PatternVar)):
+        return True
+    if isinstance(pattern, PatternConstructor):
+        if not isinstance(value, ADTValue) or value.constructor.name != pattern.constructor.name:
+            return False
+        if not pattern.patterns:
+            return True
+        return all(matches(p, f) for p, f in zip(pattern.patterns, value.fields))
+    if isinstance(pattern, PatternTuple):
+        if not isinstance(value, tuple) or len(value) != len(pattern.patterns):
+            return False
+        return all(matches(p, f) for p, f in zip(pattern.patterns, value))
+    raise TypeError(f"unknown pattern {pattern!r}")
+
+
+def bind(pattern: Pattern, value: Any, env: dict) -> None:
+    """Bind the variables of ``pattern`` against ``value`` into ``env``.
+
+    The environment is keyed by ``id(var)`` (binding sites are identified by
+    object identity throughout the IR)."""
+    if isinstance(pattern, PatternWildcard):
+        return
+    if isinstance(pattern, PatternVar):
+        env[id(pattern.var)] = value
+        return
+    if isinstance(pattern, PatternConstructor):
+        if pattern.patterns:
+            for p, f in zip(pattern.patterns, value.fields):
+                bind(p, f, env)
+        return
+    if isinstance(pattern, PatternTuple):
+        for p, f in zip(pattern.patterns, value):
+            bind(p, f, env)
+        return
+    raise TypeError(f"unknown pattern {pattern!r}")

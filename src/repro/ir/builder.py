@@ -1,0 +1,188 @@
+"""Convenience builders for constructing IR programs.
+
+Model definitions (see :mod:`repro.models`) use two helpers:
+
+* :data:`op` — an operator namespace: ``op.dense(x, w)`` builds a
+  ``Call(OpRef("dense"), (x, w))``; keyword arguments become operator attrs.
+* :class:`ScopeBuilder` — sequential ``let`` construction mirroring the
+  paper's listings::
+
+      sb = ScopeBuilder()
+      lin = sb.let("inp_linear", op.add(bias, op.dense(inp, i_wt)))
+      new_state = sb.let("new_state", op.sigmoid(op.add(lin, op.dense(state, h_wt))))
+      sb.ret(...)
+      body = sb.get()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .adt import Constructor, Pattern, PatternConstructor, PatternVar, PatternWildcard
+from .expr import (
+    Call,
+    Clause,
+    Constant,
+    ConstructorRef,
+    Expr,
+    Function,
+    GlobalVar,
+    If,
+    Let,
+    Match,
+    OpRef,
+    TupleExpr,
+    TupleGetItem,
+    Var,
+)
+from .types import Type
+
+
+def _wrap(value: Any) -> Expr:
+    """Lift Python / NumPy literals into :class:`Constant` nodes."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float, bool, np.ndarray)):
+        return Constant(value)
+    raise TypeError(f"cannot lift {type(value).__name__} into the IR")
+
+
+class _OpNamespace:
+    """Builds primitive-operator calls via attribute access."""
+
+    def __getattr__(self, name: str):
+        def make(*args: Any, **attrs: Any) -> Call:
+            return Call(OpRef(name), [_wrap(a) for a in args], attrs=attrs or None)
+
+        make.__name__ = name
+        return make
+
+
+#: operator call namespace, e.g. ``op.dense(x, w)``
+op = _OpNamespace()
+
+
+def var(name: str, ty: Optional[Type] = None) -> Var:
+    """Create a fresh local variable."""
+    return Var(name, ty)
+
+
+def const(value: Any) -> Constant:
+    """Create a constant from a Python or NumPy literal."""
+    return Constant(value)
+
+
+def call(fn: Expr, *args: Any, **attrs: Any) -> Call:
+    """Call a function value, global or constructor reference."""
+    return Call(fn, [_wrap(a) for a in args], attrs=attrs or None)
+
+
+def ctor(constructor: Constructor, *args: Any) -> Call:
+    """Apply an ADT constructor."""
+    return Call(ConstructorRef(constructor), [_wrap(a) for a in args])
+
+
+def concurrent(*calls: Call, group: Optional[str] = None) -> Tuple[Call, ...]:
+    """Mark ``calls`` as concurrent siblings (the paper's fork-join
+    annotation, Fig. 2).  Returns the same call objects for inline use."""
+    gid = group or f"cc{id(calls[0])}"
+    for c in calls:
+        c.attrs["concurrent_group"] = gid
+    return calls
+
+
+def phase_boundary(call_expr: Call) -> Call:
+    """Explicitly mark ``call_expr`` as starting a new program phase
+    (overrides the compiler's phase heuristic, §4.1)."""
+    call_expr.attrs["phase_boundary"] = True
+    return call_expr
+
+
+class ScopeBuilder:
+    """Builds a chain of ``let`` bindings in statement order."""
+
+    def __init__(self) -> None:
+        self._bindings: List[Tuple[Var, Expr]] = []
+        self._ret: Optional[Expr] = None
+
+    def let(self, name: str, value: Any, ty: Optional[Type] = None) -> Var:
+        """Bind ``value`` to a fresh variable named ``name`` and return it."""
+        v = Var(name, ty)
+        self._bindings.append((v, _wrap(value)))
+        return v
+
+    def ret(self, value: Any) -> None:
+        """Set the final expression of the scope."""
+        self._ret = _wrap(value)
+
+    def get(self) -> Expr:
+        """Materialize the nested ``Let`` expression."""
+        if self._ret is None:
+            raise ValueError("ScopeBuilder.ret() was never called")
+        body = self._ret
+        for v, value in reversed(self._bindings):
+            body = Let(v, value, body)
+        return body
+
+
+def function(
+    params: Sequence[Var],
+    body: Expr,
+    ret_ty: Optional[Type] = None,
+    name: Optional[str] = None,
+    **attrs: Any,
+) -> Function:
+    """Create a :class:`Function` with optional attrs."""
+    all_attrs: Dict[str, Any] = dict(attrs)
+    if name is not None:
+        all_attrs["name"] = name
+    return Function(params, body, ret_ty, all_attrs)
+
+
+def if_else(cond: Any, then_branch: Any, else_branch: Any) -> If:
+    """Create an ``if`` expression."""
+    return If(_wrap(cond), _wrap(then_branch), _wrap(else_branch))
+
+
+def match(
+    data: Expr,
+    clauses: Sequence[Tuple[Pattern, Any]],
+) -> Match:
+    """Create a ``match`` expression from (pattern, body) pairs."""
+    return Match(data, [Clause(p, _wrap(b)) for p, b in clauses])
+
+
+def pat_ctor(constructor: Constructor, *subpatterns: Union[Pattern, Var, None]) -> PatternConstructor:
+    """Pattern matching a constructor; sub-patterns may be ``Var`` (shorthand
+    for :class:`PatternVar`), ``None`` (wildcard) or nested patterns."""
+    pats: List[Pattern] = []
+    for p in subpatterns:
+        if p is None:
+            pats.append(PatternWildcard())
+        elif isinstance(p, Var):
+            pats.append(PatternVar(p))
+        else:
+            pats.append(p)
+    return PatternConstructor(constructor, pats)
+
+
+def pat_var(v: Var) -> PatternVar:
+    """Pattern binding the whole scrutinee to ``v``."""
+    return PatternVar(v)
+
+
+def pat_wild() -> PatternWildcard:
+    """Wildcard pattern."""
+    return PatternWildcard()
+
+
+def tuple_expr(*fields: Any) -> TupleExpr:
+    """Tuple construction."""
+    return TupleExpr([_wrap(f) for f in fields])
+
+
+def tuple_get(tup: Expr, index: int) -> TupleGetItem:
+    """Tuple projection."""
+    return TupleGetItem(tup, index)

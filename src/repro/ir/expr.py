@@ -1,0 +1,294 @@
+"""Expression nodes of the ACROBAT input IR.
+
+The language mirrors the functional subset of Relay used by the paper:
+variables, constants, tensor-operator calls, user function definitions and
+calls (including recursion), ``let`` bindings, ``if`` conditionals, ``match``
+on algebraic data types, tuples, and references to global functions.
+
+Expression identity is *reference* identity (nodes are freely shared as a
+DAG); use :func:`repro.ir.struct_eq.structural_equal` for structural
+comparisons in tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .adt import Constructor, Pattern
+from .types import ScalarType, TensorType, Type
+
+_var_counter = itertools.count()
+
+
+class Expr:
+    """Base class of all IR expressions."""
+
+    #: optional type annotation; analyses fill this in where needed
+    ty: Optional[Type] = None
+
+    def __init__(self) -> None:
+        self.ty = None
+        #: free-form metadata used by compiler passes (phase ids, ghost flags...)
+        self.attrs: Dict[str, Any] = {}
+
+
+class Var(Expr):
+    """A local variable.
+
+    Each ``Var`` object is a distinct binding site; two variables with the
+    same name hint are still different variables.
+    """
+
+    def __init__(self, name_hint: str, ty: Optional[Type] = None) -> None:
+        super().__init__()
+        self.name_hint = name_hint
+        self.vid = next(_var_counter)
+        self.ty = ty
+
+    @property
+    def name(self) -> str:
+        return self.name_hint
+
+    def __repr__(self) -> str:
+        return f"Var({self.name_hint}#{self.vid})"
+
+
+class GlobalVar(Expr):
+    """A reference to a module-level function, e.g. ``@rnn``."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"@{self.name}"
+
+
+class Constant(Expr):
+    """A literal constant: a NumPy array, Python float/int/bool."""
+
+    def __init__(self, value: Any, ty: Optional[Type] = None) -> None:
+        super().__init__()
+        if isinstance(value, np.ndarray):
+            value = value.astype(np.float32) if value.dtype.kind == "f" else value
+            if ty is None:
+                ty = TensorType(value.shape, str(value.dtype))
+        elif isinstance(value, bool):
+            ty = ty or ScalarType("bool")
+        elif isinstance(value, int):
+            ty = ty or ScalarType("int32")
+        elif isinstance(value, float):
+            ty = ty or ScalarType("float32")
+        self.value = value
+        self.ty = ty
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, np.ndarray):
+            return f"Constant(array{self.value.shape})"
+        return f"Constant({self.value!r})"
+
+
+class OpRef(Expr):
+    """Reference to a primitive tensor operator by name (e.g. ``"dense"``).
+
+    The set of valid operator names and their semantics live in
+    :mod:`repro.kernels.registry`; the IR itself is agnostic.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Op({self.name})"
+
+
+class ConstructorRef(Expr):
+    """Reference to an ADT constructor used in call position."""
+
+    def __init__(self, constructor: Constructor) -> None:
+        super().__init__()
+        self.constructor = constructor
+
+    def __repr__(self) -> str:
+        return f"Ctor({self.constructor.adt_name}.{self.constructor.name})"
+
+
+class Call(Expr):
+    """Application of an operator, constructor, global or local function.
+
+    ``attrs`` carries operator attributes (e.g. ``axis`` for ``concat``) and
+    compiler annotations:
+
+    * ``concurrent_group``: calls sharing a group id are siblings of a
+      fork-join region (the paper's *concurrent* annotation, Fig. 2).
+    * ``phase_boundary``: marks the start of a new program phase.
+    """
+
+    def __init__(
+        self,
+        op: Expr,
+        args: Sequence[Expr],
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__()
+        self.op = op
+        self.args: Tuple[Expr, ...] = tuple(args)
+        self.attrs = dict(attrs or {})
+
+    def __repr__(self) -> str:
+        return f"Call({self.op!r}, {len(self.args)} args)"
+
+
+class Function(Expr):
+    """A (possibly recursive, via :class:`GlobalVar`) function definition.
+
+    ``attrs`` of interest:
+
+    * ``name``: debugging name.
+    * ``parallel_map``: set on the prelude ``@map`` so the compiler assigns
+      the same depth to every element-wise application (§4.1).
+    * ``phase``: optional explicit program-phase override.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Var],
+        body: Expr,
+        ret_ty: Optional[Type] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__()
+        self.params: Tuple[Var, ...] = tuple(params)
+        self.body = body
+        self.ret_ty = ret_ty
+        self.attrs = dict(attrs or {})
+
+    def __repr__(self) -> str:
+        name = self.attrs.get("name", "<fn>")
+        return f"Function({name}, {len(self.params)} params)"
+
+
+class Let(Expr):
+    """``let var = value; body``"""
+
+    def __init__(self, var: Var, value: Expr, body: Expr) -> None:
+        super().__init__()
+        self.var = var
+        self.value = value
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"Let({self.var!r})"
+
+
+class If(Expr):
+    """Conditional expression.  ``cond`` must evaluate to a host scalar/bool.
+
+    When ``cond`` (transitively) depends on an intermediate tensor value the
+    model exhibits *tensor-dependent control flow* and the compiler emits a
+    synchronization point before the branch (§4.2).
+    """
+
+    def __init__(self, cond: Expr, then_branch: Expr, else_branch: Expr) -> None:
+        super().__init__()
+        self.cond = cond
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+    def __repr__(self) -> str:
+        return "If(...)"
+
+
+class Clause:
+    """One arm of a :class:`Match`."""
+
+    def __init__(self, pattern: Pattern, body: Expr) -> None:
+        self.pattern = pattern
+        self.body = body
+
+    def __repr__(self) -> str:
+        return f"Clause({self.pattern!r})"
+
+
+class Match(Expr):
+    """Pattern match on an ADT value."""
+
+    def __init__(self, data: Expr, clauses: Sequence[Clause]) -> None:
+        super().__init__()
+        self.data = data
+        self.clauses: Tuple[Clause, ...] = tuple(clauses)
+
+    def __repr__(self) -> str:
+        return f"Match({len(self.clauses)} clauses)"
+
+
+class TupleExpr(Expr):
+    """Tuple construction."""
+
+    def __init__(self, fields: Sequence[Expr]) -> None:
+        super().__init__()
+        self.fields: Tuple[Expr, ...] = tuple(fields)
+
+    def __repr__(self) -> str:
+        return f"Tuple({len(self.fields)})"
+
+
+class TupleGetItem(Expr):
+    """Projection of a tuple field."""
+
+    def __init__(self, tup: Expr, index: int) -> None:
+        super().__init__()
+        self.tup = tup
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"TupleGetItem({self.index})"
+
+
+def is_op_call(expr: Expr, name: Optional[str] = None) -> bool:
+    """True if ``expr`` is a call to a primitive operator (optionally a
+    specific one)."""
+    return (
+        isinstance(expr, Call)
+        and isinstance(expr.op, OpRef)
+        and (name is None or expr.op.name == name)
+    )
+
+
+def is_ctor_call(expr: Expr, name: Optional[str] = None) -> bool:
+    """True if ``expr`` is an ADT constructor application."""
+    return (
+        isinstance(expr, Call)
+        and isinstance(expr.op, ConstructorRef)
+        and (name is None or expr.op.constructor.name == name)
+    )
+
+
+def is_global_call(expr: Expr, name: Optional[str] = None) -> bool:
+    """True if ``expr`` is a call to a module-level function."""
+    return (
+        isinstance(expr, Call)
+        and isinstance(expr.op, GlobalVar)
+        and (name is None or expr.op.name == name)
+    )
+
+
+def iter_let_chain(expr: Expr) -> Tuple[List[Tuple[Var, Expr]], Expr]:
+    """Split a nested chain of ``Let`` bindings into (bindings, final body)."""
+    bindings: List[Tuple[Var, Expr]] = []
+    while isinstance(expr, Let):
+        bindings.append((expr.var, expr.value))
+        expr = expr.body
+    return bindings, expr
+
+
+def make_let_chain(bindings: Iterable[Tuple[Var, Expr]], body: Expr) -> Expr:
+    """Inverse of :func:`iter_let_chain`."""
+    result = body
+    for var, value in reversed(list(bindings)):
+        result = Let(var, value, result)
+    return result

@@ -1,0 +1,200 @@
+"""IR modules and the prelude.
+
+An :class:`IRModule` holds a set of global functions (one of which is
+``main``), the ADT definitions they use, and convenience accessors.  The
+prelude pre-defines the ``List`` ADT and the higher-order functions ``@map``,
+``@foldl`` and ``@reverse`` used throughout the paper's models.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from .adt import ADTDef, ADTValue, Constructor, PatternConstructor, PatternVar
+from .expr import (
+    Call,
+    Clause,
+    ConstructorRef,
+    Expr,
+    Function,
+    GlobalVar,
+    Match,
+    Var,
+)
+from .types import AnyType
+
+
+class IRModule:
+    """A collection of global functions and ADT definitions."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, Function] = {}
+        self.adts: Dict[str, ADTDef] = {}
+        self._global_vars: Dict[str, GlobalVar] = {}
+
+    # -- globals ------------------------------------------------------------
+    def get_global_var(self, name: str) -> GlobalVar:
+        """Return the (unique) :class:`GlobalVar` for ``name``, creating it
+        if needed so recursive/mutually-recursive definitions can reference
+        functions before their bodies exist."""
+        if name not in self._global_vars:
+            self._global_vars[name] = GlobalVar(name)
+        return self._global_vars[name]
+
+    def add_function(self, name: str, func: Function) -> GlobalVar:
+        """Register ``func`` under ``name`` and return its global var."""
+        func.attrs.setdefault("name", name)
+        self.functions[name] = func
+        return self.get_global_var(name)
+
+    def __getitem__(self, name: str) -> Function:
+        return self.functions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    @property
+    def main(self) -> Function:
+        """The entry function.  Its parameters are the model parameters plus
+        the per-instance input(s)."""
+        return self.functions["main"]
+
+    # -- ADTs ---------------------------------------------------------------
+    def add_adt(self, adt: ADTDef) -> ADTDef:
+        self.adts[adt.name] = adt
+        return adt
+
+    def get_constructor(self, name: str) -> Constructor:
+        """Find a constructor by name across all registered ADTs."""
+        for adt in self.adts.values():
+            if name in adt:
+                return adt.constructor(name)
+        raise KeyError(f"no constructor named {name}")
+
+    # -- convenience runtime value builders ----------------------------------
+    def make_list(self, items: Iterable[Any]) -> ADTValue:
+        """Build a runtime ``List`` ADT value from a Python iterable."""
+        nil = self.get_constructor("Nil")
+        cons = self.get_constructor("Cons")
+        value: ADTValue = ADTValue(nil, [])
+        for item in reversed(list(items)):
+            value = ADTValue(cons, [item, value])
+        return value
+
+    def from_list(self, value: ADTValue) -> List[Any]:
+        """Convert a runtime ``List`` ADT value back into a Python list."""
+        out: List[Any] = []
+        while value.constructor.name == "Cons":
+            out.append(value.fields[0])
+            value = value.fields[1]
+        return out
+
+    def copy(self) -> "IRModule":
+        """Shallow copy (functions are shared; used by non-destructive passes
+        that replace whole function entries)."""
+        new = IRModule()
+        new.functions = dict(self.functions)
+        new.adts = dict(self.adts)
+        new._global_vars = dict(self._global_vars)
+        return new
+
+
+# ---------------------------------------------------------------------------
+# Prelude
+# ---------------------------------------------------------------------------
+
+
+def _define_list(mod: IRModule) -> ADTDef:
+    return mod.add_adt(ADTDef("List", [("Nil", []), ("Cons", [AnyType(), AnyType()])]))
+
+
+def _define_tree(mod: IRModule) -> ADTDef:
+    """Binary tree ADT used by TreeLSTM / MV-RNN.
+
+    ``Leaf(embedding)`` and ``Node(left, right)``; some models use
+    ``NodeWithTag(left, right, tag)`` style payloads which they define
+    themselves.
+    """
+    return mod.add_adt(ADTDef("Tree", [("Leaf", [AnyType()]), ("Node", [AnyType(), AnyType()])]))
+
+
+def _define_map(mod: IRModule) -> None:
+    lst = mod.adts["List"]
+    nil, cons = lst.constructor("Nil"), lst.constructor("Cons")
+    f = Var("f")
+    xs = Var("xs")
+    h, t = Var("h"), Var("t")
+    map_gv = mod.get_global_var("map")
+    body = Match(
+        xs,
+        [
+            Clause(PatternConstructor(nil, []), Call(ConstructorRef(nil), [])),
+            Clause(
+                PatternConstructor(cons, [PatternVar(h), PatternVar(t)]),
+                Call(
+                    ConstructorRef(cons),
+                    [Call(f, [h]), Call(map_gv, [f, t])],
+                ),
+            ),
+        ],
+    )
+    mod.add_function("map", Function([f, xs], body, attrs={"parallel_map": True}))
+
+
+def _define_foldl(mod: IRModule) -> None:
+    lst = mod.adts["List"]
+    nil, cons = lst.constructor("Nil"), lst.constructor("Cons")
+    f, acc, xs = Var("f"), Var("acc"), Var("xs")
+    h, t = Var("h"), Var("t")
+    foldl_gv = mod.get_global_var("foldl")
+    body = Match(
+        xs,
+        [
+            Clause(PatternConstructor(nil, []), acc),
+            Clause(
+                PatternConstructor(cons, [PatternVar(h), PatternVar(t)]),
+                Call(foldl_gv, [f, Call(f, [acc, h]), t]),
+            ),
+        ],
+    )
+    mod.add_function("foldl", Function([f, acc, xs], body))
+
+
+def _define_reverse(mod: IRModule) -> None:
+    lst = mod.adts["List"]
+    nil, cons = lst.constructor("Nil"), lst.constructor("Cons")
+    xs, acc = Var("xs"), Var("acc")
+    h, t = Var("h"), Var("t")
+    helper_gv = mod.get_global_var("rev_append")
+    body = Match(
+        xs,
+        [
+            Clause(PatternConstructor(nil, []), acc),
+            Clause(
+                PatternConstructor(cons, [PatternVar(h), PatternVar(t)]),
+                Call(helper_gv, [t, Call(ConstructorRef(cons), [h, acc])]),
+            ),
+        ],
+    )
+    mod.add_function("rev_append", Function([xs, acc], body, attrs={"structural": True}))
+
+    ys = Var("ys")
+    rev_body = Call(helper_gv, [ys, Call(ConstructorRef(nil), [])])
+    mod.add_function("reverse", Function([ys], rev_body, attrs={"structural": True}))
+
+
+def prelude_module() -> IRModule:
+    """Create a fresh module pre-populated with the prelude (List/Tree ADTs
+    and ``map``/``foldl``/``reverse``)."""
+    mod = IRModule()
+    _define_list(mod)
+    _define_tree(mod)
+    _define_map(mod)
+    _define_foldl(mod)
+    _define_reverse(mod)
+    return mod
+
+
+PRELUDE_FUNCTIONS = ("map", "foldl", "reverse", "rev_append")

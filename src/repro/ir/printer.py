@@ -1,0 +1,142 @@
+"""Pretty printer for the IR (Relay-style text format).
+
+Used in error messages, tests and the examples; the text form is not
+re-parsed anywhere, it is purely for human consumption.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .adt import PatternConstructor, PatternTuple, PatternVar, PatternWildcard
+from .expr import (
+    Call,
+    Constant,
+    ConstructorRef,
+    Expr,
+    Function,
+    GlobalVar,
+    If,
+    Let,
+    Match,
+    OpRef,
+    TupleExpr,
+    TupleGetItem,
+    Var,
+)
+from .module import IRModule
+
+
+class _Printer:
+    def __init__(self) -> None:
+        self._var_names: Dict[int, str] = {}
+        self._name_counts: Dict[str, int] = {}
+
+    def _name(self, v: Var) -> str:
+        if id(v) not in self._var_names:
+            base = v.name_hint or "v"
+            count = self._name_counts.get(base, 0)
+            self._name_counts[base] = count + 1
+            self._var_names[id(v)] = base if count == 0 else f"{base}_{count}"
+        return "%" + self._var_names[id(v)]
+
+    def _pattern(self, p) -> str:
+        if isinstance(p, PatternWildcard):
+            return "_"
+        if isinstance(p, PatternVar):
+            return self._name(p.var)
+        if isinstance(p, PatternConstructor):
+            if not p.patterns:
+                return p.constructor.name
+            return f"{p.constructor.name}({', '.join(self._pattern(s) for s in p.patterns)})"
+        if isinstance(p, PatternTuple):
+            return "(" + ", ".join(self._pattern(s) for s in p.patterns) + ")"
+        return repr(p)
+
+    def expr(self, e: Expr, indent: int = 0) -> str:
+        pad = "  " * indent
+        if isinstance(e, Var):
+            return self._name(e)
+        if isinstance(e, GlobalVar):
+            return f"@{e.name}"
+        if isinstance(e, OpRef):
+            return e.name
+        if isinstance(e, ConstructorRef):
+            return e.constructor.name
+        if isinstance(e, Constant):
+            if isinstance(e.value, np.ndarray):
+                return f"const<{list(e.value.shape)}>"
+            return repr(e.value)
+        if isinstance(e, Call):
+            args = ", ".join(self.expr(a, indent) for a in e.args)
+            attrs = ""
+            shown = {k: v for k, v in e.attrs.items() if k not in ("span",)}
+            if shown:
+                attrs = " /*" + ", ".join(f"{k}={v}" for k, v in shown.items()) + "*/"
+            return f"{self.expr(e.op, indent)}({args}){attrs}"
+        if isinstance(e, Let):
+            lines: List[str] = []
+            cur: Expr = e
+            while isinstance(cur, Let):
+                lines.append(
+                    f"{pad}let {self._name(cur.var)} = {self.expr(cur.value, indent)};"
+                )
+                cur = cur.body
+            lines.append(f"{pad}{self.expr(cur, indent)}")
+            return "\n".join(lines)
+        if isinstance(e, If):
+            return (
+                f"if ({self.expr(e.cond, indent)}) {{\n"
+                f"{'  ' * (indent + 1)}{self.expr(e.then_branch, indent + 1)}\n"
+                f"{pad}}} else {{\n"
+                f"{'  ' * (indent + 1)}{self.expr(e.else_branch, indent + 1)}\n"
+                f"{pad}}}"
+            )
+        if isinstance(e, Match):
+            clauses = []
+            for c in e.clauses:
+                body = self.expr(c.body, indent + 2)
+                clauses.append(f"{'  ' * (indent + 1)}{self._pattern(c.pattern)} => {{\n{body}\n{'  ' * (indent + 1)}}}")
+            return f"match ({self.expr(e.data, indent)}) {{\n" + ",\n".join(clauses) + f"\n{pad}}}"
+        if isinstance(e, Function):
+            params = ", ".join(
+                f"{self._name(p)}" + (f": {p.ty}" if p.ty is not None else "") for p in e.params
+            )
+            body = self.expr(e.body, indent + 1)
+            return f"fn ({params}) {{\n{body}\n{pad}}}"
+        if isinstance(e, TupleExpr):
+            return "(" + ", ".join(self.expr(f, indent) for f in e.fields) + ")"
+        if isinstance(e, TupleGetItem):
+            return f"{self.expr(e.tup, indent)}.{e.index}"
+        return repr(e)
+
+
+def expr_to_text(expr: Expr) -> str:
+    """Render a single expression."""
+    return _Printer().expr(expr)
+
+
+def function_to_text(name: str, func: Function) -> str:
+    """Render one global function definition."""
+    printer = _Printer()
+    params = ", ".join(
+        printer._name(p) + (f": {p.ty}" if p.ty is not None else "") for p in func.params
+    )
+    attrs = {k: v for k, v in func.attrs.items() if k != "name"}
+    attr_str = f"  /* {attrs} */" if attrs else ""
+    body = printer.expr(func.body, 1)
+    return f"def @{name}({params}) {{{attr_str}\n{body}\n}}"
+
+
+def module_to_text(mod: IRModule, include_prelude: bool = False) -> str:
+    """Render a whole module; prelude functions are omitted by default."""
+    from .module import PRELUDE_FUNCTIONS
+
+    parts: List[str] = []
+    for name, func in mod.functions.items():
+        if not include_prelude and name in PRELUDE_FUNCTIONS:
+            continue
+        parts.append(function_to_text(name, func))
+    return "\n\n".join(parts)

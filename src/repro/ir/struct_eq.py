@@ -1,0 +1,145 @@
+"""Structural equality of IR expressions.
+
+Used by tests and by pass-idempotence checks.  Two expressions are
+structurally equal when they have the same shape up to alpha-renaming of
+bound variables and elementwise-equal constants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .adt import (
+    Pattern,
+    PatternConstructor,
+    PatternTuple,
+    PatternVar,
+    PatternWildcard,
+)
+from .expr import (
+    Call,
+    Constant,
+    ConstructorRef,
+    Expr,
+    Function,
+    GlobalVar,
+    If,
+    Let,
+    Match,
+    OpRef,
+    TupleExpr,
+    TupleGetItem,
+    Var,
+)
+
+
+def structural_equal(lhs: Expr, rhs: Expr) -> bool:
+    """Return True when ``lhs`` and ``rhs`` are structurally equal."""
+    return _Comparator().equal(lhs, rhs)
+
+
+class _Comparator:
+    def __init__(self) -> None:
+        self._var_map: Dict[int, int] = {}
+
+    def equal(self, a: Expr, b: Expr) -> bool:
+        if type(a) is not type(b):
+            return False
+        if isinstance(a, Var):
+            mapped = self._var_map.get(id(a))
+            if mapped is not None:
+                return mapped == id(b)
+            # free variables must be identical objects
+            return a is b
+        if isinstance(a, GlobalVar):
+            return a.name == b.name
+        if isinstance(a, OpRef):
+            return a.name == b.name
+        if isinstance(a, ConstructorRef):
+            return (
+                a.constructor.name == b.constructor.name
+                and a.constructor.adt_name == b.constructor.adt_name
+            )
+        if isinstance(a, Constant):
+            av, bv = a.value, b.value
+            if isinstance(av, np.ndarray) or isinstance(bv, np.ndarray):
+                return (
+                    isinstance(av, np.ndarray)
+                    and isinstance(bv, np.ndarray)
+                    and av.shape == bv.shape
+                    and np.allclose(av, bv)
+                )
+            return av == bv
+        if isinstance(a, Call):
+            return (
+                self.equal(a.op, b.op)
+                and len(a.args) == len(b.args)
+                and all(self.equal(x, y) for x, y in zip(a.args, b.args))
+                and _attrs_equal(a.attrs, b.attrs)
+            )
+        if isinstance(a, Function):
+            if len(a.params) != len(b.params):
+                return False
+            for pa, pb in zip(a.params, b.params):
+                self._var_map[id(pa)] = id(pb)
+            return self.equal(a.body, b.body)
+        if isinstance(a, Let):
+            if not self.equal(a.value, b.value):
+                return False
+            self._var_map[id(a.var)] = id(b.var)
+            return self.equal(a.body, b.body)
+        if isinstance(a, If):
+            return (
+                self.equal(a.cond, b.cond)
+                and self.equal(a.then_branch, b.then_branch)
+                and self.equal(a.else_branch, b.else_branch)
+            )
+        if isinstance(a, Match):
+            if len(a.clauses) != len(b.clauses) or not self.equal(a.data, b.data):
+                return False
+            for ca, cb in zip(a.clauses, b.clauses):
+                if not self._pattern_equal(ca.pattern, cb.pattern):
+                    return False
+                if not self.equal(ca.body, cb.body):
+                    return False
+            return True
+        if isinstance(a, TupleExpr):
+            return len(a.fields) == len(b.fields) and all(
+                self.equal(x, y) for x, y in zip(a.fields, b.fields)
+            )
+        if isinstance(a, TupleGetItem):
+            return a.index == b.index and self.equal(a.tup, b.tup)
+        raise TypeError(f"unknown expr {type(a).__name__}")
+
+    def _pattern_equal(self, a: Pattern, b: Pattern) -> bool:
+        if type(a) is not type(b):
+            return False
+        if isinstance(a, PatternWildcard):
+            return True
+        if isinstance(a, PatternVar):
+            self._var_map[id(a.var)] = id(b.var)
+            return True
+        if isinstance(a, PatternConstructor):
+            if a.constructor.name != b.constructor.name or len(a.patterns) != len(b.patterns):
+                return False
+            return all(self._pattern_equal(x, y) for x, y in zip(a.patterns, b.patterns))
+        if isinstance(a, PatternTuple):
+            if len(a.patterns) != len(b.patterns):
+                return False
+            return all(self._pattern_equal(x, y) for x, y in zip(a.patterns, b.patterns))
+        raise TypeError(f"unknown pattern {type(a).__name__}")
+
+
+def _attrs_equal(a: dict, b: dict) -> bool:
+    keys = set(a) | set(b)
+    for k in keys:
+        if k == "concurrent_group":
+            # group identity is symbolic; presence must match
+            if (k in a) != (k in b):
+                return False
+            continue
+        if a.get(k) != b.get(k):
+            return False
+    return True

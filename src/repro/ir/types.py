@@ -1,0 +1,160 @@
+"""Type system for the ACROBAT input IR.
+
+The IR is a small, Relay-like functional language.  Types are used both for
+documentation of model programs and by the static analyses (parameter-reuse
+taint analysis, static-block extraction, batched-kernel signature
+construction) which need tensor shapes to generate batched kernels and to
+estimate kernel costs.
+
+Shapes are fully static per *instance*: dynamism in the paper's workloads
+comes from control flow (how many times an operator runs, and on which
+operands), not from symbolic shapes inside a single operator call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+class Type:
+    """Base class of all IR types."""
+
+    def __eq__(self, other) -> bool:  # structural equality
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self):
+        return ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return str(self)
+
+
+class AnyType(Type):
+    """Unknown/unannotated type.  Analyses treat it conservatively."""
+
+    def __str__(self) -> str:
+        return "?"
+
+
+class TensorType(Type):
+    """A dense tensor with a static shape and dtype.
+
+    Parameters
+    ----------
+    shape:
+        Static shape of the tensor, e.g. ``(1, 256)``.
+    dtype:
+        NumPy dtype name, defaults to ``"float32"``.
+    """
+
+    def __init__(self, shape: Sequence[int], dtype: str = "float32") -> None:
+        self.shape: Tuple[int, ...] = tuple(int(s) for s in shape)
+        self.dtype = dtype
+
+    def _key(self):
+        return (self.shape, self.dtype)
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements in a tensor of this type."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        """Size in bytes assuming 4-byte elements for float32/int32."""
+        itemsize = 1 if self.dtype == "bool" else 4
+        return self.size * itemsize
+
+    def __str__(self) -> str:
+        return f"Tensor[{self.shape}, {self.dtype}]"
+
+
+class ScalarType(Type):
+    """A host scalar (Relay models these as 0-d tensors).
+
+    Scalars are the values that feed *tensor-dependent control flow*: reading
+    one out of a lazily evaluated tensor forces DFG execution.
+    """
+
+    def __init__(self, dtype: str = "float32") -> None:
+        self.dtype = dtype
+
+    def _key(self):
+        return (self.dtype,)
+
+    def __str__(self) -> str:
+        return f"Scalar[{self.dtype}]"
+
+
+class ListType(Type):
+    """Linked list (the prelude ``List`` ADT) of ``elem`` values."""
+
+    def __init__(self, elem: Type) -> None:
+        self.elem = elem
+
+    def _key(self):
+        return (self.elem,)
+
+    def __str__(self) -> str:
+        return f"List[{self.elem}]"
+
+
+class TupleType(Type):
+    """A fixed-arity product type."""
+
+    def __init__(self, fields: Iterable[Type]) -> None:
+        self.fields: Tuple[Type, ...] = tuple(fields)
+
+    def _key(self):
+        return self.fields
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(f) for f in self.fields) + ")"
+
+
+class FuncType(Type):
+    """Type of a function value."""
+
+    def __init__(self, params: Iterable[Type], ret: Type) -> None:
+        self.params: Tuple[Type, ...] = tuple(params)
+        self.ret = ret
+
+    def _key(self):
+        return (self.params, self.ret)
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        return f"fn({params}) -> {self.ret}"
+
+
+class ADTType(Type):
+    """Reference to a user-declared algebraic data type (e.g. ``Tree``)."""
+
+    def __init__(self, name: str, type_args: Optional[Sequence[Type]] = None) -> None:
+        self.name = name
+        self.type_args: Tuple[Type, ...] = tuple(type_args or ())
+
+    def _key(self):
+        return (self.name, self.type_args)
+
+    def __str__(self) -> str:
+        if self.type_args:
+            args = ", ".join(str(a) for a in self.type_args)
+            return f"{self.name}[{args}]"
+        return self.name
+
+
+def is_tensor(ty: Optional[Type]) -> bool:
+    """True when ``ty`` is a concrete :class:`TensorType`."""
+    return isinstance(ty, TensorType)
+
+
+def is_scalar(ty: Optional[Type]) -> bool:
+    """True when ``ty`` is a :class:`ScalarType`."""
+    return isinstance(ty, ScalarType)

@@ -1,0 +1,279 @@
+"""Expression visitors and mutators.
+
+``ExprVisitor`` performs a memoized traversal of the expression DAG;
+``ExprMutator`` rebuilds expressions bottom-up, preserving sharing.  All
+compiler passes and analyses are built on these.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Set
+
+from .adt import PatternConstructor, PatternTuple, PatternVar, PatternWildcard
+from .expr import (
+    Call,
+    Clause,
+    Constant,
+    ConstructorRef,
+    Expr,
+    Function,
+    GlobalVar,
+    If,
+    Let,
+    Match,
+    OpRef,
+    TupleExpr,
+    TupleGetItem,
+    Var,
+)
+
+
+class ExprVisitor:
+    """Memoized read-only traversal over an expression DAG."""
+
+    def __init__(self) -> None:
+        self._memo: Set[int] = set()
+
+    def visit(self, expr: Expr) -> None:
+        key = id(expr)
+        if key in self._memo:
+            return
+        self._memo.add(key)
+        method = getattr(self, f"visit_{type(expr).__name__.lower()}", None)
+        if method is None:
+            raise TypeError(f"no visitor for {type(expr).__name__}")
+        method(expr)
+
+    # -- leaf nodes ---------------------------------------------------------
+    def visit_var(self, expr: Var) -> None:
+        pass
+
+    def visit_globalvar(self, expr: GlobalVar) -> None:
+        pass
+
+    def visit_constant(self, expr: Constant) -> None:
+        pass
+
+    def visit_opref(self, expr: OpRef) -> None:
+        pass
+
+    def visit_constructorref(self, expr: ConstructorRef) -> None:
+        pass
+
+    # -- compound nodes -----------------------------------------------------
+    def visit_call(self, expr: Call) -> None:
+        self.visit(expr.op)
+        for arg in expr.args:
+            self.visit(arg)
+
+    def visit_function(self, expr: Function) -> None:
+        for p in expr.params:
+            self.visit(p)
+        self.visit(expr.body)
+
+    def visit_let(self, expr: Let) -> None:
+        self.visit(expr.var)
+        self.visit(expr.value)
+        self.visit(expr.body)
+
+    def visit_if(self, expr: If) -> None:
+        self.visit(expr.cond)
+        self.visit(expr.then_branch)
+        self.visit(expr.else_branch)
+
+    def visit_match(self, expr: Match) -> None:
+        self.visit(expr.data)
+        for clause in expr.clauses:
+            self.visit(clause.body)
+
+    def visit_tupleexpr(self, expr: TupleExpr) -> None:
+        for f in expr.fields:
+            self.visit(f)
+
+    def visit_tuplegetitem(self, expr: TupleGetItem) -> None:
+        self.visit(expr.tup)
+
+
+class ExprMutator:
+    """Bottom-up rewriting of an expression DAG with sharing preserved."""
+
+    def __init__(self) -> None:
+        self._memo: Dict[int, Expr] = {}
+
+    def visit(self, expr: Expr) -> Expr:
+        key = id(expr)
+        if key in self._memo:
+            return self._memo[key]
+        method = getattr(self, f"visit_{type(expr).__name__.lower()}", None)
+        if method is None:
+            raise TypeError(f"no mutator for {type(expr).__name__}")
+        result = method(expr)
+        self._memo[key] = result
+        return result
+
+    # -- leaf nodes ---------------------------------------------------------
+    def visit_var(self, expr: Var) -> Expr:
+        return expr
+
+    def visit_globalvar(self, expr: GlobalVar) -> Expr:
+        return expr
+
+    def visit_constant(self, expr: Constant) -> Expr:
+        return expr
+
+    def visit_opref(self, expr: OpRef) -> Expr:
+        return expr
+
+    def visit_constructorref(self, expr: ConstructorRef) -> Expr:
+        return expr
+
+    # -- compound nodes -----------------------------------------------------
+    def visit_call(self, expr: Call) -> Expr:
+        op = self.visit(expr.op)
+        args = [self.visit(a) for a in expr.args]
+        if op is expr.op and all(a is b for a, b in zip(args, expr.args)):
+            return expr
+        new = Call(op, args, dict(expr.attrs))
+        new.ty = expr.ty
+        return new
+
+    def visit_function(self, expr: Function) -> Expr:
+        body = self.visit(expr.body)
+        if body is expr.body:
+            return expr
+        new = Function(expr.params, body, expr.ret_ty, dict(expr.attrs))
+        new.ty = expr.ty
+        return new
+
+    def visit_let(self, expr: Let) -> Expr:
+        value = self.visit(expr.value)
+        body = self.visit(expr.body)
+        if value is expr.value and body is expr.body:
+            return expr
+        new = Let(expr.var, value, body)
+        new.ty = expr.ty
+        return new
+
+    def visit_if(self, expr: If) -> Expr:
+        cond = self.visit(expr.cond)
+        then_branch = self.visit(expr.then_branch)
+        else_branch = self.visit(expr.else_branch)
+        if (
+            cond is expr.cond
+            and then_branch is expr.then_branch
+            and else_branch is expr.else_branch
+        ):
+            return expr
+        new = If(cond, then_branch, else_branch)
+        new.ty = expr.ty
+        new.attrs = dict(expr.attrs)
+        return new
+
+    def visit_match(self, expr: Match) -> Expr:
+        data = self.visit(expr.data)
+        clauses = [Clause(c.pattern, self.visit(c.body)) for c in expr.clauses]
+        if data is expr.data and all(c.body is o.body for c, o in zip(clauses, expr.clauses)):
+            return expr
+        new = Match(data, clauses)
+        new.ty = expr.ty
+        new.attrs = dict(expr.attrs)
+        return new
+
+    def visit_tupleexpr(self, expr: TupleExpr) -> Expr:
+        fields = [self.visit(f) for f in expr.fields]
+        if all(a is b for a, b in zip(fields, expr.fields)):
+            return expr
+        new = TupleExpr(fields)
+        new.ty = expr.ty
+        return new
+
+    def visit_tuplegetitem(self, expr: TupleGetItem) -> Expr:
+        tup = self.visit(expr.tup)
+        if tup is expr.tup:
+            return expr
+        new = TupleGetItem(tup, expr.index)
+        new.ty = expr.ty
+        return new
+
+
+def post_order(expr: Expr, callback: Callable[[Expr], None]) -> None:
+    """Apply ``callback`` to every sub-expression in post-order (each node
+    visited once even if shared)."""
+
+    class _Walker(ExprVisitor):
+        def visit(self, e: Expr) -> None:  # type: ignore[override]
+            if id(e) in self._memo:
+                return
+            super().visit(e)
+            callback(e)
+
+    _Walker().visit(expr)
+
+
+def collect(expr: Expr, predicate: Callable[[Expr], bool]) -> List[Expr]:
+    """Collect all sub-expressions satisfying ``predicate`` in post-order."""
+    out: List[Expr] = []
+    post_order(expr, lambda e: out.append(e) if predicate(e) else None)
+    return out
+
+
+def free_vars(expr: Expr) -> List[Var]:
+    """Free variables of ``expr`` in first-use order."""
+    bound: Set[int] = set()
+    free: List[Var] = []
+    seen_free: Set[int] = set()
+
+    def rec(e: Expr) -> None:
+        if isinstance(e, Var):
+            if id(e) not in bound and id(e) not in seen_free:
+                seen_free.add(id(e))
+                free.append(e)
+            return
+        if isinstance(e, (GlobalVar, Constant, OpRef, ConstructorRef)):
+            return
+        if isinstance(e, Call):
+            rec(e.op)
+            for a in e.args:
+                rec(a)
+            return
+        if isinstance(e, Function):
+            saved = {id(p) for p in e.params}
+            added = saved - bound
+            bound.update(added)
+            rec(e.body)
+            bound.difference_update(added)
+            return
+        if isinstance(e, Let):
+            rec(e.value)
+            added = {id(e.var)} - bound
+            bound.update(added)
+            rec(e.body)
+            bound.difference_update(added)
+            return
+        if isinstance(e, If):
+            rec(e.cond)
+            rec(e.then_branch)
+            rec(e.else_branch)
+            return
+        if isinstance(e, Match):
+            rec(e.data)
+            from .adt import pattern_bound_vars
+
+            for clause in e.clauses:
+                pvars = {id(v) for v in pattern_bound_vars(clause.pattern)}
+                added = pvars - bound
+                bound.update(added)
+                rec(clause.body)
+                bound.difference_update(added)
+            return
+        if isinstance(e, TupleExpr):
+            for f in e.fields:
+                rec(f)
+            return
+        if isinstance(e, TupleGetItem):
+            rec(e.tup)
+            return
+        raise TypeError(f"unknown expr {type(e).__name__}")
+
+    rec(expr)
+    return free

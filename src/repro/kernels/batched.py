@@ -1,0 +1,252 @@
+"""Batched execution of static blocks.
+
+A :class:`BlockKernel` is the runtime form of one static block: its fusion
+groups, its shared/varying input signature and the NumPy code that applies
+the block to a whole batch of DFG nodes at once.
+
+Execution semantics
+-------------------
+Given ``B`` DFG nodes for the same block at the same (phase, depth):
+
+* *shared* inputs are model parameters/constants — one array, reused across
+  the whole batch (parameter-reuse analysis, §5.1);
+* *varying* inputs carry per-instance values — they are stacked into a
+  leading batch dimension (this stacking is the *memory gather*; whether it
+  is a separate gather launch or fused into the kernel is decided by the
+  gather-fusion option, §5.2);
+* each fusion group becomes one (simulated) kernel launch and reports a
+  :class:`LaunchRecord` so the device simulator can charge launch overhead,
+  memory traffic and FLOPs.
+
+Numerical results always come from NumPy, so batched execution is checked
+against the unbatched reference in the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .block import StaticBlock
+from .fusion import KernelGroup, fuse_block, fused_kernel_name
+from .registry import get_op
+
+
+@dataclass
+class LaunchRecord:
+    """Cost-relevant facts about one batched kernel launch."""
+
+    kernel_name: str
+    batch_size: int
+    flops: float
+    bytes_read: float
+    bytes_written: float
+    #: bytes of varying operands that were *not* contiguous in device memory;
+    #: with gather fusion these are read through indirect addressing, without
+    #: it they require a separate explicit gather launch (see executor).
+    scattered_bytes: float = 0.0
+    is_gather: bool = False
+
+
+def _nbytes(arr: np.ndarray) -> float:
+    return float(np.asarray(arr).nbytes)
+
+
+@dataclass
+class _Value:
+    """A value flowing through batched block execution."""
+
+    array: np.ndarray
+    batched: bool  # leading dim is the batch dimension
+
+
+def _adjust_attrs(op_name: str, attrs: Dict[str, Any], batched: bool) -> Dict[str, Any]:
+    """Shift axis-like attributes when a leading batch dimension is present."""
+    if not batched:
+        return attrs
+    out = dict(attrs)
+    if op_name in ("concat", "softmax", "argmax", "sum", "mean"):
+        axis = out.get("axis", -1)
+        if isinstance(axis, int) and axis >= 0:
+            out["axis"] = axis + 1
+    elif op_name == "transpose":
+        out["axes"] = [0] + [a + 1 for a in out["axes"]]
+    return out
+
+
+class BlockKernel:
+    """Executable batched form of one static block."""
+
+    def __init__(
+        self,
+        block: StaticBlock,
+        enable_fusion: bool = True,
+        enable_horizontal_fusion: bool = True,
+    ) -> None:
+        self.block = block
+        self.groups: List[KernelGroup] = fuse_block(
+            block, enable_standard=enable_fusion, enable_horizontal=enable_horizontal_fusion
+        )
+        self._group_of_op: Dict[int, int] = {}
+        for g in self.groups:
+            for j in g.op_indices:
+                self._group_of_op[j] = g.group_id
+        self.group_names = [fused_kernel_name(block, g) for g in self.groups]
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.block.name
+
+    @property
+    def num_launches(self) -> int:
+        """Kernel launches per batched execution of this block."""
+        return len(self.groups)
+
+    def kernel_names(self) -> List[str]:
+        return list(self.group_names)
+
+    # -- execution ------------------------------------------------------------
+    def execute_batched(
+        self,
+        args: Sequence[Any],
+        batch_size: int,
+        scattered_mask: Optional[Sequence[bool]] = None,
+    ) -> Tuple[List[List[np.ndarray]], List[LaunchRecord]]:
+        """Run the block for a whole batch.
+
+        Parameters
+        ----------
+        args:
+            One entry per block input.  Shared inputs: a single ``ndarray``.
+            Varying inputs: a list of ``batch_size`` arrays.
+        batch_size:
+            Number of DFG nodes batched together.
+        scattered_mask:
+            Optional per-input flags: True when the varying operand's
+            per-instance tensors are *not* contiguous in device memory
+            (affects gather accounting only, not numerics).
+
+        Returns
+        -------
+        (outputs, launches):
+            ``outputs[k][b]`` is output ``k`` of instance ``b`` (a shared,
+            non-batched output is replicated by reference).  ``launches`` are
+            the per-fusion-group cost records.
+        """
+        block = self.block
+        scattered_mask = list(scattered_mask or [False] * len(block.inputs))
+
+        values: Dict[Tuple[str, int], _Value] = {}
+        gather_bytes_by_input: Dict[int, float] = {}
+
+        for inp in block.inputs:
+            arg = args[inp.index]
+            if inp.shared:
+                values[("input", inp.index)] = _Value(np.asarray(arg), batched=False)
+            else:
+                arrs = [np.asarray(a) for a in arg]
+                if len(arrs) != batch_size:
+                    raise ValueError(
+                        f"block {block.name}: varying input {inp.name} got "
+                        f"{len(arrs)} values for batch size {batch_size}"
+                    )
+                stacked = np.stack(arrs, axis=0)
+                values[("input", inp.index)] = _Value(stacked, batched=True)
+                gather_bytes_by_input[inp.index] = _nbytes(stacked)
+
+        launches: List[LaunchRecord] = []
+
+        for group in self.groups:
+            flops = 0.0
+            bytes_read = 0.0
+            bytes_written = 0.0
+            scattered_bytes = 0.0
+            external_reads: set = set()
+
+            for j in group.op_indices:
+                bop = block.ops[j]
+                opdef = get_op(bop.op_name)
+                arg_vals: List[_Value] = []
+                for kind, ref in bop.args:
+                    if kind == "const":
+                        arg_vals.append(_Value(np.asarray(ref), batched=False))
+                    else:
+                        arg_vals.append(values[(kind, ref)])
+                        # account external reads (values produced outside this group)
+                        if kind == "input" or self._group_of_op.get(ref) != group.group_id:
+                            if (kind, ref) not in external_reads:
+                                external_reads.add((kind, ref))
+                                nb = _nbytes(arg_vals[-1].array)
+                                bytes_read += nb
+                                if kind == "input" and scattered_mask[ref] and not block.inputs[ref].shared:
+                                    scattered_bytes += nb
+
+                any_batched = any(v.batched for v in arg_vals)
+                attrs = _adjust_attrs(bop.op_name, bop.attrs, any_batched)
+                arrays = [v.array for v in arg_vals]
+                if any_batched and bop.op_name == "concat":
+                    # concatenation requires every operand to carry the batch
+                    # dimension; broadcast shared operands across the batch
+                    arrays = [
+                        a if v.batched else np.broadcast_to(a, (batch_size,) + a.shape)
+                        for a, v in zip(arrays, arg_vals)
+                    ]
+                if bop.op_name == "reshape" and any_batched:
+                    attrs = dict(attrs)
+                    attrs["newshape"] = [batch_size] + list(attrs["newshape"])
+                if bop.op_name == "take_row" and any_batched:
+                    result = arrays[0][:, int(attrs["index"])]
+                else:
+                    fn = opdef.batched if (any_batched and opdef.batched is not None) else opdef.compute
+                    result = fn(*arrays, **attrs)
+                result = np.asarray(result)
+                out_batched = any_batched
+                values[("op", j)] = _Value(result, batched=out_batched)
+
+                per_instance_shapes = [
+                    (v.array.shape[1:] if v.batched else v.array.shape) for v in arg_vals
+                ]
+                per_flops = opdef.estimate_flops(per_instance_shapes, bop.attrs)
+                flops += per_flops * (batch_size if any_batched else 1)
+
+            for j in group.op_indices:
+                if block.op_is_output(j) or any(
+                    self._group_of_op.get(c) != group.group_id for c in block.consumers()[j]
+                ):
+                    bytes_written += _nbytes(values[("op", j)].array)
+
+            launches.append(
+                LaunchRecord(
+                    kernel_name=self.group_names[group.group_id],
+                    batch_size=batch_size,
+                    flops=flops,
+                    bytes_read=bytes_read,
+                    bytes_written=bytes_written,
+                    scattered_bytes=scattered_bytes,
+                )
+            )
+
+        outputs: List[List[np.ndarray]] = []
+        for kind, ref in block.outputs:
+            val = values[(kind, ref)]
+            if val.batched:
+                outputs.append([val.array[b] for b in range(batch_size)])
+            else:
+                outputs.append([val.array] * batch_size)
+        return outputs, launches
+
+    def execute_single(self, args: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Unbatched reference execution of the block for one instance."""
+        values: Dict[Tuple[str, int], np.ndarray] = {}
+        for inp in self.block.inputs:
+            values[("input", inp.index)] = np.asarray(args[inp.index])
+        for bop in self.block.ops:
+            opdef = get_op(bop.op_name)
+            arrays = []
+            for kind, ref in bop.args:
+                arrays.append(np.asarray(ref) if kind == "const" else values[(kind, ref)])
+            values[("op", bop.index)] = np.asarray(opdef.compute(*arrays, **bop.attrs))
+        return [values[(kind, ref)] for kind, ref in self.block.outputs]

@@ -1,0 +1,151 @@
+"""Static blocks: control-flow-free sub-graphs of tensor operators.
+
+§2.1 observes that dynamic control flow *surrounds* static sub-graphs of
+tensor operators (e.g. one TreeLSTM cell).  ACROBAT schedules at the
+granularity of these blocks ("grain size coarsening", §A.2) and generates
+one batched kernel per block.  A :class:`StaticBlock` is the compiler-facing
+description of such a sub-graph:
+
+* ``inputs``  — external values flowing into the block, each annotated by the
+  taint analysis as *shared* (same array across batch instances, e.g. a
+  weight) or *varying* (per-instance).
+* ``ops``     — the primitive operator applications in topological order,
+  referring to inputs/other ops via :class:`ArgRef`.
+* ``outputs`` — which values escape the block.
+
+Blocks are extracted by :mod:`repro.analysis.blocks`; grouping of ops into
+fused kernels is done by :mod:`repro.kernels.fusion`; batched execution by
+:mod:`repro.kernels.batched`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+# An ArgRef is ("input", i), ("op", j) or ("const", ndarray/scalar).
+ArgRef = Tuple[str, Any]
+
+
+def input_ref(i: int) -> ArgRef:
+    return ("input", i)
+
+
+def op_ref(j: int) -> ArgRef:
+    return ("op", j)
+
+
+def const_ref(value: Any) -> ArgRef:
+    return ("const", value)
+
+
+@dataclass
+class BlockInput:
+    """One external input of a static block."""
+
+    index: int
+    name: str
+    #: filled by the parameter-reuse (taint) analysis; shared inputs are model
+    #: parameters / constants identical across all instances in a mini-batch
+    shared: bool = False
+    #: optional static shape (informational; the executor measures real shapes)
+    shape: Optional[Tuple[int, ...]] = None
+
+
+@dataclass
+class BlockOp:
+    """One primitive operator application inside a block."""
+
+    index: int
+    op_name: str
+    args: List[ArgRef]
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def input_indices(self) -> List[int]:
+        return [a[1] for a in self.args if a[0] == "input"]
+
+    def op_indices(self) -> List[int]:
+        return [a[1] for a in self.args if a[0] == "op"]
+
+
+@dataclass
+class StaticBlock:
+    """A control-flow-free tensor sub-graph scheduled as one unit."""
+
+    block_id: int
+    name: str
+    inputs: List[BlockInput]
+    ops: List[BlockOp]
+    outputs: List[ArgRef]
+
+    def validate(self) -> None:
+        """Internal consistency checks (cheap; used by tests and the compiler
+        in debug mode)."""
+        n_inputs, n_ops = len(self.inputs), len(self.ops)
+        for i, inp in enumerate(self.inputs):
+            if inp.index != i:
+                raise ValueError(f"block {self.name}: input {i} has index {inp.index}")
+        for j, bop in enumerate(self.ops):
+            if bop.index != j:
+                raise ValueError(f"block {self.name}: op {j} has index {bop.index}")
+            for kind, ref in bop.args:
+                if kind == "input" and not (0 <= ref < n_inputs):
+                    raise ValueError(f"block {self.name}: op {j} references input {ref}")
+                if kind == "op" and not (0 <= ref < j):
+                    raise ValueError(
+                        f"block {self.name}: op {j} references op {ref} (not topological)"
+                    )
+        for kind, ref in self.outputs:
+            if kind == "op" and not (0 <= ref < n_ops):
+                raise ValueError(f"block {self.name}: output references op {ref}")
+            if kind == "input" and not (0 <= ref < n_inputs):
+                raise ValueError(f"block {self.name}: output references input {ref}")
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.outputs)
+
+    def shared_mask(self) -> List[bool]:
+        """Per-input shared/varying flags."""
+        return [inp.shared for inp in self.inputs]
+
+    def consumers(self) -> Dict[int, List[int]]:
+        """Map op index -> list of op indices that consume its output."""
+        out: Dict[int, List[int]] = {j: [] for j in range(len(self.ops))}
+        for bop in self.ops:
+            for j in bop.op_indices():
+                out[j].append(bop.index)
+        return out
+
+    def op_is_output(self, j: int) -> bool:
+        return any(kind == "op" and ref == j for kind, ref in self.outputs)
+
+    def __repr__(self) -> str:
+        ops = ",".join(o.op_name for o in self.ops)
+        return f"StaticBlock({self.name}, inputs={len(self.inputs)}, ops=[{ops}])"
+
+
+def single_op_block(
+    block_id: int,
+    op_name: str,
+    num_inputs: int,
+    attrs: Optional[Dict[str, Any]] = None,
+    shared: Optional[Sequence[bool]] = None,
+    name: Optional[str] = None,
+) -> StaticBlock:
+    """Build a block wrapping a single operator (used when grain-size
+    coarsening is disabled and by unit tests)."""
+    inputs = [
+        BlockInput(i, f"arg{i}", shared=bool(shared[i]) if shared else False)
+        for i in range(num_inputs)
+    ]
+    bop = BlockOp(0, op_name, [input_ref(i) for i in range(num_inputs)], dict(attrs or {}))
+    return StaticBlock(
+        block_id=block_id,
+        name=name or f"{op_name}_{block_id}",
+        inputs=inputs,
+        ops=[bop],
+        outputs=[op_ref(0)],
+    )

@@ -1,0 +1,39 @@
+"""The seven evaluation models of the paper (Table 3), expressed in the IR.
+
+Every model module provides the same surface:
+
+* ``build(size, seed) -> (IRModule, params)``
+* ``build_for(size_name, seed) -> (IRModule, params, ModelSize)``
+* ``instance_input(module, raw) -> per-instance input mapping``
+* ``make_batch(module, size, batch_size, seed) -> list of instances``
+"""
+
+from . import berxit, birnn, drnn, mvrnn, nestedrnn, stackrnn, treelstm
+from .configs import MODEL_NAMES, SIZES, TEST_SIZES, ModelSize, get_size
+
+#: model name -> module, in the paper's Table 3/5 order
+MODEL_MODULES = {
+    "treelstm": treelstm,
+    "mvrnn": mvrnn,
+    "birnn": birnn,
+    "nestedrnn": nestedrnn,
+    "drnn": drnn,
+    "berxit": berxit,
+    "stackrnn": stackrnn,
+}
+
+__all__ = [
+    "treelstm",
+    "mvrnn",
+    "birnn",
+    "nestedrnn",
+    "drnn",
+    "berxit",
+    "stackrnn",
+    "MODEL_MODULES",
+    "MODEL_NAMES",
+    "ModelSize",
+    "get_size",
+    "SIZES",
+    "TEST_SIZES",
+]

@@ -1,0 +1,168 @@
+"""Berxit: early-exit BERT inference (Xin et al. 2021).
+
+A stack of weight-shared transformer encoder layers; after every layer an
+exit head reads back a confidence value and stops early when it crosses a
+threshold (tensor-dependent control flow).  The layer itself — fused QKV
+projections, multi-head attention, residual/layer-norm, feed-forward — is one
+big static block, so this model stresses the tensor-compute side rather than
+control-flow overheads (§7.4: models with high tensor computation benefit
+less from scheduling optimizations).
+
+The paper evaluates BERT-base / 18-layer BERT-large hyper-parameters; this
+reproduction keeps the structure but reduces width/sequence length so the
+NumPy substrate stays tractable (see ``repro.models.configs``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..data.sequences import random_matrix_sequence
+from ..ir import (
+    IRModule,
+    ScopeBuilder,
+    call,
+    function,
+    if_else,
+    op,
+    prelude_module,
+    var,
+)
+from .common import glorot, zeros
+from .configs import ModelSize, get_size
+
+#: early-exit confidence threshold; with random weights roughly half the
+#: instances exit early, which is what exercises the divergence
+EXIT_THRESHOLD = 0.55
+
+
+def _attention_ffn_block(sb: ScopeBuilder, x, weights: Dict[str, Any], size: ModelSize):
+    """Emit one transformer encoder layer into ``sb`` and return its output."""
+    H, S, heads, ffn = size.hidden, size.seq_len, size.heads, size.ffn
+    dh = H // heads
+    q = sb.let("q", op.dense(x, weights["wq"]))
+    k = sb.let("k", op.dense(x, weights["wk"]))
+    v = sb.let("v", op.dense(x, weights["wv"]))
+    qh = sb.let("qh", op.transpose(op.reshape(q, newshape=(S, heads, dh)), axes=(1, 0, 2)))
+    kh = sb.let("kh", op.transpose(op.reshape(k, newshape=(S, heads, dh)), axes=(1, 2, 0)))
+    vh = sb.let("vh", op.transpose(op.reshape(v, newshape=(S, heads, dh)), axes=(1, 0, 2)))
+    scores = sb.let("scores", op.mul(op.matmul(qh, kh), float(1.0 / np.sqrt(dh))))
+    probs = sb.let("probs", op.softmax(scores, axis=-1))
+    ctx = sb.let("ctx", op.matmul(probs, vh))
+    merged = sb.let(
+        "merged", op.reshape(op.transpose(ctx, axes=(1, 0, 2)), newshape=(S, H))
+    )
+    attn_out = sb.let("attn_out", op.dense(merged, weights["wo"]))
+    x1 = sb.let(
+        "x1", op.layer_norm(op.add(x, attn_out), weights["ln1_g"], weights["ln1_b"])
+    )
+    ffn_out = sb.let(
+        "ffn_out",
+        op.add(
+            op.dense(
+                op.gelu(op.add(op.dense(x1, weights["w1"]), weights["b1"])), weights["w2"]
+            ),
+            weights["b2"],
+        ),
+    )
+    x2 = sb.let(
+        "x2", op.layer_norm(op.add(x1, ffn_out), weights["ln2_g"], weights["ln2_b"])
+    )
+    return x2
+
+
+_WEIGHT_NAMES = [
+    "wq", "wk", "wv", "wo", "ln1_g", "ln1_b", "w1", "b1", "w2", "b2",
+    "ln2_g", "ln2_b", "exit_wt", "exit_bias",
+]
+
+
+def build(size: ModelSize, seed: int = 0) -> Tuple[IRModule, Dict[str, np.ndarray]]:
+    """Build the Berxit IR module and parameters (layers share all weights)."""
+    H, S, ffn = size.hidden, size.seq_len, size.ffn
+    mod = prelude_module()
+    layer_gv = mod.get_global_var("berxit_layers")
+
+    x, remaining = var("x"), var("remaining")
+    weight_vars = {name: var(name) for name in _WEIGHT_NAMES}
+    wv_list = [weight_vars[n] for n in _WEIGHT_NAMES]
+
+    sb = ScopeBuilder()
+    x2 = _attention_ffn_block(sb, x, weight_vars, size)
+    pooled = sb.let("pooled", op.mean(x2, axis=0, keepdims=True))
+    conf_t = sb.let(
+        "conf_t",
+        op.sigmoid(op.add(op.dense(pooled, weight_vars["exit_wt"]), weight_vars["exit_bias"])),
+    )
+    conf = sb.let("conf", op.item(conf_t))
+    stop = op.scalar_or(op.scalar_gt(conf, EXIT_THRESHOLD), op.scalar_le(remaining, 1))
+    sb.ret(
+        if_else(
+            stop,
+            x2,
+            call(layer_gv, x2, op.scalar_sub(remaining, 1), *wv_list),
+        )
+    )
+    mod.add_function(
+        "berxit_layers",
+        function([x, remaining] + wv_list, sb.get(), name="berxit_layers"),
+    )
+
+    m_weights = {name: var(name) for name in _WEIGHT_NAMES}
+    cls_wt, cls_bias = var("cls_wt"), var("cls_bias")
+    m_x = var("x")
+    msb = ScopeBuilder()
+    encoded = msb.let(
+        "encoded", call(layer_gv, m_x, size.layers, *[m_weights[n] for n in _WEIGHT_NAMES])
+    )
+    pooled = msb.let("pooled", op.mean(encoded, axis=0, keepdims=True))
+    msb.ret(op.add(op.dense(pooled, cls_wt), cls_bias))
+    mod.add_function(
+        "main",
+        function(
+            [m_weights[n] for n in _WEIGHT_NAMES] + [cls_wt, cls_bias, m_x],
+            msb.get(),
+            name="main",
+        ),
+    )
+
+    rng = np.random.default_rng(seed)
+    params = {
+        "wq": glorot(rng, (H, H)),
+        "wk": glorot(rng, (H, H)),
+        "wv": glorot(rng, (H, H)),
+        "wo": glorot(rng, (H, H)),
+        "ln1_g": np.ones((1, H), dtype=np.float32),
+        "ln1_b": zeros((1, H)),
+        "w1": glorot(rng, (H, ffn)),
+        "b1": zeros((1, ffn)),
+        "w2": glorot(rng, (ffn, H)),
+        "b2": zeros((1, H)),
+        "ln2_g": np.ones((1, H), dtype=np.float32),
+        "ln2_b": zeros((1, H)),
+        "exit_wt": glorot(rng, (H, 1)),
+        "exit_bias": zeros((1, 1)),
+        "cls_wt": glorot(rng, (H, size.classes)),
+        "cls_bias": zeros((1, size.classes)),
+    }
+    return mod, params
+
+
+def instance_input(module: IRModule, embeddings: np.ndarray) -> Dict[str, Any]:
+    """Per-instance input: the ``(seq_len, hidden)`` token-embedding matrix."""
+    return {"x": embeddings}
+
+
+def make_batch(
+    module: IRModule, size: ModelSize, batch_size: int, seed: int = 0
+) -> List[Dict[str, Any]]:
+    seqs = random_matrix_sequence(batch_size, size.seq_len, size.hidden, seed=seed)
+    return [instance_input(module, s) for s in seqs]
+
+
+def build_for(size_name: str, seed: int = 0) -> Tuple[IRModule, Dict[str, np.ndarray], ModelSize]:
+    size = get_size("berxit", size_name)
+    mod, params = build(size, seed)
+    return mod, params, size

@@ -1,0 +1,156 @@
+"""Bidirectional RNN (Schuster & Paliwal 1997) for token classification.
+
+Exercises three of the paper's mechanisms at once:
+
+* the forward and backward passes call the *same* ``@rnn`` function with
+  different weights, triggering the code-duplication/specialization pass
+  (§B.1) so parameter reuse survives batching;
+* the per-token input transformation hoists out of the recursion (§A.1);
+* the per-token output classifiers form their own program phase so they all
+  batch into one kernel even though sentence lengths differ (§A.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..data.sequences import random_sequences
+from ..ir import (
+    IRModule,
+    ScopeBuilder,
+    call,
+    ctor,
+    function,
+    match,
+    op,
+    pat_ctor,
+    prelude_module,
+    tuple_expr,
+    tuple_get,
+    var,
+)
+from .common import glorot, zeros
+from .configs import ModelSize, get_size
+
+
+def _define_rnn(mod: IRModule) -> None:
+    """``@rnn(inps, state, bias, i_wt, h_wt) -> List[state]`` (Listing 1)."""
+    nil = mod.get_constructor("Nil")
+    cons = mod.get_constructor("Cons")
+    rnn_gv = mod.get_global_var("rnn")
+
+    inps, state, bias, i_wt, h_wt = (
+        var("inps"), var("state"), var("bias"), var("i_wt"), var("h_wt"),
+    )
+    inp, tail = var("inp"), var("tail")
+    sb = ScopeBuilder()
+    inp_linear = sb.let("inp_linear", op.add(bias, op.dense(inp, i_wt)))
+    new_state = sb.let(
+        "new_state", op.sigmoid(op.add(inp_linear, op.dense(state, h_wt)))
+    )
+    sb.ret(ctor(cons, new_state, call(rnn_gv, tail, new_state, bias, i_wt, h_wt)))
+    body = match(
+        inps,
+        [(pat_ctor(nil), ctor(nil)), (pat_ctor(cons, inp, tail), sb.get())],
+    )
+    mod.add_function("rnn", function([inps, state, bias, i_wt, h_wt], body, name="rnn"))
+
+
+def _define_zip2(mod: IRModule) -> None:
+    """``@zip2(xs, ys) -> List[(x, y)]`` (structural, no tensor ops)."""
+    nil = mod.get_constructor("Nil")
+    cons = mod.get_constructor("Cons")
+    zip_gv = mod.get_global_var("zip2")
+
+    xs, ys = var("xs"), var("ys")
+    x, xt, y, yt = var("x"), var("xt"), var("y"), var("yt")
+    inner = match(
+        ys,
+        [
+            (pat_ctor(nil), ctor(nil)),
+            (
+                pat_ctor(cons, y, yt),
+                ctor(cons, tuple_expr(x, y), call(zip_gv, xt, yt)),
+            ),
+        ],
+    )
+    body = match(xs, [(pat_ctor(nil), ctor(nil)), (pat_ctor(cons, x, xt), inner)])
+    mod.add_function("zip2", function([xs, ys], body, name="zip2", structural=True))
+
+
+def build(size: ModelSize, seed: int = 0) -> Tuple[IRModule, Dict[str, np.ndarray]]:
+    """Build the BiRNN IR module and parameters."""
+    H, E, C = size.hidden, size.embed, size.classes
+    mod = prelude_module()
+    _define_rnn(mod)
+    _define_zip2(mod)
+    rnn_gv = mod.get_global_var("rnn")
+    zip_gv = mod.get_global_var("zip2")
+
+    f_bias, f_i, f_h, f_init = var("f_bias"), var("f_i_wt"), var("f_h_wt"), var("f_init")
+    b_bias, b_i, b_h, b_init = var("b_bias"), var("b_i_wt"), var("b_h_wt"), var("b_init")
+    out_wt, out_bias = var("out_wt"), var("out_bias")
+    inps = var("inps")
+
+    p = var("p")
+    out_fn = function(
+        [p],
+        op.relu(
+            op.add(
+                op.dense(op.concat(tuple_get(p, 0), tuple_get(p, 1), axis=1), out_wt),
+                out_bias,
+            )
+        ),
+    )
+
+    msb = ScopeBuilder()
+    f_states = msb.let("f_states", call(rnn_gv, inps, f_init, f_bias, f_i, f_h))
+    rinps = msb.let("rinps", call(mod.get_global_var("reverse"), inps))
+    b_states_rev = msb.let("b_states_rev", call(rnn_gv, rinps, b_init, b_bias, b_i, b_h))
+    b_states = msb.let("b_states", call(mod.get_global_var("reverse"), b_states_rev))
+    pairs = msb.let("pairs", call(zip_gv, f_states, b_states))
+    msb.ret(call(mod.get_global_var("map"), out_fn, pairs))
+
+    mod.add_function(
+        "main",
+        function(
+            [f_bias, f_i, f_h, f_init, b_bias, b_i, b_h, b_init, out_wt, out_bias, inps],
+            msb.get(),
+            name="main",
+        ),
+    )
+
+    rng = np.random.default_rng(seed)
+    params = {
+        "f_bias": zeros((1, H)),
+        "f_i_wt": glorot(rng, (E, H)),
+        "f_h_wt": glorot(rng, (H, H)),
+        "f_init": zeros((1, H)),
+        "b_bias": zeros((1, H)),
+        "b_i_wt": glorot(rng, (E, H)),
+        "b_h_wt": glorot(rng, (H, H)),
+        "b_init": zeros((1, H)),
+        "out_wt": glorot(rng, (2 * H, C)),
+        "out_bias": zeros((1, C)),
+    }
+    return mod, params
+
+
+def instance_input(module: IRModule, tokens: List[np.ndarray]) -> Dict[str, Any]:
+    """Convert a token-embedding sequence into the per-instance input."""
+    return {"inps": module.make_list(tokens)}
+
+
+def make_batch(
+    module: IRModule, size: ModelSize, batch_size: int, seed: int = 0
+) -> List[Dict[str, Any]]:
+    seqs = random_sequences(batch_size, size.embed, seed=seed)
+    return [instance_input(module, s) for s in seqs]
+
+
+def build_for(size_name: str, seed: int = 0) -> Tuple[IRModule, Dict[str, np.ndarray], ModelSize]:
+    size = get_size("birnn", size_name)
+    mod, params = build(size, seed)
+    return mod, params, size

@@ -1,0 +1,58 @@
+"""Shared helpers for model definitions."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from ..data.trees import TreeNode
+from ..ir import ADTValue, IRModule
+
+
+def glorot(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """Glorot-uniform initialization (float32)."""
+    fan_in = shape[0] if len(shape) > 1 else shape[0]
+    fan_out = shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def make_linear_params(
+    rng: np.random.Generator, prefix: str, in_dim: int, out_dim: int
+) -> Dict[str, np.ndarray]:
+    """Weight + bias pair named ``{prefix}_wt`` / ``{prefix}_bias``."""
+    return {
+        f"{prefix}_wt": glorot(rng, (in_dim, out_dim)),
+        f"{prefix}_bias": zeros((1, out_dim)),
+    }
+
+
+def list_to_adt(module: IRModule, items: Iterable) -> ADTValue:
+    """Python list -> prelude ``List`` ADT value."""
+    return module.make_list(items)
+
+
+def adt_to_list(module: IRModule, value: ADTValue) -> List:
+    """Prelude ``List`` ADT value -> Python list."""
+    return module.from_list(value)
+
+
+def tree_to_adt(module: IRModule, tree: TreeNode, leaf_payload=None) -> ADTValue:
+    """Convert a :class:`~repro.data.trees.TreeNode` into the prelude ``Tree``
+    ADT.  ``leaf_payload(tree_node)`` customizes the leaf field (defaults to
+    the node's embedding array)."""
+    leaf = module.get_constructor("Leaf")
+    node = module.get_constructor("Node")
+
+    def convert(t: TreeNode) -> ADTValue:
+        if t.is_leaf:
+            payload = leaf_payload(t) if leaf_payload is not None else t.embedding
+            return ADTValue(leaf, [payload])
+        return ADTValue(node, [convert(t.left), convert(t.right)])
+
+    return convert(tree)

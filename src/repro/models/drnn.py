@@ -1,0 +1,122 @@
+"""DRNN: doubly recurrent neural network for top-down tree generation
+(Alvarez-Melis & Jaakkola 2017).
+
+From a root state the model decides, by reading back a gating tensor,
+whether to expand the current node into two children (tensor-dependent
+control flow); the two child expansions are independent and annotated as
+concurrent, so ACROBAT runs them on separate fibers and batches across
+subtrees (§4.2).  The child gating uses a broadcasting element-wise
+multiplication (``scale``), which DyNet executes unbatched (§7.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..ir import (
+    IRModule,
+    ScopeBuilder,
+    call,
+    concurrent,
+    ctor,
+    function,
+    if_else,
+    op,
+    prelude_module,
+    tuple_expr,
+    var,
+)
+from .common import glorot, zeros
+from .configs import ModelSize, get_size
+
+#: maximum generated tree depth (paper: "randomly generated tensors")
+DEFAULT_MAX_DEPTH = 4
+TEST_MAX_DEPTH = 3
+
+
+def build(
+    size: ModelSize, seed: int = 0, max_depth: int = DEFAULT_MAX_DEPTH
+) -> Tuple[IRModule, Dict[str, np.ndarray]]:
+    """Build the DRNN IR module and parameters."""
+    H = size.hidden
+    mod = prelude_module()
+    leaf = mod.get_constructor("Leaf")
+    node = mod.get_constructor("Node")
+    drnn_gv = mod.get_global_var("drnn_expand")
+
+    state, budget = var("state"), var("budget")
+    w_state, b_state = var("state_wt"), var("state_bias")
+    w_gate, b_gate = var("gate_wt"), var("gate_bias")
+    w_left, w_right = var("left_wt"), var("right_wt")
+    weight_vars = [w_state, b_state, w_gate, b_gate, w_left, w_right]
+
+    sb = ScopeBuilder()
+    h = sb.let("h", op.tanh(op.add(op.dense(state, w_state), b_state)))
+    gate = sb.let("gate", op.sigmoid(op.add(op.dense(h, w_gate), b_gate)))  # (1, 2)
+    gate_mag = sb.let("gate_mag", op.mean(gate, axis=1, keepdims=True))  # (1, 1)
+    expand_score = sb.let("expand_score", op.item(gate, index=0))
+
+    # expansion branch: gate each child state with the (1,1) magnitude tensor
+    # (broadcasting element-wise multiplication: DyNet runs this unbatched)
+    esb = ScopeBuilder()
+    lstate = esb.let("lstate", op.scale(op.tanh(op.dense(h, w_left)), gate_mag))
+    rstate = esb.let("rstate", op.scale(op.tanh(op.dense(h, w_right)), gate_mag))
+    lcall = call(drnn_gv, lstate, op.scalar_sub(budget, 1), *weight_vars)
+    rcall = call(drnn_gv, rstate, op.scalar_sub(budget, 1), *weight_vars)
+    concurrent(lcall, rcall)
+    lsub = esb.let("lsub", lcall)
+    rsub = esb.let("rsub", rcall)
+    esb.ret(ctor(node, lsub, rsub))
+
+    expand = op.scalar_and(op.scalar_gt(expand_score, 0.5), op.scalar_gt(budget, 0))
+    sb.ret(if_else(expand, esb.get(), ctor(leaf, h)))
+    mod.add_function(
+        "drnn_expand", function([state, budget] + weight_vars, sb.get(), name="drnn_expand")
+    )
+
+    m_weight_vars = [var(v.name_hint) for v in weight_vars]
+    root = var("root")
+    msb = ScopeBuilder()
+    msb.ret(call(drnn_gv, root, max_depth, *m_weight_vars))
+    mod.add_function("main", function(m_weight_vars + [root], msb.get(), name="main"))
+
+    rng = np.random.default_rng(seed)
+    params = {
+        "state_wt": glorot(rng, (H, H)),
+        "state_bias": zeros((1, H)),
+        "gate_wt": glorot(rng, (H, 2)),
+        "gate_bias": zeros((1, 2)),
+        "left_wt": glorot(rng, (H, H)),
+        "right_wt": glorot(rng, (H, H)),
+    }
+    return mod, params
+
+
+def instance_input(module: IRModule, root_vector: np.ndarray) -> Dict[str, Any]:
+    """Per-instance input: the root representation vector."""
+    return {"root": root_vector}
+
+
+def make_batch(
+    module: IRModule, size: ModelSize, batch_size: int, seed: int = 0
+) -> List[Dict[str, Any]]:
+    """Random root vectors (the paper's DRNN dataset is randomly generated
+    tensors)."""
+    rng = np.random.default_rng(seed)
+    return [
+        instance_input(module, rng.standard_normal((1, size.hidden)).astype(np.float32))
+        for _ in range(batch_size)
+    ]
+
+
+def build_for(
+    size_name: str, seed: int = 0, max_depth: int | None = None
+) -> Tuple[IRModule, Dict[str, np.ndarray], ModelSize]:
+    size = get_size("drnn", size_name)
+    depth = max_depth if max_depth is not None else (
+        TEST_MAX_DEPTH if size_name == "test" else DEFAULT_MAX_DEPTH
+    )
+    mod, params = build(size, seed, max_depth=depth)
+    return mod, params, size

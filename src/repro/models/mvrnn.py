@@ -1,0 +1,140 @@
+"""MV-RNN (Matrix-Vector Recursive Neural Network, Socher et al. 2012).
+
+Every constituent is represented by a vector *and* a matrix.  Composing two
+children multiplies each child's vector by the *other child's matrix* — a
+matrix product of two intermediate activations, which is exactly the case
+DyNet's first-argument batching heuristic cannot batch (§7.3, Table 7).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..data.trees import TreeNode, random_treebank
+from ..ir import (
+    ADTDef,
+    ADTValue,
+    AnyType,
+    IRModule,
+    ScopeBuilder,
+    call,
+    concurrent,
+    function,
+    match,
+    op,
+    pat_ctor,
+    prelude_module,
+    tuple_expr,
+    tuple_get,
+    var,
+)
+from .common import glorot, zeros
+from .configs import ModelSize, get_size
+
+
+def build(size: ModelSize, seed: int = 0) -> Tuple[IRModule, Dict[str, np.ndarray]]:
+    """Build the MV-RNN IR module and parameters."""
+    H, C = size.hidden, size.classes
+    mod = prelude_module()
+    mvtree = mod.add_adt(
+        ADTDef(
+            "MVTree",
+            [("MVLeaf", [AnyType(), AnyType()]), ("MVNode", [AnyType(), AnyType()])],
+        )
+    )
+    leaf_ctor = mvtree.constructor("MVLeaf")
+    node_ctor = mvtree.constructor("MVNode")
+    cell_gv = mod.get_global_var("mvrnn_cell")
+
+    tree = var("tree")
+    w_v, b_v, w_m = var("v_wt"), var("v_bias"), var("m_wt")
+    weight_vars = [w_v, b_v, w_m]
+
+    lvec, lmat = var("lvec"), var("lmat")
+    leaf_body = tuple_expr(lvec, lmat)
+
+    left, right = var("left"), var("right")
+    nsb = ScopeBuilder()
+    lcall = call(cell_gv, left, *weight_vars)
+    rcall = call(cell_gv, right, *weight_vars)
+    concurrent(lcall, rcall)
+    lres = nsb.let("lres", lcall)
+    rres = nsb.let("rres", rcall)
+    la = nsb.let("la", tuple_get(lres, 0))
+    lA = nsb.let("lA", tuple_get(lres, 1))
+    ra = nsb.let("ra", tuple_get(rres, 0))
+    rA = nsb.let("rA", tuple_get(rres, 1))
+    # matrix-vector products of *intermediate* activations (unbatchable by
+    # DyNet's first-argument heuristic)
+    c1 = nsb.let("c1", op.matmul(la, rA))
+    c2 = nsb.let("c2", op.matmul(ra, lA))
+    vec = nsb.let("vec", op.tanh(op.add(op.dense(op.concat(c1, c2, axis=1), w_v), b_v)))
+    mat = nsb.let("mat", op.dense(op.concat(lA, rA, axis=1), w_m))
+    nsb.ret(tuple_expr(vec, mat))
+
+    body = match(
+        tree,
+        [
+            (pat_ctor(leaf_ctor, lvec, lmat), leaf_body),
+            (pat_ctor(node_ctor, left, right), nsb.get()),
+        ],
+    )
+    mod.add_function("mvrnn_cell", function([tree] + weight_vars, body, name="mvrnn_cell"))
+
+    m_weight_vars = [var(v.name_hint) for v in weight_vars]
+    cls_wt, cls_bias = var("cls_wt"), var("cls_bias")
+    m_tree = var("tree")
+    msb = ScopeBuilder()
+    res = msb.let("res", call(cell_gv, m_tree, *m_weight_vars))
+    v = msb.let("v", tuple_get(res, 0))
+    msb.ret(op.add(op.dense(v, cls_wt), cls_bias))
+    mod.add_function(
+        "main", function(m_weight_vars + [cls_wt, cls_bias, m_tree], msb.get(), name="main")
+    )
+
+    rng = np.random.default_rng(seed)
+    params = {
+        "v_wt": glorot(rng, (2 * H, H)),
+        "v_bias": zeros((1, H)),
+        "m_wt": glorot(rng, (2 * H, H)),
+        "cls_wt": glorot(rng, (H, C)),
+        "cls_bias": zeros((1, C)),
+    }
+    return mod, params
+
+
+def instance_input(module: IRModule, tree: TreeNode, seed: int = 0) -> Dict[str, Any]:
+    """Convert a parse tree into MV-RNN input: each leaf carries a random
+    vector and (near-identity) matrix embedding."""
+    leaf = module.get_constructor("MVLeaf")
+    node = module.get_constructor("MVNode")
+    rng = np.random.default_rng(seed)
+    hidden = None
+
+    def convert(t: TreeNode) -> ADTValue:
+        nonlocal hidden
+        if t.is_leaf:
+            vec = t.embedding
+            hidden = vec.shape[-1]
+            mat = np.eye(hidden, dtype=np.float32) + 0.05 * rng.standard_normal(
+                (hidden, hidden)
+            ).astype(np.float32)
+            return ADTValue(leaf, [vec, mat])
+        return ADTValue(node, [convert(t.left), convert(t.right)])
+
+    return {"tree": convert(tree)}
+
+
+def make_batch(
+    module: IRModule, size: ModelSize, batch_size: int, seed: int = 0
+) -> List[Dict[str, Any]]:
+    trees = random_treebank(batch_size, size.hidden, seed=seed)
+    return [instance_input(module, t, seed=seed + i) for i, t in enumerate(trees)]
+
+
+def build_for(size_name: str, seed: int = 0) -> Tuple[IRModule, Dict[str, np.ndarray], ModelSize]:
+    size = get_size("mvrnn", size_name)
+    mod, params = build(size, seed)
+    return mod, params, size

@@ -1,0 +1,166 @@
+"""NestedRNN: an RNN loop nested inside a GRU-style outer loop (Table 3).
+
+The paper's workload iterates both loops for a pseudo-random number of
+iterations in [20, 40], using pre-determined random seeds to emulate
+tensor-dependent control flow (§7.3).  We do the same: every outer segment
+carries a list of "coin" tensors; the inner loop keeps running while the
+coin it reads back from the device is positive, which exercises the
+synchronization / fiber machinery exactly like genuinely learned exit
+decisions would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..data.sequences import coin_run_lists
+from ..ir import (
+    IRModule,
+    ScopeBuilder,
+    call,
+    ctor,
+    function,
+    if_else,
+    match,
+    op,
+    pat_ctor,
+    prelude_module,
+    var,
+)
+from .common import glorot, zeros
+from .configs import ModelSize, get_size
+
+#: default iteration ranges; tests use a much smaller range than the paper's
+PAPER_ITER_RANGE = (20, 40)
+TEST_ITER_RANGE = (2, 5)
+
+
+def build(size: ModelSize, seed: int = 0) -> Tuple[IRModule, Dict[str, np.ndarray]]:
+    """Build the NestedRNN IR module and parameters."""
+    H = size.hidden
+    mod = prelude_module()
+    nil = mod.get_constructor("Nil")
+    cons = mod.get_constructor("Cons")
+    inner_gv = mod.get_global_var("inner_rnn")
+    outer_gv = mod.get_global_var("outer_gru")
+
+    # -- inner RNN loop: run one cell per coin while the coin reads positive ----
+    coins, istate = var("coins"), var("istate")
+    w_in, b_in = var("inner_wt"), var("inner_bias")
+    coin, crest = var("coin"), var("crest")
+    isb = ScopeBuilder()
+    s2 = isb.let("s2", op.sigmoid(op.add(op.dense(istate, w_in), b_in)))
+    flag = isb.let("flag", op.item(coin))
+    isb.ret(
+        if_else(
+            op.scalar_gt(flag, 0.5),
+            call(inner_gv, crest, s2, w_in, b_in),
+            s2,
+        )
+    )
+    inner_body = match(
+        coins,
+        [(pat_ctor(nil), istate), (pat_ctor(cons, coin, crest), isb.get())],
+    )
+    mod.add_function(
+        "inner_rnn", function([coins, istate, w_in, b_in], inner_body, name="inner_rnn")
+    )
+
+    # -- outer GRU-style loop over segments --------------------------------------
+    segs, ostate = var("segs"), var("ostate")
+    o_w_in, o_b_in = var("inner_wt"), var("inner_bias")
+    w_z, b_z, w_h, b_h = var("z_wt"), var("z_bias"), var("h_wt"), var("h_bias")
+    seg, srest = var("seg"), var("srest")
+    osb = ScopeBuilder()
+    inner_res = osb.let("inner_res", call(inner_gv, seg, ostate, o_w_in, o_b_in))
+    z = osb.let(
+        "z",
+        op.sigmoid(op.add(op.dense(op.concat(ostate, inner_res, axis=1), w_z), b_z)),
+    )
+    h_cand = osb.let(
+        "h_cand",
+        op.tanh(op.add(op.dense(op.concat(ostate, inner_res, axis=1), w_h), b_h)),
+    )
+    new_state = osb.let(
+        "new_state",
+        op.add(op.mul(z, ostate), op.mul(op.sub(op.full(shape=(1, H), value=1.0), z), h_cand)),
+    )
+    osb.ret(call(outer_gv, srest, new_state, o_w_in, o_b_in, w_z, b_z, w_h, b_h))
+    outer_body = match(
+        segs,
+        [(pat_ctor(nil), ostate), (pat_ctor(cons, seg, srest), osb.get())],
+    )
+    mod.add_function(
+        "outer_gru",
+        function([segs, ostate, o_w_in, o_b_in, w_z, b_z, w_h, b_h], outer_body, name="outer_gru"),
+    )
+
+    # -- main --------------------------------------------------------------------
+    m_w_in, m_b_in = var("inner_wt"), var("inner_bias")
+    m_w_z, m_b_z, m_w_h, m_b_h = var("z_wt"), var("z_bias"), var("h_wt"), var("h_bias")
+    init, cls_wt, cls_bias = var("init_state"), var("cls_wt"), var("cls_bias")
+    m_segs = var("segs")
+    msb = ScopeBuilder()
+    final = msb.let(
+        "final", call(outer_gv, m_segs, init, m_w_in, m_b_in, m_w_z, m_b_z, m_w_h, m_b_h)
+    )
+    msb.ret(op.add(op.dense(final, cls_wt), cls_bias))
+    mod.add_function(
+        "main",
+        function(
+            [m_w_in, m_b_in, m_w_z, m_b_z, m_w_h, m_b_h, init, cls_wt, cls_bias, m_segs],
+            msb.get(),
+            name="main",
+        ),
+    )
+
+    rng = np.random.default_rng(seed)
+    params = {
+        "inner_wt": glorot(rng, (H, H)),
+        "inner_bias": zeros((1, H)),
+        "z_wt": glorot(rng, (2 * H, H)),
+        "z_bias": zeros((1, H)),
+        "h_wt": glorot(rng, (2 * H, H)),
+        "h_bias": zeros((1, H)),
+        "init_state": zeros((1, H)),
+        "cls_wt": glorot(rng, (H, size.classes)),
+        "cls_bias": zeros((1, size.classes)),
+    }
+    return mod, params
+
+
+def instance_input(module: IRModule, segments: List[List[int]]) -> Dict[str, Any]:
+    """Convert per-segment coin runs (lists of 0/1 ints) into the ADT input."""
+    seg_values = [
+        module.make_list([np.full((1, 1), float(c), dtype=np.float32) for c in seg])
+        for seg in segments
+    ]
+    return {"segs": module.make_list(seg_values)}
+
+
+def make_batch(
+    module: IRModule,
+    size: ModelSize,
+    batch_size: int,
+    seed: int = 0,
+    iter_range: Tuple[int, int] = TEST_ITER_RANGE,
+    num_segments_range: Tuple[int, int] = (2, 4),
+) -> List[Dict[str, Any]]:
+    """Generate per-instance nested iteration structures with seeded
+    pseudo-randomness (the paper's methodology for emulating tensor-dependent
+    control flow)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(batch_size):
+        n_segs = int(rng.integers(num_segments_range[0], num_segments_range[1] + 1))
+        segs = coin_run_lists(n_segs, iter_range[0], iter_range[1], seed=seed * 1000 + i)
+        out.append(instance_input(module, segs))
+    return out
+
+
+def build_for(size_name: str, seed: int = 0) -> Tuple[IRModule, Dict[str, np.ndarray], ModelSize]:
+    size = get_size("nestedrnn", size_name)
+    mod, params = build(size, seed)
+    return mod, params, size

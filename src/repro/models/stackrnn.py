@@ -1,0 +1,154 @@
+"""StackRNN: a transition-based (shift/reduce) parser with RNN cells
+standing in for the StackLSTM of Dyer et al. 2015 (as in the paper, Table 3).
+
+At every step the parser combines the front of the buffer with the top of
+the stack, predicts an action with an ``argmax`` whose result is read back to
+decide the next transition (tensor-dependent control flow), and either
+*shifts* (pushes a new state) or *reduces* (composes the two top stack
+entries).  The two branches invoke different numbers of operators, which is
+what the ghost-operator alignment targets (§4.1), and the ``argmax`` is an
+operator DyNet cannot batch (§7.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..data.sequences import random_sequences
+from ..ir import (
+    IRModule,
+    ScopeBuilder,
+    call,
+    ctor,
+    function,
+    if_else,
+    match,
+    op,
+    pat_ctor,
+    pat_wild,
+    prelude_module,
+    var,
+)
+from .common import glorot, zeros
+from .configs import ModelSize, get_size
+
+
+def build(size: ModelSize, seed: int = 0) -> Tuple[IRModule, Dict[str, np.ndarray]]:
+    """Build the StackRNN IR module and parameters."""
+    H, E, C = size.hidden, size.embed, size.classes
+    mod = prelude_module()
+    nil = mod.get_constructor("Nil")
+    cons = mod.get_constructor("Cons")
+    parse_gv = mod.get_global_var("parse_step")
+
+    buffer, stack = var("buffer"), var("stack")
+    w_s, b_s = var("step_wt"), var("step_bias")
+    w_act = var("act_wt")
+    w_r, b_r = var("reduce_wt"), var("reduce_bias")
+    empty_vec = var("empty_vec")
+    cls_wt, cls_bias = var("cls_wt"), var("cls_bias")
+    weight_vars = [w_s, b_s, w_act, w_r, b_r, empty_vec, cls_wt, cls_bias]
+
+    # -- final result once the buffer is exhausted --------------------------------
+    top, rest = var("top"), var("rest")
+    done_body = match(
+        stack,
+        [
+            (pat_ctor(nil), op.relu(op.dense(empty_vec, cls_wt))),
+            (pat_ctor(cons, top, rest), op.relu(op.add(op.dense(top, cls_wt), cls_bias))),
+        ],
+    )
+
+    # -- one parser step -----------------------------------------------------------
+    tok, buf_rest = var("tok"), var("buf_rest")
+    st_top, st_rest = var("st_top"), var("st_rest")
+    step_sb = ScopeBuilder()
+    stack_top = step_sb.let(
+        "stack_top",
+        match(stack, [(pat_ctor(nil), empty_vec), (pat_ctor(cons, st_top, st_rest), st_top)]),
+    )
+    state = step_sb.let(
+        "state",
+        op.sigmoid(op.add(op.dense(op.concat(tok, stack_top, axis=1), w_s), b_s)),
+    )
+    logits = step_sb.let("logits", op.dense(state, w_act))  # (1, 2): shift / reduce
+    act_t = step_sb.let("act_t", op.argmax(logits, axis=-1))
+    act = step_sb.let("act", op.item_int(act_t))
+
+    # shift: consume the token, push the new state
+    shift_branch = call(parse_gv, buf_rest, ctor(cons, state, stack), *weight_vars)
+
+    # reduce: compose the two top stack entries (keeps the buffer unchanged);
+    # falls back to shifting when the stack is too small
+    a, r1, b, r2 = var("a"), var("r1"), var("b"), var("r2")
+    rsb = ScopeBuilder()
+    comb = rsb.let(
+        "comb", op.tanh(op.add(op.dense(op.concat(a, b, axis=1), w_r), b_r))
+    )
+    rsb.ret(call(parse_gv, buffer, ctor(cons, comb, r2), *weight_vars))
+    reduce_inner = match(
+        r1,
+        [
+            (pat_ctor(nil), shift_branch),
+            (pat_ctor(cons, b, r2), rsb.get()),
+        ],
+    )
+    reduce_branch = match(
+        stack,
+        [
+            (pat_ctor(nil), shift_branch),
+            (pat_ctor(cons, a, r1), reduce_inner),
+        ],
+    )
+
+    step_sb.ret(if_else(op.scalar_eq(act, 0), shift_branch, reduce_branch))
+    body = match(
+        buffer,
+        [
+            (pat_ctor(nil), done_body),
+            (pat_ctor(cons, tok, buf_rest), step_sb.get()),
+        ],
+    )
+    mod.add_function(
+        "parse_step", function([buffer, stack] + weight_vars, body, name="parse_step")
+    )
+
+    # -- main ------------------------------------------------------------------------
+    m_weight_vars = [var(v.name_hint) for v in weight_vars]
+    toks = var("tokens")
+    msb = ScopeBuilder()
+    msb.ret(call(parse_gv, toks, ctor(nil), *m_weight_vars))
+    mod.add_function("main", function(m_weight_vars + [toks], msb.get(), name="main"))
+
+    rng = np.random.default_rng(seed)
+    params = {
+        "step_wt": glorot(rng, (E + H, H)),
+        "step_bias": zeros((1, H)),
+        "act_wt": glorot(rng, (H, 2)),
+        "reduce_wt": glorot(rng, (2 * H, H)),
+        "reduce_bias": zeros((1, H)),
+        "empty_vec": zeros((1, H)),
+        "cls_wt": glorot(rng, (H, C)),
+        "cls_bias": zeros((1, C)),
+    }
+    return mod, params
+
+
+def instance_input(module: IRModule, tokens: List[np.ndarray]) -> Dict[str, Any]:
+    """Per-instance input: the token-embedding buffer."""
+    return {"tokens": module.make_list(tokens)}
+
+
+def make_batch(
+    module: IRModule, size: ModelSize, batch_size: int, seed: int = 0
+) -> List[Dict[str, Any]]:
+    seqs = random_sequences(batch_size, size.embed, seed=seed)
+    return [instance_input(module, s) for s in seqs]
+
+
+def build_for(size_name: str, seed: int = 0) -> Tuple[IRModule, Dict[str, np.ndarray], ModelSize]:
+    size = get_size("stackrnn", size_name)
+    mod, params = build(size, seed)
+    return mod, params, size

@@ -1,0 +1,150 @@
+"""TreeLSTM (Socher et al. 2013) over binary parse trees.
+
+The canonical recursive model of the paper's evaluation: dynamic control
+flow follows the parse-tree structure, recursion over the two children is
+instance-parallel (annotated concurrent), the leaf embedding transformation
+hoists to depth 0, and every internal node evaluates a large static block of
+gate computations (ten ``dense`` calls sharing the two child states, which
+horizontal fusion merges).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..data.trees import TreeNode, random_treebank
+from ..ir import (
+    IRModule,
+    ScopeBuilder,
+    call,
+    concurrent,
+    ctor,
+    function,
+    match,
+    op,
+    pat_ctor,
+    prelude_module,
+    tuple_expr,
+    tuple_get,
+    var,
+)
+from .common import glorot, make_linear_params, tree_to_adt, zeros
+from .configs import ModelSize, get_size
+
+GATES = ("i", "fl", "fr", "o", "u")
+
+
+def build(size: ModelSize, seed: int = 0) -> Tuple[IRModule, Dict[str, np.ndarray]]:
+    """Build the TreeLSTM IR module and its randomly initialized parameters."""
+    H, E, C = size.hidden, size.embed, size.classes
+    mod = prelude_module()
+    leaf_ctor = mod.get_constructor("Leaf")
+    node_ctor = mod.get_constructor("Node")
+    cell_gv = mod.get_global_var("treelstm_cell")
+
+    # -- recursive cell ------------------------------------------------------
+    tree = var("tree")
+    w_leaf, b_leaf = var("leaf_wt"), var("leaf_bias")
+    gate_l = {g: var(f"{g}_l_wt") for g in GATES}
+    gate_r = {g: var(f"{g}_r_wt") for g in GATES}
+    gate_b = {g: var(f"{g}_bias") for g in GATES}
+    weight_vars = (
+        [w_leaf, b_leaf]
+        + [gate_l[g] for g in GATES]
+        + [gate_r[g] for g in GATES]
+        + [gate_b[g] for g in GATES]
+    )
+
+    emb = var("emb")
+    leaf_sb = ScopeBuilder()
+    h0 = leaf_sb.let("h0", op.tanh(op.add(op.dense(emb, w_leaf), b_leaf)))
+    c0 = leaf_sb.let("c0", op.full(shape=(1, H), value=0.0))
+    leaf_sb.ret(tuple_expr(h0, c0))
+
+    left, right = var("left"), var("right")
+    node_sb = ScopeBuilder()
+    lcall = call(cell_gv, left, *weight_vars)
+    rcall = call(cell_gv, right, *weight_vars)
+    concurrent(lcall, rcall)
+    lres = node_sb.let("lres", lcall)
+    rres = node_sb.let("rres", rcall)
+    hl = node_sb.let("hl", tuple_get(lres, 0))
+    cl = node_sb.let("cl", tuple_get(lres, 1))
+    hr = node_sb.let("hr", tuple_get(rres, 0))
+    cr = node_sb.let("cr", tuple_get(rres, 1))
+    gates = {}
+    for g in GATES:
+        act = op.tanh if g == "u" else op.sigmoid
+        gates[g] = node_sb.let(
+            g,
+            act(op.add(op.add(op.dense(hl, gate_l[g]), op.dense(hr, gate_r[g])), gate_b[g])),
+        )
+    c_new = node_sb.let(
+        "c_new",
+        op.add(
+            op.add(op.mul(gates["i"], gates["u"]), op.mul(gates["fl"], cl)),
+            op.mul(gates["fr"], cr),
+        ),
+    )
+    h_new = node_sb.let("h_new", op.mul(gates["o"], op.tanh(c_new)))
+    node_sb.ret(tuple_expr(h_new, c_new))
+
+    body = match(
+        tree,
+        [
+            (pat_ctor(leaf_ctor, emb), leaf_sb.get()),
+            (pat_ctor(node_ctor, left, right), node_sb.get()),
+        ],
+    )
+    mod.add_function(
+        "treelstm_cell", function([tree] + weight_vars, body, name="treelstm_cell")
+    )
+
+    # -- main ------------------------------------------------------------------
+    m_weight_vars = [var(v.name_hint) for v in weight_vars]
+    cls_wt, cls_bias = var("cls_wt"), var("cls_bias")
+    m_tree = var("tree")
+    msb = ScopeBuilder()
+    res = msb.let("res", call(cell_gv, m_tree, *m_weight_vars))
+    h = msb.let("h", tuple_get(res, 0))
+    msb.ret(op.add(op.dense(h, cls_wt), cls_bias))
+    mod.add_function(
+        "main",
+        function(m_weight_vars + [cls_wt, cls_bias, m_tree], msb.get(), name="main"),
+    )
+
+    # -- parameters ---------------------------------------------------------------
+    rng = np.random.default_rng(seed)
+    params: Dict[str, np.ndarray] = {
+        "leaf_wt": glorot(rng, (E, H)),
+        "leaf_bias": zeros((1, H)),
+        "cls_wt": glorot(rng, (H, C)),
+        "cls_bias": zeros((1, C)),
+    }
+    for g in GATES:
+        params[f"{g}_l_wt"] = glorot(rng, (H, H))
+        params[f"{g}_r_wt"] = glorot(rng, (H, H))
+        params[f"{g}_bias"] = zeros((1, H))
+    return mod, params
+
+
+def instance_input(module: IRModule, tree: TreeNode) -> Dict[str, Any]:
+    """Convert a parse tree into the per-instance input of ``main``."""
+    return {"tree": tree_to_adt(module, tree)}
+
+
+def make_batch(
+    module: IRModule, size: ModelSize, batch_size: int, seed: int = 0
+) -> List[Dict[str, Any]]:
+    """Generate a mini-batch of tree instances (SST-like size distribution)."""
+    trees = random_treebank(batch_size, size.embed, seed=seed)
+    return [instance_input(module, t) for t in trees]
+
+
+def build_for(size_name: str, seed: int = 0) -> Tuple[IRModule, Dict[str, np.ndarray], ModelSize]:
+    """Convenience: build the model at a named size ("small"/"large"/"test")."""
+    size = get_size("treelstm", size_name)
+    mod, params = build(size, seed)
+    return mod, params, size

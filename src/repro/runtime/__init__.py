@@ -1,0 +1,38 @@
+"""ACROBAT runtime: lazy DFGs, batched execution, fibers and the device
+simulator."""
+
+from .device import DeviceCounters, DeviceSimulator, GPUSpec
+from .executor import AcrobatRuntime, ExecutionOptions, RunStats
+from .fibers import FiberHandle, FiberScheduler, FiberYield, run_sequential
+from .profiler import ActivityProfiler
+from .scheduler import (
+    DynamicDepthScheduler,
+    InlineDepthScheduler,
+    ScheduledBatch,
+    agenda_schedule,
+    dynamic_depth_schedule,
+)
+from .tensor import DFGNode, LazyTensor, materialize_value, new_storage_region
+
+__all__ = [
+    "AcrobatRuntime",
+    "ExecutionOptions",
+    "RunStats",
+    "DeviceSimulator",
+    "DeviceCounters",
+    "GPUSpec",
+    "ActivityProfiler",
+    "FiberScheduler",
+    "FiberHandle",
+    "FiberYield",
+    "run_sequential",
+    "InlineDepthScheduler",
+    "DynamicDepthScheduler",
+    "ScheduledBatch",
+    "agenda_schedule",
+    "dynamic_depth_schedule",
+    "DFGNode",
+    "LazyTensor",
+    "materialize_value",
+    "new_storage_region",
+]

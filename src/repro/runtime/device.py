@@ -1,0 +1,189 @@
+"""Analytical GPU device simulator.
+
+The paper evaluates on an Nvidia RTX 3070.  We cannot run CUDA here, so the
+device side of every backend (ACROBAT, DyNet, eager, Cortex, VM) is charged
+against the same analytical roofline model while NumPy produces the actual
+numbers.  The model captures exactly the effects the paper's evaluation
+hinges on:
+
+* a fixed **launch overhead** per kernel, so launching fewer, larger batched
+  kernels wins (auto-batching, fusion, grain-size coarsening);
+* **memory-bandwidth-bound** execution for the small operators dominating
+  these models, so fusion (which avoids round-tripping intermediates) and
+  gather fusion (which avoids an extra copy of scattered operands) matter;
+* **PCIe transfer costs** for host→device parameter/input uploads, so
+  batching memory transfers matters;
+* a CPU-side **API overhead** per launch/copy, reported as "CUDA API time"
+  in Table 6.
+
+Host-side time (DFG construction, scheduling) is *not* simulated — it is
+measured as real Python wall-clock by :mod:`repro.runtime.profiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..kernels.batched import LaunchRecord
+
+
+@dataclass
+class GPUSpec:
+    """Parameters of the simulated accelerator (RTX-3070-class defaults)."""
+
+    name: str = "simulated-rtx3070"
+    #: device-side latency charged per kernel launch (microseconds)
+    launch_overhead_us: float = 5.0
+    #: CPU-side CUDA API cost per launch (microseconds)
+    api_overhead_us: float = 4.0
+    #: device memory bandwidth (GB/s)
+    mem_bandwidth_gbps: float = 380.0
+    #: peak fp32 throughput (GFLOP/s)
+    peak_gflops: float = 9000.0
+    #: host<->device transfer bandwidth (GB/s)
+    pcie_bandwidth_gbps: float = 11.0
+    #: per-transfer overhead (microseconds)
+    memcpy_overhead_us: float = 7.0
+    #: extra cost factor for reading scattered (gather-fused) operands
+    scattered_read_penalty: float = 1.35
+    #: FLOPs needed to fully occupy the device; smaller launches run at a
+    #: proportionally lower efficiency (they cannot fill all SMs)
+    saturation_flops: float = 2.0e6
+    #: floor on achievable efficiency for tiny kernels
+    min_utilization: float = 0.03
+
+
+@dataclass
+class DeviceCounters:
+    """Accumulated simulated device activity."""
+
+    kernel_time_us: float = 0.0
+    gather_time_us: float = 0.0
+    memcpy_time_us: float = 0.0
+    api_time_us: float = 0.0
+    num_kernel_launches: int = 0
+    num_gather_launches: int = 0
+    num_memcpy: int = 0
+    bytes_gathered: float = 0.0
+    bytes_copied: float = 0.0
+    #: launches per kernel name (used by PGO to derive operator priorities)
+    launches_by_kernel: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_device_us(self) -> float:
+        """Total simulated device-side time."""
+        return self.kernel_time_us + self.gather_time_us + self.memcpy_time_us
+
+    @property
+    def total_launches(self) -> int:
+        return self.num_kernel_launches + self.num_gather_launches
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "kernel_time_us": self.kernel_time_us,
+            "gather_time_us": self.gather_time_us,
+            "memcpy_time_us": self.memcpy_time_us,
+            "api_time_us": self.api_time_us,
+            "num_kernel_launches": self.num_kernel_launches,
+            "num_gather_launches": self.num_gather_launches,
+            "num_memcpy": self.num_memcpy,
+            "total_device_us": self.total_device_us,
+        }
+
+
+class DeviceSimulator:
+    """Charges simulated time for kernel launches, gathers and transfers."""
+
+    def __init__(
+        self,
+        spec: Optional[GPUSpec] = None,
+        schedule_table: Optional[Dict[str, float]] = None,
+        default_schedule_quality: float = 0.9,
+    ) -> None:
+        self.spec = spec or GPUSpec()
+        #: per-kernel schedule quality in (0, 1]; produced by the
+        #: auto-scheduler (§C.1), higher is better.
+        self.schedule_table: Dict[str, float] = dict(schedule_table or {})
+        self.default_schedule_quality = default_schedule_quality
+        self.counters = DeviceCounters()
+        #: set of id()s of arrays already resident on the device
+        self._resident: set = set()
+
+    # -- configuration --------------------------------------------------------
+    def set_schedule_quality(self, kernel_name: str, quality: float) -> None:
+        """Record the auto-scheduler's result for one kernel."""
+        self.schedule_table[kernel_name] = float(quality)
+
+    def reset(self) -> None:
+        """Clear accumulated counters (keeps the schedule table and residency)."""
+        self.counters = DeviceCounters()
+
+    def reset_residency(self) -> None:
+        """Forget which host arrays have been uploaded."""
+        self._resident = set()
+
+    # -- cost model -----------------------------------------------------------
+    def _quality(self, kernel_name: str) -> float:
+        return self.schedule_table.get(kernel_name, self.default_schedule_quality)
+
+    def kernel_time_us(self, record: LaunchRecord, gather_fused: bool) -> float:
+        """Simulated execution time of one batched kernel launch."""
+        spec = self.spec
+        bytes_total = record.bytes_read + record.bytes_written
+        if gather_fused and record.scattered_bytes > 0:
+            bytes_total += record.scattered_bytes * (spec.scattered_read_penalty - 1.0)
+        mem_us = bytes_total / (spec.mem_bandwidth_gbps * 1e3)  # bytes / (GB/s) -> us
+        utilization = max(
+            spec.min_utilization, min(1.0, record.flops / spec.saturation_flops)
+        )
+        compute_us = record.flops / (spec.peak_gflops * 1e3 * utilization)
+        return spec.launch_overhead_us + max(mem_us, compute_us) / self._quality(
+            record.kernel_name
+        )
+
+    # -- charging -------------------------------------------------------------
+    def launch(self, record: LaunchRecord, gather_fused: bool = True) -> float:
+        """Charge one kernel launch; returns its simulated duration (us)."""
+        t = self.kernel_time_us(record, gather_fused)
+        self.counters.kernel_time_us += t
+        self.counters.num_kernel_launches += 1
+        self.counters.api_time_us += self.spec.api_overhead_us
+        by_kernel = self.counters.launches_by_kernel
+        by_kernel[record.kernel_name] = by_kernel.get(record.kernel_name, 0) + 1
+        return t
+
+    def gather(self, nbytes: float) -> float:
+        """Charge an explicit memory-gather kernel (read scattered + write
+        contiguous)."""
+        spec = self.spec
+        t = spec.launch_overhead_us + (2.0 * nbytes) / (spec.mem_bandwidth_gbps * 1e3)
+        self.counters.gather_time_us += t
+        self.counters.num_gather_launches += 1
+        self.counters.api_time_us += spec.api_overhead_us
+        self.counters.bytes_gathered += nbytes
+        return t
+
+    def memcpy(self, nbytes: float, batched_with: int = 0) -> float:
+        """Charge a host<->device transfer.  ``batched_with`` > 0 indicates the
+        transfer was coalesced with others and skips the per-call overhead."""
+        spec = self.spec
+        overhead = 0.0 if batched_with > 0 else spec.memcpy_overhead_us
+        t = overhead + nbytes / (spec.pcie_bandwidth_gbps * 1e3)
+        self.counters.memcpy_time_us += t
+        self.counters.num_memcpy += 1
+        self.counters.api_time_us += spec.api_overhead_us
+        self.counters.bytes_copied += nbytes
+        return t
+
+    def ensure_resident(self, array, batch_transfers: bool = True) -> float:
+        """Upload a host array to the device once; subsequent calls are free.
+
+        Returns the charged transfer time (0 when already resident).
+        """
+        key = id(array)
+        if key in self._resident:
+            return 0.0
+        self._resident.add(key)
+        nbytes = float(getattr(array, "nbytes", 0))
+        return self.memcpy(nbytes, batched_with=1 if batch_transfers else 0)

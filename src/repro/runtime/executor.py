@@ -1,0 +1,275 @@
+"""The ACROBAT runtime: lazy DFG construction and batched execution.
+
+The AOT-compiled program (or the VM) calls :meth:`AcrobatRuntime.invoke` for
+every static-block invocation; the runtime records a DFG node and hands back
+lazy tensors.  :meth:`AcrobatRuntime.trigger` schedules the pending nodes
+(inline-depth or dynamic-depth), resolves operands, performs gather / memory
+transfer accounting against the device simulator, runs the batched NumPy
+kernels and materializes the results.
+
+Host-side work (graph construction, scheduling, batch assembly) is measured
+as real wall-clock time; device-side work is charged to the
+:class:`~repro.runtime.device.DeviceSimulator`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kernels.batched import BlockKernel
+from .device import DeviceSimulator
+from .profiler import ActivityProfiler
+from .scheduler import DynamicDepthScheduler, InlineDepthScheduler, ScheduledBatch
+from .tensor import DFGNode, LazyTensor, new_storage_region
+
+
+@dataclass
+class ExecutionOptions:
+    """Runtime-facing switches (a subset of the compiler options)."""
+
+    #: fuse the memory gather into batched kernels (§5.2); when off, scattered
+    #: operands are first copied into contiguous buffers by explicit gather
+    #: kernels, as DyNet does
+    gather_fusion: bool = True
+    #: schedule using the statically computed (phase, depth) pairs; when off
+    #: the runtime recomputes depths by traversing the DFG
+    inline_depth: bool = True
+    #: coalesce host->device parameter/input transfers
+    batch_memcpy: bool = True
+    #: extra consistency checks (shared-argument equality, dependency order)
+    validate: bool = False
+
+
+@dataclass
+class RunStats:
+    """Per-run breakdown used by the experiment harness (Table 6 et al.)."""
+
+    host_ms: Dict[str, float] = field(default_factory=dict)
+    device: Dict[str, float] = field(default_factory=dict)
+    num_dfg_nodes: int = 0
+    num_batches: int = 0
+    batch_size: int = 0
+    sync_rounds: int = 0
+
+    @property
+    def host_total_ms(self) -> float:
+        return sum(self.host_ms.values())
+
+    @property
+    def device_total_ms(self) -> float:
+        return self.device.get("total_device_us", 0.0) / 1e3
+
+    @property
+    def api_time_ms(self) -> float:
+        return self.device.get("api_time_us", 0.0) / 1e3
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency estimate: real host time plus simulated device
+        time (the CPU-side CUDA API time is part of the device counters)."""
+        return self.host_total_ms + self.device_total_ms + self.api_time_ms
+
+    @property
+    def kernel_calls(self) -> int:
+        return int(
+            self.device.get("num_kernel_launches", 0)
+            + self.device.get("num_gather_launches", 0)
+        )
+
+    def summary(self) -> Dict[str, float]:
+        out = {
+            "latency_ms": self.latency_ms,
+            "host_ms": self.host_total_ms,
+            "device_ms": self.device_total_ms,
+            "api_ms": self.api_time_ms,
+            "dfg_nodes": self.num_dfg_nodes,
+            "kernel_calls": self.kernel_calls,
+            "batches": self.num_batches,
+        }
+        out.update({f"host_{k}_ms": v for k, v in self.host_ms.items()})
+        out.update(self.device)
+        return out
+
+
+class AcrobatRuntime:
+    """Lazy auto-batching runtime driving batched block kernels."""
+
+    def __init__(
+        self,
+        kernels: Dict[int, BlockKernel],
+        options: Optional[ExecutionOptions] = None,
+        device: Optional[DeviceSimulator] = None,
+        profiler: Optional[ActivityProfiler] = None,
+        scheduler: Optional[Any] = None,
+    ) -> None:
+        self.kernels = kernels
+        self.options = options or ExecutionOptions()
+        self.device = device or DeviceSimulator()
+        self.profiler = profiler or ActivityProfiler()
+        self._pending: List[DFGNode] = []
+        self._scheduler = scheduler or (
+            InlineDepthScheduler() if self.options.inline_depth else DynamicDepthScheduler()
+        )
+        self.current_instance = 0
+        self.num_nodes_total = 0
+        self.num_batches_total = 0
+
+    # -- API called by generated code / VM ------------------------------------
+    def invoke(self, block_id: int, depth: int, phase: int, args: Sequence[Any]) -> Any:
+        """Record one block invocation; returns its lazy output(s)."""
+        kernel = self.kernels[block_id]
+        node = DFGNode(
+            block_id=block_id,
+            args=args,
+            depth=depth,
+            phase=phase,
+            instance_id=self.current_instance,
+            num_outputs=kernel.block.num_outputs,
+        )
+        self._pending.append(node)
+        self.num_nodes_total += 1
+        outs = node.outputs
+        return outs[0] if len(outs) == 1 else tuple(outs)
+
+    @staticmethod
+    def read(value: Any) -> np.ndarray:
+        """Concrete array behind ``value`` (lazy or already concrete)."""
+        if isinstance(value, LazyTensor):
+            return value.value
+        return np.asarray(value)
+
+    def item(self, value: Any, index: int = 0) -> float:
+        """Host read of one scalar out of a (materialized) tensor."""
+        return float(np.asarray(self.read(value)).reshape(-1)[index])
+
+    def item_int(self, value: Any, index: int = 0) -> int:
+        return int(np.asarray(self.read(value)).reshape(-1)[index])
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # -- execution -------------------------------------------------------------
+    def trigger(self) -> None:
+        """Schedule and execute all pending DFG nodes."""
+        if not self._pending:
+            return
+        nodes = self._pending
+        self._pending = []
+
+        sched_start = time.perf_counter()
+        batches = self._scheduler.schedule(nodes)
+        self.profiler.add("scheduling", time.perf_counter() - sched_start)
+
+        for batch in batches:
+            self._execute_batch(batch)
+        self.num_batches_total += len(batches)
+        self.profiler.bump("num_batches", len(batches))
+
+    def _execute_batch(self, batch: ScheduledBatch) -> None:
+        kernel = self.kernels[batch.block_id]
+        block = kernel.block
+        nodes = batch.nodes
+        batch_size = len(nodes)
+
+        dispatch_start = time.perf_counter()
+        args: List[Any] = []
+        scattered_mask: List[bool] = []
+        validate = self.options.validate
+
+        for inp in block.inputs:
+            if inp.shared:
+                first = nodes[0].args[inp.index]
+                value = self.read(first)
+                if validate:
+                    for other in nodes[1:]:
+                        ov = self.read(other.args[inp.index])
+                        if not np.array_equal(np.asarray(ov), np.asarray(value)):
+                            raise RuntimeError(
+                                f"block {block.name}: input {inp.name} marked shared but "
+                                f"differs across batched nodes"
+                            )
+                if not isinstance(first, LazyTensor):
+                    self.device.ensure_resident(value, self.options.batch_memcpy)
+                args.append(value)
+                scattered_mask.append(False)
+            else:
+                values = []
+                contiguous = True
+                prev_region, prev_offset = None, None
+                for node in nodes:
+                    arg = node.args[inp.index]
+                    if isinstance(arg, LazyTensor):
+                        values.append(arg.value)
+                        if prev_region is None:
+                            prev_region, prev_offset = arg.storage_region, arg.storage_offset
+                        else:
+                            if (
+                                arg.storage_region != prev_region
+                                or arg.storage_offset != prev_offset + 1
+                            ):
+                                contiguous = False
+                            prev_region, prev_offset = arg.storage_region, arg.storage_offset
+                    else:
+                        arr = np.asarray(arg)
+                        self.device.ensure_resident(arr, self.options.batch_memcpy)
+                        values.append(arr)
+                        contiguous = False
+                if batch_size == 1:
+                    contiguous = True
+                scattered = not contiguous
+                if scattered and not self.options.gather_fusion:
+                    total_bytes = float(sum(v.nbytes for v in values))
+                    self.device.gather(total_bytes)
+                    scattered = False  # explicit gather made it contiguous
+                args.append(values)
+                scattered_mask.append(scattered)
+        self.profiler.add("dispatch", time.perf_counter() - dispatch_start)
+
+        compute_start = time.perf_counter()
+        outputs, launches = kernel.execute_batched(args, batch_size, scattered_mask)
+        self.profiler.add("numpy_compute", time.perf_counter() - compute_start)
+
+        for record in launches:
+            self.device.launch(record, gather_fused=self.options.gather_fusion)
+
+        store_start = time.perf_counter()
+        for k in range(block.num_outputs):
+            region = new_storage_region()
+            per_instance = outputs[k]
+            for b, node in enumerate(nodes):
+                node.outputs[k].materialize(per_instance[b], region, b)
+        for node in nodes:
+            node.executed = True
+        self.profiler.add("dispatch", time.perf_counter() - store_start)
+
+    # -- bookkeeping -------------------------------------------------------------
+    def collect_stats(self, batch_size: int, sync_rounds: int = 0) -> RunStats:
+        """Snapshot the profiler and device counters into a :class:`RunStats`."""
+        host_ms = {
+            "dfg_construction": self.profiler.ms("dfg_construction"),
+            "scheduling": self.profiler.ms("scheduling"),
+            "dispatch": self.profiler.ms("dispatch"),
+        }
+        return RunStats(
+            host_ms=host_ms,
+            device=self.device.counters.as_dict(),
+            num_dfg_nodes=self.num_nodes_total,
+            num_batches=self.num_batches_total,
+            batch_size=batch_size,
+            sync_rounds=sync_rounds,
+        )
+
+    def reset(self) -> None:
+        """Clear per-run state (keeps kernels, device schedule table)."""
+        self._pending = []
+        self.current_instance = 0
+        self.num_nodes_total = 0
+        self.num_batches_total = 0
+        self.profiler.reset()
+        self.device.reset()
+        self.device.reset_residency()

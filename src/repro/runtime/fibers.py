@@ -1,0 +1,174 @@
+"""Fiber runtime for tensor-dependent control flow (§4.2).
+
+When a model's control flow depends on intermediate tensor values, the
+unbatched program for each instance cannot simply run to completion before
+the DFGs execute — it must stop at every point where it reads a tensor value
+back.  The paper runs every instance on its own *fiber* so that all instances
+progress to their next synchronization point, the pending DFG nodes execute
+as one batch, and the fibers resume.
+
+Here fibers are Python generator coroutines produced by the AOT code
+generator.  The protocol between generated code and this scheduler:
+
+* ``yield FiberYield.SYNC``      — the fiber needs pending DFG nodes executed
+  before it can continue (it is about to read a tensor value).
+* ``yield ("join", [handles])``  — fork-join: the fiber blocks until the
+  spawned child fibers (created with :meth:`FiberScheduler.spawn`) finish;
+  their return values are delivered as the value of the ``yield``.
+* ``return value``               — the fiber finished.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+_fiber_ids = itertools.count()
+
+
+class FiberYield(Enum):
+    """Yield kinds understood by the scheduler (besides join tuples)."""
+
+    SYNC = "sync"
+
+
+class FiberHandle:
+    """Handle to a spawned fiber; carries its result once finished."""
+
+    __slots__ = ("fiber_id", "finished", "result")
+
+    def __init__(self) -> None:
+        self.fiber_id = next(_fiber_ids)
+        self.finished = False
+        self.result: Any = None
+
+    def __repr__(self) -> str:
+        return f"FiberHandle(#{self.fiber_id}, finished={self.finished})"
+
+
+@dataclass
+class _Fiber:
+    handle: FiberHandle
+    gen: Generator
+    #: None = runnable, "sync" = waiting for trigger, ("join", handles) = waiting
+    blocked_on: Any = None
+    #: value to send into the generator on next resume
+    send_value: Any = None
+
+
+class FiberScheduler:
+    """Cooperatively schedules instance fibers around DFG flush points."""
+
+    def __init__(self, trigger: Callable[[], None]) -> None:
+        #: callback that schedules + executes all pending DFG nodes
+        self._trigger = trigger
+        self._fibers: List[_Fiber] = []
+        self.num_sync_rounds = 0
+        self.num_spawned = 0
+
+    # -- API used by generated code ------------------------------------------
+    def spawn(self, gen: Generator) -> FiberHandle:
+        """Register a new child fiber (a concurrent recursive call)."""
+        handle = FiberHandle()
+        self._fibers.append(_Fiber(handle=handle, gen=gen))
+        self.num_spawned += 1
+        return handle
+
+    # -- driver ----------------------------------------------------------------
+    def run(self, roots: Sequence[Generator]) -> List[Any]:
+        """Run ``roots`` (one generator per batch instance) to completion,
+        triggering DFG execution whenever every live fiber is blocked on a
+        sync point.  Returns the root results in order."""
+        root_handles = [self.spawn(g) for g in roots]
+
+        while True:
+            progressed = self._advance_runnable()
+            self._resolve_joins()
+            if all(f.handle.finished for f in self._fibers):
+                break
+            if not progressed and not self._any_runnable():
+                # every live fiber waits on a sync point: flush the DFG
+                if not any(f.blocked_on == "sync" for f in self._fibers if not f.handle.finished):
+                    raise RuntimeError(
+                        "fiber deadlock: no runnable fibers and none waiting on sync"
+                    )
+                self._trigger()
+                self.num_sync_rounds += 1
+                for f in self._fibers:
+                    if f.blocked_on == "sync":
+                        f.blocked_on = None
+
+        return [h.result for h in root_handles]
+
+    # -- internals --------------------------------------------------------------
+    def _any_runnable(self) -> bool:
+        return any(f.blocked_on is None and not f.handle.finished for f in self._fibers)
+
+    def _advance_runnable(self) -> bool:
+        """Advance every runnable fiber until it blocks or finishes.  Newly
+        spawned fibers are picked up in the same pass.  Returns True when any
+        fiber made progress."""
+        progressed = False
+        i = 0
+        while True:
+            made_progress_this_round = False
+            # iterate over a snapshot; spawn() may append
+            for fiber in list(self._fibers):
+                if fiber.handle.finished or fiber.blocked_on is not None:
+                    continue
+                made_progress_this_round = True
+                progressed = True
+                self._step(fiber)
+            if not made_progress_this_round:
+                break
+            i += 1
+            # joins may have become resolvable mid-pass
+            self._resolve_joins()
+        return progressed
+
+    def _step(self, fiber: _Fiber) -> None:
+        try:
+            send = fiber.send_value
+            fiber.send_value = None
+            yielded = fiber.gen.send(send) if send is not None else next(fiber.gen)
+        except StopIteration as stop:
+            fiber.handle.finished = True
+            fiber.handle.result = stop.value
+            return
+        if yielded is FiberYield.SYNC or yielded is None:
+            fiber.blocked_on = "sync"
+        elif isinstance(yielded, tuple) and len(yielded) == 2 and yielded[0] == "join":
+            fiber.blocked_on = ("join", list(yielded[1]))
+        else:
+            raise RuntimeError(f"fiber yielded unknown value {yielded!r}")
+
+    def _resolve_joins(self) -> None:
+        for fiber in self._fibers:
+            if fiber.handle.finished or not isinstance(fiber.blocked_on, tuple):
+                continue
+            _, handles = fiber.blocked_on
+            if all(h.finished for h in handles):
+                fiber.send_value = [h.result for h in handles]
+                fiber.blocked_on = None
+
+
+def run_sequential(roots: Sequence[Generator], trigger: Callable[[], None]) -> List[Any]:
+    """Reference driver that runs instance generators one after another,
+    triggering execution at every sync point (no batch parallelism across
+    instances at tensor-dependent control flow).  This is what a system
+    without fibers is forced to do (§4.2, Fig. 4 left)."""
+    results: List[Any] = []
+    for gen in roots:
+        try:
+            while True:
+                yielded = next(gen)
+                if isinstance(yielded, tuple) and yielded and yielded[0] == "join":
+                    raise RuntimeError(
+                        "run_sequential cannot execute programs with concurrent fibers"
+                    )
+                trigger()
+        except StopIteration as stop:
+            results.append(stop.value)
+    return results

@@ -1,0 +1,59 @@
+"""Host-side activity profiler.
+
+Measures the real Python wall-clock time spent in the runtime activities the
+paper breaks down in Table 6: DFG construction, scheduling, batched-kernel
+dispatch and result materialization.  Device-side time comes from
+:class:`repro.runtime.device.DeviceSimulator` instead.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class ActivityProfiler:
+    """Accumulates wall-clock time per named activity."""
+
+    times_s: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    _active: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def track(self, activity: str) -> Iterator[None]:
+        """Context manager measuring one activity region."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.times_s[activity] = self.times_s.get(activity, 0.0) + elapsed
+            self.counts[activity] = self.counts.get(activity, 0) + 1
+
+    def add(self, activity: str, seconds: float) -> None:
+        """Record externally measured time for an activity."""
+        self.times_s[activity] = self.times_s.get(activity, 0.0) + seconds
+        self.counts[activity] = self.counts.get(activity, 0) + 1
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        """Increment a plain counter (e.g. number of DFG nodes)."""
+        self.counts[counter] = self.counts.get(counter, 0) + amount
+
+    def ms(self, activity: str) -> float:
+        """Accumulated milliseconds for ``activity`` (0 when never recorded)."""
+        return 1e3 * self.times_s.get(activity, 0.0)
+
+    def total_ms(self) -> float:
+        return 1e3 * sum(self.times_s.values())
+
+    def reset(self) -> None:
+        self.times_s = {}
+        self.counts = {}
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {f"{k}_ms": 1e3 * v for k, v in self.times_s.items()}
+        out.update({f"{k}_count": v for k, v in self.counts.items()})
+        return out

@@ -1,0 +1,208 @@
+"""DFG schedulers.
+
+Three scheduling strategies appear in the paper:
+
+* **Inline-depth scheduling (ACROBAT, §4.1)** — the AOT-compiled program
+  already annotated every DFG node with a ``(phase, depth)`` pair, so the
+  scheduler only has to bucket nodes by ``(phase, depth, block)`` and walk the
+  buckets in order.  No dependency analysis happens at runtime; observations
+  O.1/O.2 guarantee the order is safe.
+* **Dynamic depth-based scheduling (DyNet / ACROBAT without inline depth)** —
+  depths are recomputed at runtime from the DFG structure (max producer depth
+  plus one), which costs a full traversal of the graph.
+* **Agenda-based scheduling (DyNet's alternative)** — repeatedly pick a
+  kernel signature among the currently-ready nodes (lowest average depth
+  first) and batch all ready nodes with that signature.
+
+The generic ``dynamic_depth_schedule`` / ``agenda_schedule`` helpers are also
+used by the DyNet baseline (:mod:`repro.baselines.dynet`), so both systems
+run literally the same batching algorithm and differ only in where the
+information comes from — which is the paper's point.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from .tensor import DFGNode, LazyTensor
+
+
+@dataclass
+class ScheduledBatch:
+    """A group of same-block DFG nodes to execute as one batched launch."""
+
+    block_id: int
+    nodes: List[DFGNode]
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+class InlineDepthScheduler:
+    """ACROBAT's scheduler: bucket by the statically computed (phase, depth)."""
+
+    def schedule(self, nodes: Sequence[DFGNode]) -> List[ScheduledBatch]:
+        buckets: Dict[Tuple[int, int, int], List[DFGNode]] = {}
+        order: Dict[Tuple[int, int, int], int] = {}
+        for node in nodes:
+            key = (node.phase, node.depth, node.block_id)
+            if key not in buckets:
+                buckets[key] = []
+                order[key] = node.node_id
+            buckets[key].append(node)
+        keys = sorted(buckets, key=lambda k: (k[0], k[1], order[k]))
+        return [ScheduledBatch(block_id=k[2], nodes=buckets[k]) for k in keys]
+
+
+class DynamicDepthScheduler:
+    """Depth-based scheduling with depths recomputed from the DFG at runtime.
+
+    Used when inline depth computation is disabled; the traversal cost is real
+    host time and shows up in the ablation (Fig. 6) and Table 6.
+    """
+
+    def schedule(self, nodes: Sequence[DFGNode]) -> List[ScheduledBatch]:
+        depth: Dict[int, int] = {}
+
+        def node_depth(n: DFGNode) -> int:
+            cached = depth.get(n.node_id)
+            if cached is not None:
+                return cached
+            producers = [a.node for a in n.args if isinstance(a, LazyTensor) and not a.is_materialized]
+            d = 0 if not producers else 1 + max(node_depth(p) for p in producers)
+            depth[n.node_id] = d
+            return d
+
+        buckets: Dict[Tuple[int, int], List[DFGNode]] = {}
+        order: Dict[Tuple[int, int], int] = {}
+        for node in nodes:
+            key = (node_depth(node), node.block_id)
+            if key not in buckets:
+                buckets[key] = []
+                order[key] = node.node_id
+            buckets[key].append(node)
+        keys = sorted(buckets, key=lambda k: (k[0], order[k]))
+        return [ScheduledBatch(block_id=k[1], nodes=buckets[k]) for k in keys]
+
+
+class NoBatchScheduler:
+    """Executes every DFG node as its own batch of one, in insertion order.
+
+    Models eager frameworks without auto-batching (the PyTorch baseline of
+    Fig. 5): every operator becomes its own kernel launch.
+    """
+
+    def schedule(self, nodes: Sequence[DFGNode]) -> List[ScheduledBatch]:
+        return [ScheduledBatch(block_id=n.block_id, nodes=[n]) for n in nodes]
+
+
+# ---------------------------------------------------------------------------
+# Generic batching algorithms shared with the DyNet baseline
+# ---------------------------------------------------------------------------
+
+
+def dynamic_depth_schedule(
+    nodes: Sequence[Any],
+    get_deps: Callable[[Any], Iterable[Any]],
+    get_signature: Callable[[Any], Hashable],
+) -> List[List[Any]]:
+    """Depth-based batching over an arbitrary node graph.
+
+    ``get_deps`` returns the *pending* producers of a node; ``get_signature``
+    returns the batching signature — nodes batch together only when their
+    signatures compare equal.  Returns batches in a dependency-safe order.
+    """
+    node_list = list(nodes)
+    index = {id(n): i for i, n in enumerate(node_list)}
+    depth: Dict[int, int] = {}
+
+    def compute_depth(n: Any) -> int:
+        key = id(n)
+        if key in depth:
+            return depth[key]
+        deps = [d for d in get_deps(n) if id(d) in index]
+        value = 0 if not deps else 1 + max(compute_depth(d) for d in deps)
+        depth[key] = value
+        return value
+
+    buckets: Dict[Tuple[int, Hashable], List[Any]] = defaultdict(list)
+    first_seen: Dict[Tuple[int, Hashable], int] = {}
+    for i, n in enumerate(node_list):
+        key = (compute_depth(n), get_signature(n))
+        if key not in first_seen:
+            first_seen[key] = i
+        buckets[key].append(n)
+    keys = sorted(buckets, key=lambda k: (k[0], first_seen[k]))
+    return [buckets[k] for k in keys]
+
+
+def agenda_schedule(
+    nodes: Sequence[Any],
+    get_deps: Callable[[Any], Iterable[Any]],
+    get_signature: Callable[[Any], Hashable],
+) -> List[List[Any]]:
+    """DyNet's agenda-based batching (Neubig et al. 2017b).
+
+    Maintains the set of ready nodes (all dependencies executed) and
+    repeatedly selects the signature whose ready nodes have the lowest average
+    depth, batching all of them at once.  More resistant to over-eager
+    batching than the plain depth scheme, at a higher scheduling cost.
+    """
+    node_list = list(nodes)
+    in_set = {id(n) for n in node_list}
+    remaining_deps: Dict[int, int] = {}
+    dependents: Dict[int, List[Any]] = defaultdict(list)
+    depth: Dict[int, int] = {}
+
+    for n in node_list:
+        deps = [d for d in get_deps(n) if id(d) in in_set]
+        remaining_deps[id(n)] = len(deps)
+        for d in deps:
+            dependents[id(d)].append(n)
+
+    def compute_depth(n: Any) -> int:
+        key = id(n)
+        if key in depth:
+            return depth[key]
+        deps = [d for d in get_deps(n) if id(d) in in_set]
+        value = 0 if not deps else 1 + max(compute_depth(d) for d in deps)
+        depth[key] = value
+        return value
+
+    for n in node_list:
+        compute_depth(n)
+
+    ready: List[Any] = [n for n in node_list if remaining_deps[id(n)] == 0]
+    scheduled: List[List[Any]] = []
+    done: set = set()
+
+    while ready:
+        by_sig: Dict[Hashable, List[Any]] = defaultdict(list)
+        for n in ready:
+            by_sig[get_signature(n)].append(n)
+        # pick the signature with the lowest average depth (ties: most nodes)
+        best_sig = min(
+            by_sig,
+            key=lambda s: (
+                sum(depth[id(n)] for n in by_sig[s]) / len(by_sig[s]),
+                -len(by_sig[s]),
+                str(s),
+            ),
+        )
+        batch = by_sig[best_sig]
+        scheduled.append(batch)
+        batch_ids = {id(n) for n in batch}
+        done.update(batch_ids)
+        ready = [n for n in ready if id(n) not in batch_ids]
+        for n in batch:
+            for dep in dependents[id(n)]:
+                remaining_deps[id(dep)] -= 1
+                if remaining_deps[id(dep)] == 0:
+                    ready.append(dep)
+
+    if len(done) != len(node_list):
+        raise RuntimeError("agenda_schedule: dependency cycle or unresolved producers")
+    return scheduled

@@ -1,0 +1,139 @@
+"""Lazy tensors and DFG nodes.
+
+The AOT-compiled program does not compute tensor values eagerly: each block
+invocation appends a :class:`DFGNode` to the runtime's pending graph and
+returns :class:`LazyTensor` handles for its outputs (§2.2, §3).  Values are
+filled in when the runtime triggers batched execution.
+
+Every materialized tensor records a ``(storage_region, offset)`` pair: all
+outputs of one batched kernel launch share a region and consecutive offsets,
+which is how the executor decides whether the operands of a later batch are
+already contiguous in device memory (relevant to gather-operator fusion,
+§5.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+_tensor_ids = itertools.count()
+_node_ids = itertools.count()
+_region_ids = itertools.count()
+
+
+def new_storage_region() -> int:
+    """Allocate a fresh storage-region identifier (one per batched launch)."""
+    return next(_region_ids)
+
+
+class LazyTensor:
+    """Handle to a tensor that will be produced by a pending DFG node."""
+
+    __slots__ = (
+        "tid",
+        "node",
+        "output_index",
+        "_value",
+        "storage_region",
+        "storage_offset",
+        "inferred_shape",
+    )
+
+    def __init__(self, node: "DFGNode", output_index: int) -> None:
+        self.tid = next(_tensor_ids)
+        self.node = node
+        self.output_index = output_index
+        self._value: Optional[np.ndarray] = None
+        self.storage_region: Optional[int] = None
+        self.storage_offset: Optional[int] = None
+        #: statically inferred shape (filled by the VM's lazy interpreter so
+        #: that batching signatures can include operand shapes)
+        self.inferred_shape: Optional[tuple] = None
+
+    @property
+    def is_materialized(self) -> bool:
+        return self._value is not None
+
+    @property
+    def value(self) -> np.ndarray:
+        """The concrete array; raises if the node has not executed yet."""
+        if self._value is None:
+            raise RuntimeError(
+                f"LazyTensor {self.tid} (node {self.node.node_id}, block "
+                f"{self.node.block_id}) read before execution was triggered"
+            )
+        return self._value
+
+    def materialize(self, value: np.ndarray, region: int, offset: int) -> None:
+        self._value = value
+        self.storage_region = region
+        self.storage_offset = offset
+
+    def __repr__(self) -> str:
+        state = "ready" if self.is_materialized else "pending"
+        return f"LazyTensor(#{self.tid}, {state})"
+
+
+class DFGNode:
+    """One pending block invocation in the dataflow graph."""
+
+    __slots__ = (
+        "node_id",
+        "block_id",
+        "args",
+        "depth",
+        "phase",
+        "instance_id",
+        "outputs",
+        "executed",
+    )
+
+    def __init__(
+        self,
+        block_id: int,
+        args: Sequence[Any],
+        depth: int,
+        phase: int,
+        instance_id: int,
+        num_outputs: int,
+    ) -> None:
+        self.node_id = next(_node_ids)
+        self.block_id = block_id
+        #: one entry per block input: an ``ndarray`` (parameter/constant/host
+        #: input) or a :class:`LazyTensor` produced by an earlier node
+        self.args: Tuple[Any, ...] = tuple(args)
+        self.depth = depth
+        self.phase = phase
+        self.instance_id = instance_id
+        self.outputs: List[LazyTensor] = [LazyTensor(self, k) for k in range(num_outputs)]
+        self.executed = False
+
+    def producer_nodes(self) -> List["DFGNode"]:
+        """DFG nodes whose outputs this node consumes."""
+        return [a.node for a in self.args if isinstance(a, LazyTensor)]
+
+    def __repr__(self) -> str:
+        return (
+            f"DFGNode(#{self.node_id}, block={self.block_id}, depth={self.depth}, "
+            f"phase={self.phase}, inst={self.instance_id})"
+        )
+
+
+def materialize_value(value: Any) -> Any:
+    """Recursively replace :class:`LazyTensor` handles with their concrete
+    arrays inside arbitrary result structures (ADT values, lists, tuples)."""
+    from ..ir.adt import ADTValue
+
+    if isinstance(value, LazyTensor):
+        return value.value
+    if isinstance(value, ADTValue):
+        return ADTValue(value.constructor, [materialize_value(f) for f in value.fields])
+    if isinstance(value, tuple):
+        return tuple(materialize_value(v) for v in value)
+    if isinstance(value, list):
+        return [materialize_value(v) for v in value]
+    return value

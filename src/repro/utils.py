@@ -1,0 +1,51 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .ir.adt import ADTValue
+
+
+def values_allclose(a: Any, b: Any, atol: float = 1e-4, rtol: float = 1e-4) -> bool:
+    """Structural numerical comparison of model outputs.
+
+    Handles nested structures of ADT values (lists/trees), tuples, Python
+    lists and NumPy arrays; scalars compare with the same tolerance.  Used by
+    the test-suite to compare every backend against the eager reference.
+    """
+    if isinstance(a, ADTValue) or isinstance(b, ADTValue):
+        if not (isinstance(a, ADTValue) and isinstance(b, ADTValue)):
+            return False
+        if a.constructor.name != b.constructor.name:
+            return False
+        return all(values_allclose(x, y, atol, rtol) for x, y in zip(a.fields, b.fields))
+    if isinstance(a, (tuple, list)) or isinstance(b, (tuple, list)):
+        if not isinstance(a, (tuple, list)) or not isinstance(b, (tuple, list)):
+            return False
+        if len(a) != len(b):
+            return False
+        return all(values_allclose(x, y, atol, rtol) for x, y in zip(a, b))
+    if a is None or b is None:
+        return a is None and b is None
+    a_arr = np.asarray(a, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64)
+    if a_arr.shape != b_arr.shape:
+        return False
+    return bool(np.allclose(a_arr, b_arr, atol=atol, rtol=rtol))
+
+
+def flatten_arrays(value: Any) -> list:
+    """Flatten a nested output structure into a list of NumPy arrays/scalars."""
+    out: list = []
+    if isinstance(value, ADTValue):
+        for f in value.fields:
+            out.extend(flatten_arrays(f))
+    elif isinstance(value, (tuple, list)):
+        for f in value:
+            out.extend(flatten_arrays(f))
+    elif value is not None:
+        out.append(np.asarray(value))
+    return out

@@ -1,0 +1,5 @@
+"""Relay-VM-style interpreter baseline and eager reference executor."""
+
+from .interpreter import Interpreter, VMModel, run_reference
+
+__all__ = ["Interpreter", "VMModel", "run_reference"]

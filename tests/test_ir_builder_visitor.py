@@ -1,0 +1,181 @@
+"""Tests for the IR builder helpers, visitors, printer and structural equality."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    Call,
+    Constant,
+    ExprMutator,
+    If,
+    Let,
+    Match,
+    OpRef,
+    ScopeBuilder,
+    TupleExpr,
+    call,
+    collect,
+    concurrent,
+    const,
+    ctor,
+    expr_to_text,
+    free_vars,
+    function,
+    function_to_text,
+    if_else,
+    match,
+    module_to_text,
+    op,
+    pat_ctor,
+    pat_var,
+    pat_wild,
+    phase_boundary,
+    post_order,
+    prelude_module,
+    structural_equal,
+    tuple_expr,
+    tuple_get,
+    var,
+)
+
+
+class TestBuilder:
+    def test_op_namespace_builds_calls(self):
+        e = op.dense(var("x"), var("w"))
+        assert isinstance(e, Call) and isinstance(e.op, OpRef)
+        assert e.op.name == "dense"
+
+    def test_op_attrs_become_call_attrs(self):
+        e = op.concat(var("a"), var("b"), axis=1)
+        assert e.attrs == {"axis": 1}
+
+    def test_literals_are_lifted(self):
+        e = op.add(var("x"), 1.0)
+        assert isinstance(e.args[1], Constant)
+
+    def test_unliftable_literal_raises(self):
+        with pytest.raises(TypeError):
+            op.add(var("x"), {"not": "liftable"})
+
+    def test_scope_builder_nests_lets(self):
+        sb = ScopeBuilder()
+        a = sb.let("a", const(1.0))
+        b = sb.let("b", op.add(a, 2.0))
+        sb.ret(b)
+        body = sb.get()
+        assert isinstance(body, Let) and isinstance(body.body, Let)
+
+    def test_scope_builder_requires_ret(self):
+        sb = ScopeBuilder()
+        sb.let("a", const(1.0))
+        with pytest.raises(ValueError):
+            sb.get()
+
+    def test_concurrent_marks_calls(self):
+        gv_call1 = call(prelude_module().get_global_var("map"), var("f"), var("xs"))
+        gv_call2 = call(prelude_module().get_global_var("map"), var("f"), var("ys"))
+        concurrent(gv_call1, gv_call2)
+        assert gv_call1.attrs["concurrent_group"] == gv_call2.attrs["concurrent_group"]
+
+    def test_phase_boundary_annotation(self):
+        c = call(prelude_module().get_global_var("map"), var("f"), var("xs"))
+        assert phase_boundary(c).attrs["phase_boundary"] is True
+
+    def test_if_else_and_match_builders(self):
+        mod = prelude_module()
+        nil = mod.get_constructor("Nil")
+        e = if_else(op.scalar_gt(1.0, 0.0), const(1.0), const(2.0))
+        assert isinstance(e, If)
+        m = match(var("xs"), [(pat_ctor(nil), const(0.0)), (pat_wild(), const(1.0))])
+        assert isinstance(m, Match) and len(m.clauses) == 2
+
+    def test_tuple_helpers(self):
+        t = tuple_expr(var("a"), var("b"))
+        assert isinstance(t, TupleExpr)
+        g = tuple_get(t, 1)
+        assert g.index == 1
+
+
+class TestVisitors:
+    def test_free_vars_simple(self):
+        x, w = var("x"), var("w")
+        e = op.sigmoid(op.dense(x, w))
+        assert free_vars(e) == [x, w]
+
+    def test_free_vars_excludes_bound(self):
+        x, y = var("x"), var("y")
+        e = Let(x, const(1.0), op.add(x, y))
+        assert free_vars(e) == [y]
+
+    def test_free_vars_function_params_bound(self):
+        x, y = var("x"), var("y")
+        f = function([x], op.add(x, y))
+        assert free_vars(f) == [y]
+
+    def test_free_vars_match_pattern_bound(self):
+        mod = prelude_module()
+        cons = mod.get_constructor("Cons")
+        h, t, xs = var("h"), var("t"), var("xs")
+        m = match(xs, [(pat_ctor(cons, h, t), op.add(h, var("outer")))])
+        names = [v.name for v in free_vars(m)]
+        assert "xs" in names and "outer" in names and "h" not in names
+
+    def test_collect_and_post_order(self):
+        e = op.add(op.dense(var("x"), var("w")), var("b"))
+        calls = collect(e, lambda n: isinstance(n, Call))
+        assert len(calls) == 2
+        seen = []
+        post_order(e, lambda n: seen.append(type(n).__name__))
+        assert seen[-1] == "Call"  # root visited last
+
+    def test_mutator_preserves_unchanged_nodes(self):
+        e = op.add(var("x"), var("y"))
+        assert ExprMutator().visit(e) is e
+
+    def test_mutator_rewrites(self):
+        class Renamer(ExprMutator):
+            def visit_opref(self, expr):
+                return OpRef("mul") if expr.name == "add" else expr
+
+        e = op.add(var("x"), var("y"))
+        out = Renamer().visit(e)
+        assert out is not e and out.op.name == "mul"
+
+
+class TestPrinterAndEquality:
+    def test_expr_to_text_mentions_ops_and_vars(self):
+        text = expr_to_text(op.sigmoid(op.dense(var("x"), var("w"))))
+        assert "sigmoid" in text and "dense" in text and "%x" in text
+
+    def test_function_to_text(self):
+        x = var("x")
+        text = function_to_text("f", function([x], op.relu(x)))
+        assert text.startswith("def @f(") and "relu" in text
+
+    def test_module_to_text_skips_prelude_by_default(self):
+        mod = prelude_module()
+        mod.add_function("main", function([var("x")], op.relu(var("x"))))
+        assert "@map" not in module_to_text(mod)
+        assert "@map" in module_to_text(mod, include_prelude=True)
+
+    def test_structural_equal_alpha_equivalence(self):
+        x1, x2 = var("x"), var("other_name")
+        f1 = function([x1], op.relu(x1))
+        f2 = function([x2], op.relu(x2))
+        assert structural_equal(f1, f2)
+
+    def test_structural_equal_detects_difference(self):
+        x1, x2 = var("x"), var("x")
+        assert not structural_equal(function([x1], op.relu(x1)), function([x2], op.tanh(x2)))
+
+    def test_structural_equal_constants(self):
+        a = const(np.ones((2, 2), dtype=np.float32))
+        b = const(np.ones((2, 2), dtype=np.float32))
+        c = const(np.zeros((2, 2), dtype=np.float32))
+        assert structural_equal(a, b)
+        assert not structural_equal(a, c)
+
+    def test_structural_equal_free_vars_by_identity(self):
+        x, y = var("x"), var("x")
+        assert structural_equal(op.relu(x), op.relu(x))
+        assert not structural_equal(op.relu(x), op.relu(y))

@@ -1,0 +1,175 @@
+"""Tests for IR expressions, ADTs and patterns."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    ADTDef,
+    ADTValue,
+    AnyType,
+    Call,
+    Constant,
+    ConstructorRef,
+    Function,
+    GlobalVar,
+    If,
+    Let,
+    OpRef,
+    PatternConstructor,
+    PatternTuple,
+    PatternVar,
+    PatternWildcard,
+    ScalarType,
+    TensorType,
+    Var,
+    is_ctor_call,
+    is_global_call,
+    is_op_call,
+    iter_let_chain,
+    make_let_chain,
+    op,
+    pattern_bound_vars,
+    prelude_module,
+    var,
+)
+from repro.ir.adt import bind, matches
+
+
+class TestExprBasics:
+    def test_vars_have_unique_ids(self):
+        a, b = Var("x"), Var("x")
+        assert a.vid != b.vid
+        assert a is not b
+
+    def test_constant_infers_tensor_type(self):
+        c = Constant(np.zeros((2, 3), dtype=np.float32))
+        assert isinstance(c.ty, TensorType)
+        assert c.ty.shape == (2, 3)
+
+    def test_constant_infers_scalar_types(self):
+        assert Constant(1.5).ty == ScalarType("float32")
+        assert Constant(3).ty == ScalarType("int32")
+        assert Constant(True).ty == ScalarType("bool")
+
+    def test_call_args_are_tuple(self):
+        c = Call(OpRef("add"), [Var("a"), Var("b")])
+        assert isinstance(c.args, tuple) and len(c.args) == 2
+
+    def test_call_attrs_copied(self):
+        attrs = {"axis": 1}
+        c = Call(OpRef("concat"), [Var("a")], attrs)
+        attrs["axis"] = 2
+        assert c.attrs["axis"] == 1
+
+    def test_function_records_name_attr(self):
+        f = Function([Var("x")], Var("x"), attrs={"name": "id"})
+        assert f.attrs["name"] == "id"
+
+
+class TestExprPredicates:
+    def test_is_op_call(self):
+        e = op.dense(var("x"), var("w"))
+        assert is_op_call(e)
+        assert is_op_call(e, "dense")
+        assert not is_op_call(e, "add")
+        assert not is_op_call(var("x"))
+
+    def test_is_global_call(self):
+        gv = GlobalVar("f")
+        e = Call(gv, [var("x")])
+        assert is_global_call(e)
+        assert is_global_call(e, "f")
+        assert not is_global_call(e, "g")
+
+    def test_is_ctor_call(self):
+        mod = prelude_module()
+        nil = mod.get_constructor("Nil")
+        e = Call(ConstructorRef(nil), [])
+        assert is_ctor_call(e)
+        assert is_ctor_call(e, "Nil")
+        assert not is_ctor_call(e, "Cons")
+
+
+class TestLetChains:
+    def test_iter_and_make_roundtrip(self):
+        x, y = var("x"), var("y")
+        body = op.add(x, y)
+        chain = make_let_chain([(x, Constant(1.0)), (y, Constant(2.0))], body)
+        bindings, final = iter_let_chain(chain)
+        assert [v.name for v, _ in bindings] == ["x", "y"]
+        assert final is body
+
+    def test_empty_chain(self):
+        body = var("z")
+        assert iter_let_chain(body) == ([], body)
+        assert make_let_chain([], body) is body
+
+
+class TestADT:
+    def test_adtdef_constructor_lookup(self):
+        adt = ADTDef("Pair", [("MkPair", [AnyType(), AnyType()])])
+        ctor = adt.constructor("MkPair")
+        assert ctor.arity == 2
+        assert ctor.tag == 0
+        assert "MkPair" in adt
+
+    def test_adt_value_arity_check(self):
+        adt = ADTDef("Pair", [("MkPair", [AnyType(), AnyType()])])
+        with pytest.raises(ValueError):
+            ADTValue(adt.constructor("MkPair"), [1])
+
+    def test_constructor_tags_are_dense(self):
+        mod = prelude_module()
+        assert mod.get_constructor("Nil").tag == 0
+        assert mod.get_constructor("Cons").tag == 1
+
+    def test_make_and_from_list_roundtrip(self):
+        mod = prelude_module()
+        items = [1, 2, 3, 4]
+        assert mod.from_list(mod.make_list(items)) == items
+
+    def test_make_list_empty(self):
+        mod = prelude_module()
+        assert mod.from_list(mod.make_list([])) == []
+
+
+class TestPatterns:
+    def setup_method(self):
+        self.mod = prelude_module()
+        self.nil = self.mod.get_constructor("Nil")
+        self.cons = self.mod.get_constructor("Cons")
+
+    def test_matches_constructor(self):
+        lst = self.mod.make_list([1])
+        assert matches(PatternConstructor(self.cons, []), lst)
+        assert not matches(PatternConstructor(self.nil, []), lst)
+
+    def test_matches_wildcard_and_var(self):
+        lst = self.mod.make_list([1])
+        assert matches(PatternWildcard(), lst)
+        assert matches(PatternVar(var("x")), lst)
+
+    def test_bind_constructor_fields(self):
+        h, t = var("h"), var("t")
+        pattern = PatternConstructor(self.cons, [PatternVar(h), PatternVar(t)])
+        lst = self.mod.make_list([7, 8])
+        env = {}
+        bind(pattern, lst, env)
+        assert env[id(h)] == 7
+        assert self.mod.from_list(env[id(t)]) == [8]
+
+    def test_bind_tuple_pattern(self):
+        a, b = var("a"), var("b")
+        pattern = PatternTuple([PatternVar(a), PatternVar(b)])
+        env = {}
+        bind(pattern, (1, 2), env)
+        assert env[id(a)] == 1 and env[id(b)] == 2
+
+    def test_pattern_bound_vars_order(self):
+        h, t = var("h"), var("t")
+        pattern = PatternConstructor(self.cons, [PatternVar(h), PatternVar(t)])
+        assert pattern_bound_vars(pattern) == [h, t]
+
+    def test_constructor_pattern_arity_check(self):
+        with pytest.raises(ValueError):
+            PatternConstructor(self.cons, [PatternWildcard()])

@@ -1,0 +1,85 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    ADTType,
+    AnyType,
+    FuncType,
+    ListType,
+    ScalarType,
+    TensorType,
+    TupleType,
+    is_scalar,
+    is_tensor,
+)
+
+
+class TestTensorType:
+    def test_shape_is_normalized_to_int_tuple(self):
+        t = TensorType([1, 256])
+        assert t.shape == (1, 256)
+        assert all(isinstance(s, int) for s in t.shape)
+
+    def test_default_dtype(self):
+        assert TensorType((4,)).dtype == "float32"
+
+    def test_size_and_nbytes(self):
+        t = TensorType((2, 3, 4))
+        assert t.size == 24
+        assert t.nbytes == 96
+
+    def test_bool_nbytes_uses_one_byte(self):
+        assert TensorType((8,), "bool").nbytes == 8
+
+    def test_equality_is_structural(self):
+        assert TensorType((1, 4)) == TensorType((1, 4))
+        assert TensorType((1, 4)) != TensorType((1, 5))
+        assert TensorType((1, 4)) != TensorType((1, 4), "int32")
+
+    def test_hashable(self):
+        assert len({TensorType((1, 4)), TensorType((1, 4)), TensorType((2, 4))}) == 2
+
+    def test_str(self):
+        assert "256" in str(TensorType((1, 256)))
+
+
+class TestCompositeTypes:
+    def test_list_type_equality(self):
+        assert ListType(TensorType((1, 4))) == ListType(TensorType((1, 4)))
+        assert ListType(TensorType((1, 4))) != ListType(TensorType((1, 8)))
+
+    def test_tuple_type_fields(self):
+        t = TupleType([TensorType((1, 2)), ScalarType("int32")])
+        assert len(t.fields) == 2
+        assert t == TupleType([TensorType((1, 2)), ScalarType("int32")])
+
+    def test_func_type(self):
+        f = FuncType([TensorType((1, 2))], TensorType((1, 3)))
+        assert f.params == (TensorType((1, 2)),)
+        assert f.ret == TensorType((1, 3))
+
+    def test_adt_type_with_args(self):
+        a = ADTType("Tree", [TensorType((1, 2))])
+        assert a == ADTType("Tree", [TensorType((1, 2))])
+        assert a != ADTType("Tree")
+        assert "Tree" in str(a)
+
+    def test_cross_type_inequality(self):
+        assert TensorType((1,)) != ScalarType()
+        assert AnyType() != TensorType((1,))
+
+    def test_scalar_type(self):
+        assert ScalarType("bool") == ScalarType("bool")
+        assert ScalarType("bool") != ScalarType("int32")
+
+
+class TestPredicates:
+    def test_is_tensor(self):
+        assert is_tensor(TensorType((1,)))
+        assert not is_tensor(ScalarType())
+        assert not is_tensor(None)
+
+    def test_is_scalar(self):
+        assert is_scalar(ScalarType())
+        assert not is_scalar(TensorType((1,)))

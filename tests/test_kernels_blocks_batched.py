@@ -1,0 +1,239 @@
+"""Tests for static blocks, kernel fusion and batched execution, including
+property-based checks that batched execution matches the unbatched reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import (
+    BlockInput,
+    BlockKernel,
+    BlockOp,
+    StaticBlock,
+    fuse_block,
+    fused_kernel_name,
+    input_ref,
+    op_ref,
+    single_op_block,
+)
+
+
+def rnn_cell_block(shared_weights=True):
+    """sigmoid(bias + dense(x, w) + dense(h, u)) with two outputs."""
+    return StaticBlock(
+        block_id=0,
+        name="cell",
+        inputs=[
+            BlockInput(0, "x"),
+            BlockInput(1, "h"),
+            BlockInput(2, "w", shared=shared_weights),
+            BlockInput(3, "u", shared=shared_weights),
+            BlockInput(4, "b", shared=shared_weights),
+        ],
+        ops=[
+            BlockOp(0, "dense", [input_ref(0), input_ref(2)]),
+            BlockOp(1, "dense", [input_ref(1), input_ref(3)]),
+            BlockOp(2, "add", [op_ref(0), op_ref(1)]),
+            BlockOp(3, "bias_add", [op_ref(2), input_ref(4)]),
+            BlockOp(4, "sigmoid", [op_ref(3)]),
+            BlockOp(5, "tanh", [op_ref(3)]),
+        ],
+        outputs=[op_ref(4), op_ref(5)],
+    )
+
+
+class TestStaticBlock:
+    def test_validate_accepts_wellformed(self):
+        rnn_cell_block().validate()
+
+    def test_validate_rejects_forward_reference(self):
+        block = StaticBlock(
+            0, "bad", [BlockInput(0, "x")],
+            [BlockOp(0, "relu", [op_ref(1)]), BlockOp(1, "relu", [input_ref(0)])],
+            [op_ref(1)],
+        )
+        with pytest.raises(ValueError):
+            block.validate()
+
+    def test_validate_rejects_bad_input_index(self):
+        block = StaticBlock(
+            0, "bad", [BlockInput(0, "x")], [BlockOp(0, "relu", [input_ref(3)])], [op_ref(0)]
+        )
+        with pytest.raises(ValueError):
+            block.validate()
+
+    def test_consumers_and_output_flags(self):
+        block = rnn_cell_block()
+        consumers = block.consumers()
+        assert consumers[0] == [2] and consumers[3] == [4, 5]
+        assert block.op_is_output(4) and not block.op_is_output(2)
+
+    def test_shared_mask(self):
+        assert rnn_cell_block().shared_mask() == [False, False, True, True, True]
+
+    def test_single_op_block(self):
+        blk = single_op_block(3, "relu", 1)
+        blk.validate()
+        assert blk.num_outputs == 1 and blk.ops[0].op_name == "relu"
+
+
+class TestFusion:
+    def test_elementwise_ops_fuse_into_producer(self):
+        groups = fuse_block(rnn_cell_block())
+        assert len(groups) < 6  # strictly fewer kernels than operators
+
+    def test_fusion_disabled_gives_one_group_per_op(self):
+        groups = fuse_block(rnn_cell_block(), enable_standard=False, enable_horizontal=False)
+        assert len(groups) == 6
+        assert all(g.size == 1 for g in groups)
+
+    def test_groups_partition_all_ops(self):
+        block = rnn_cell_block()
+        groups = fuse_block(block)
+        covered = sorted(j for g in groups for j in g.op_indices)
+        assert covered == list(range(len(block.ops)))
+
+    def test_group_order_is_topological(self):
+        block = rnn_cell_block()
+        groups = fuse_block(block)
+        position = {}
+        for rank, g in enumerate(groups):
+            for j in g.op_indices:
+                position[j] = rank
+        for bop in block.ops:
+            for dep in bop.op_indices():
+                assert position[dep] <= position[bop.index]
+
+    def test_horizontal_fusion_merges_shared_arg_denses(self):
+        block = StaticBlock(
+            0, "gates",
+            [BlockInput(0, "x"), BlockInput(1, "w1", shared=True), BlockInput(2, "w2", shared=True)],
+            [
+                BlockOp(0, "dense", [input_ref(0), input_ref(1)]),
+                BlockOp(1, "dense", [input_ref(0), input_ref(2)]),
+            ],
+            [op_ref(0), op_ref(1)],
+        )
+        groups = fuse_block(block)
+        assert len(groups) == 1 and groups[0].horizontal
+
+    def test_fused_kernel_name(self):
+        block = rnn_cell_block()
+        groups = fuse_block(block, enable_standard=False, enable_horizontal=False)
+        assert fused_kernel_name(block, groups[0]) == "dense"
+
+
+class TestBatchedExecution:
+    def _args(self, batch, hidden=6, rng=None):
+        rng = rng or np.random.default_rng(0)
+        xs = [rng.standard_normal((1, hidden)).astype(np.float32) for _ in range(batch)]
+        hs = [rng.standard_normal((1, hidden)).astype(np.float32) for _ in range(batch)]
+        w = rng.standard_normal((hidden, hidden)).astype(np.float32)
+        u = rng.standard_normal((hidden, hidden)).astype(np.float32)
+        b = rng.standard_normal((1, hidden)).astype(np.float32)
+        return xs, hs, w, u, b
+
+    def test_batched_matches_unbatched_reference(self):
+        kernel = BlockKernel(rnn_cell_block())
+        xs, hs, w, u, b = self._args(5)
+        outs, _ = kernel.execute_batched([xs, hs, w, u, b], 5)
+        for i in range(5):
+            ref = kernel.execute_single([xs[i], hs[i], w, u, b])
+            np.testing.assert_allclose(outs[0][i], ref[0], atol=1e-5)
+            np.testing.assert_allclose(outs[1][i], ref[1], atol=1e-5)
+
+    def test_fusion_does_not_change_numerics(self):
+        xs, hs, w, u, b = self._args(4)
+        fused = BlockKernel(rnn_cell_block(), enable_fusion=True)
+        unfused = BlockKernel(rnn_cell_block(), enable_fusion=False, enable_horizontal_fusion=False)
+        out_f, _ = fused.execute_batched([xs, hs, w, u, b], 4)
+        out_u, _ = unfused.execute_batched([xs, hs, w, u, b], 4)
+        np.testing.assert_allclose(out_f[0][2], out_u[0][2], atol=1e-6)
+
+    def test_launch_records_count_matches_groups(self):
+        kernel = BlockKernel(rnn_cell_block(), enable_fusion=False, enable_horizontal_fusion=False)
+        xs, hs, w, u, b = self._args(3)
+        _, launches = kernel.execute_batched([xs, hs, w, u, b], 3)
+        assert len(launches) == kernel.num_launches == 6
+
+    def test_launch_records_account_scattered_bytes(self):
+        kernel = BlockKernel(rnn_cell_block())
+        xs, hs, w, u, b = self._args(3)
+        _, launches = kernel.execute_batched(
+            [xs, hs, w, u, b], 3, scattered_mask=[True, False, False, False, False]
+        )
+        assert sum(l.scattered_bytes for l in launches) > 0
+
+    def test_wrong_varying_length_raises(self):
+        kernel = BlockKernel(rnn_cell_block())
+        xs, hs, w, u, b = self._args(3)
+        with pytest.raises(ValueError):
+            kernel.execute_batched([xs[:2], hs, w, u, b], 3)
+
+    def test_shared_output_is_replicated(self):
+        block = single_op_block(0, "zeros", 0, attrs={"shape": (1, 4)})
+        kernel = BlockKernel(block)
+        outs, _ = kernel.execute_batched([], 3)
+        assert len(outs[0]) == 3
+        assert outs[0][0] is outs[0][1]  # same constant reused across the batch
+
+    def test_concat_with_shared_operand_broadcasts(self):
+        block = StaticBlock(
+            0, "cat",
+            [BlockInput(0, "x"), BlockInput(1, "e", shared=True)],
+            [BlockOp(0, "concat", [input_ref(0), input_ref(1)], {"axis": 1})],
+            [op_ref(0)],
+        )
+        kernel = BlockKernel(block)
+        xs = [np.ones((1, 2), np.float32) * i for i in range(3)]
+        e = np.zeros((1, 3), np.float32)
+        outs, _ = kernel.execute_batched([xs, e], 3)
+        assert outs[0][0].shape == (1, 5)
+
+    def test_axis_attrs_shift_for_batched_args(self):
+        block = single_op_block(0, "softmax", 1, attrs={"axis": 1})
+        kernel = BlockKernel(block)
+        xs = [np.random.default_rng(i).standard_normal((1, 4)).astype(np.float32) for i in range(3)]
+        outs, _ = kernel.execute_batched([xs], 3)
+        for i, x in enumerate(xs):
+            ref = kernel.execute_single([x])[0]
+            np.testing.assert_allclose(outs[0][i], ref, atol=1e-6)
+
+
+class TestBatchedProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(min_value=1, max_value=7),
+        hidden=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_batched_equals_reference_for_any_batch_and_width(self, batch, hidden, seed):
+        rng = np.random.default_rng(seed)
+        kernel = BlockKernel(rnn_cell_block())
+        xs, hs, w, u, b = (
+            [rng.standard_normal((1, hidden)).astype(np.float32) for _ in range(batch)],
+            [rng.standard_normal((1, hidden)).astype(np.float32) for _ in range(batch)],
+            rng.standard_normal((hidden, hidden)).astype(np.float32),
+            rng.standard_normal((hidden, hidden)).astype(np.float32),
+            rng.standard_normal((1, hidden)).astype(np.float32),
+        )
+        outs, _ = kernel.execute_batched([xs, hs, w, u, b], batch)
+        for i in range(batch):
+            ref = kernel.execute_single([xs[i], hs[i], w, u, b])
+            np.testing.assert_allclose(outs[0][i], ref[0], atol=1e-4)
+            np.testing.assert_allclose(outs[1][i], ref[1], atol=1e-4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        op_name=st.sampled_from(["relu", "sigmoid", "tanh", "exp", "neg"]),
+        batch=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_single_op_blocks_batch_correctly(self, op_name, batch, seed):
+        rng = np.random.default_rng(seed)
+        kernel = BlockKernel(single_op_block(0, op_name, 1))
+        xs = [rng.standard_normal((2, 3)).astype(np.float32) for _ in range(batch)]
+        outs, _ = kernel.execute_batched([xs], batch)
+        for i in range(batch):
+            np.testing.assert_allclose(outs[0][i], kernel.execute_single([xs[i]])[0], atol=1e-5)

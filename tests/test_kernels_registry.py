@@ -1,0 +1,179 @@
+"""Tests for the primitive operator registry (numerics and metadata)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import all_ops, get_op, has_op
+from repro.kernels.registry import OpDef, register
+
+
+class TestRegistryLookup:
+    def test_has_and_get(self):
+        assert has_op("dense")
+        assert get_op("dense").name == "dense"
+        assert not has_op("not_an_op")
+
+    def test_unknown_op_error_is_helpful(self):
+        with pytest.raises(KeyError, match="unknown operator"):
+            get_op("definitely_missing")
+
+    def test_all_ops_returns_copy(self):
+        ops = all_ops()
+        ops["fake"] = None
+        assert not has_op("fake")
+
+    def test_expected_operator_inventory(self):
+        expected = {
+            "dense", "matmul", "add", "sub", "mul", "scale", "sigmoid", "tanh",
+            "relu", "gelu", "softmax", "layer_norm", "argmax", "concat",
+            "reshape", "transpose", "full", "zeros", "item", "item_int",
+            "scalar_gt", "scalar_add", "mean", "sum", "bias_add",
+        }
+        assert expected <= set(all_ops())
+
+    def test_kinds(self):
+        assert get_op("dense").kind == "tensor"
+        assert get_op("scalar_gt").kind == "host"
+        assert get_op("item").kind == "sync"
+
+
+class TestOpNumerics:
+    def setup_method(self):
+        self.rng = np.random.default_rng(0)
+
+    def test_dense(self):
+        x = self.rng.standard_normal((1, 4)).astype(np.float32)
+        w = self.rng.standard_normal((4, 3)).astype(np.float32)
+        np.testing.assert_allclose(get_op("dense").compute(x, w), x @ w, rtol=1e-6)
+
+    def test_matmul_batched_semantics(self):
+        a = self.rng.standard_normal((2, 3, 4)).astype(np.float32)
+        b = self.rng.standard_normal((2, 4, 5)).astype(np.float32)
+        np.testing.assert_allclose(get_op("matmul").compute(a, b), a @ b, rtol=1e-6)
+
+    @pytest.mark.parametrize(
+        "name,fn",
+        [
+            ("add", lambda a, b: a + b),
+            ("sub", lambda a, b: a - b),
+            ("mul", lambda a, b: a * b),
+            ("scale", lambda a, b: a * b),
+            ("maximum", np.maximum),
+            ("minimum", np.minimum),
+        ],
+    )
+    def test_binary_elementwise(self, name, fn):
+        a = self.rng.standard_normal((2, 5)).astype(np.float32)
+        b = self.rng.standard_normal((2, 5)).astype(np.float32)
+        np.testing.assert_allclose(get_op(name).compute(a, b), fn(a, b), rtol=1e-6)
+
+    @pytest.mark.parametrize(
+        "name,fn",
+        [
+            ("relu", lambda a: np.maximum(a, 0)),
+            ("sigmoid", lambda a: 1 / (1 + np.exp(-a))),
+            ("tanh", np.tanh),
+            ("exp", np.exp),
+            ("neg", lambda a: -a),
+            ("sqrt", np.sqrt),
+        ],
+    )
+    def test_unary_elementwise(self, name, fn):
+        a = np.abs(self.rng.standard_normal((3, 4)).astype(np.float32)) + 0.1
+        np.testing.assert_allclose(get_op(name).compute(a), fn(a), rtol=1e-5)
+
+    def test_softmax_rows_sum_to_one(self):
+        x = self.rng.standard_normal((2, 6)).astype(np.float32)
+        out = get_op("softmax").compute(x, axis=-1)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(2), atol=1e-6)
+
+    def test_softmax_is_shift_invariant(self):
+        x = self.rng.standard_normal((1, 5)).astype(np.float32)
+        a = get_op("softmax").compute(x, axis=-1)
+        b = get_op("softmax").compute(x + 100.0, axis=-1)
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_layer_norm_zero_mean_unit_var(self):
+        x = self.rng.standard_normal((4, 8)).astype(np.float32)
+        out = get_op("layer_norm").compute(x, np.ones((1, 8), np.float32), np.zeros((1, 8), np.float32))
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(4), atol=1e-5)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(4), atol=1e-2)
+
+    def test_argmax(self):
+        x = np.array([[0.1, 0.9, 0.3]], dtype=np.float32)
+        assert get_op("argmax").compute(x, axis=-1)[0] == 1
+
+    def test_concat(self):
+        a = np.ones((1, 2), np.float32)
+        b = np.zeros((1, 3), np.float32)
+        assert get_op("concat").compute(a, b, axis=1).shape == (1, 5)
+
+    def test_reshape_transpose(self):
+        x = np.arange(12, dtype=np.float32).reshape(3, 4)
+        assert get_op("reshape").compute(x, newshape=(4, 3)).shape == (4, 3)
+        np.testing.assert_allclose(get_op("transpose").compute(x, axes=(1, 0)), x.T)
+
+    def test_full_and_zeros(self):
+        f = get_op("full").compute(shape=(2, 2), value=3.0)
+        np.testing.assert_allclose(f, np.full((2, 2), 3.0))
+        np.testing.assert_allclose(get_op("zeros").compute(shape=(1, 3)), np.zeros((1, 3)))
+
+    def test_item_and_item_int(self):
+        x = np.array([[2.5, 7.0]], dtype=np.float32)
+        assert get_op("item").compute(x, index=1) == pytest.approx(7.0)
+        assert get_op("item_int").compute(np.array([3], np.int32)) == 3
+
+    @pytest.mark.parametrize(
+        "name,a,b,expected",
+        [
+            ("scalar_gt", 2.0, 1.0, True),
+            ("scalar_lt", 2.0, 1.0, False),
+            ("scalar_ge", 1.0, 1.0, True),
+            ("scalar_eq", 3, 3, True),
+            ("scalar_and", True, False, False),
+            ("scalar_or", True, False, True),
+            ("scalar_add", 2, 3, 5),
+            ("scalar_sub", 2, 3, -1),
+            ("scalar_mul", 2, 3, 6),
+        ],
+    )
+    def test_host_scalar_ops(self, name, a, b, expected):
+        assert get_op(name).compute(a, b) == expected
+
+
+class TestShapeInferenceAndCost:
+    def test_dense_shape_and_flops(self):
+        od = get_op("dense")
+        assert od.infer_shape([(1, 8), (8, 16)], {}) == (1, 16)
+        assert od.estimate_flops([(1, 8), (8, 16)], {}) == pytest.approx(2 * 8 * 16)
+
+    def test_broadcast_shape(self):
+        assert get_op("add").infer_shape([(4, 1, 8), (1, 8)], {}) == (4, 1, 8)
+
+    def test_reduce_shape_keepdims(self):
+        assert get_op("mean").infer_shape([(4, 8)], {"axis": 1, "keepdims": True}) == (4, 1)
+        assert get_op("mean").infer_shape([(4, 8)], {"axis": 0}) == (8,)
+
+    def test_concat_shape(self):
+        assert get_op("concat").infer_shape([(1, 4), (1, 6)], {"axis": 1}) == (1, 10)
+
+    def test_matmul_flops_with_batch(self):
+        flops = get_op("matmul").estimate_flops([(2, 3, 4), (2, 4, 5)], {})
+        assert flops == pytest.approx(2 * 2 * 3 * 4 * 5)
+
+    def test_elementwise_flags(self):
+        assert get_op("add").is_elementwise
+        assert not get_op("dense").is_elementwise
+        assert get_op("reshape").is_injective
+
+    def test_register_overwrites(self):
+        original = get_op("relu")
+        try:
+            register(OpDef(name="relu", compute=lambda a, **k: a, infer_shape=lambda s, a: s[0]))
+            assert get_op("relu").compute is not original.compute
+        finally:
+            register(original)
+
+    def test_default_flops_falls_back_to_output_size(self):
+        od = OpDef(name="tmp", compute=lambda a, **k: a, infer_shape=lambda s, a: (2, 3))
+        assert od.estimate_flops([(2, 3)], {}) == 6.0

