@@ -10,6 +10,8 @@ Package map:
   kernels, auto-scheduling.
 * :mod:`repro.runtime` -- lazy DFGs, schedulers, batched executor, fibers,
   GPU simulator, profiler.
+* :mod:`repro.engine` -- the execution-engine layer: runtime orchestration,
+  the scheduler-policy registry, cross-request batching sessions.
 * :mod:`repro.compiler` -- options, AOT Python codegen, compiled-model driver.
 * :mod:`repro.vm` -- Relay-VM-style interpreter baseline + eager reference.
 * :mod:`repro.baselines` -- DyNet-style dynamic batching, eager (PyTorch-like)
@@ -44,4 +46,20 @@ def reference_run(*args, **kwargs):
     return _impl(*args, **kwargs)
 
 
-__all__ = ["CompilerOptions", "compile_model", "reference_run", "__version__"]
+def open_session(*args, **kwargs):
+    """Compile a model and open a cross-request batching session.
+
+    Lazy re-export of :func:`repro.core.api.open_session`.
+    """
+    from .core.api import open_session as _impl
+
+    return _impl(*args, **kwargs)
+
+
+__all__ = [
+    "CompilerOptions",
+    "compile_model",
+    "open_session",
+    "reference_run",
+    "__version__",
+]

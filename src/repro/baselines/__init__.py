@@ -5,7 +5,7 @@ from .cortex import CortexModel
 from .dynet import (
     DyNetImprovements,
     DyNetModel,
-    DyNetRuntime,
+    DyNetScheduler,
     compile_dynet,
     dynet_compiler_options,
     run_best_of_schedulers,
@@ -16,7 +16,7 @@ __all__ = [
     "CortexModel",
     "CORTEX_SUPPORTED_MODELS",
     "DyNetModel",
-    "DyNetRuntime",
+    "DyNetScheduler",
     "DyNetImprovements",
     "compile_dynet",
     "dynet_compiler_options",

@@ -26,7 +26,6 @@ still cannot exploit *instance* parallelism (no concurrent fibers).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
@@ -35,10 +34,15 @@ import numpy as np
 from ..compiler.driver import CompiledModel, compile_module
 from ..compiler.options import CompilerOptions
 from ..ir.module import IRModule
-from ..runtime.device import DeviceSimulator, GPUSpec
-from ..runtime.executor import AcrobatRuntime, ExecutionOptions
-from ..runtime.profiler import ActivityProfiler
-from ..runtime.scheduler import ScheduledBatch, agenda_schedule, dynamic_depth_schedule
+from ..kernels.batched import BlockKernel
+from ..runtime.device import GPUSpec
+from ..runtime.executor import ExecutionOptions
+from ..runtime.scheduler import (
+    ScheduledBatch,
+    agenda_schedule,
+    dfg_deps,
+    dynamic_depth_schedule,
+)
 from ..runtime.tensor import DFGNode, LazyTensor
 
 
@@ -79,23 +83,27 @@ _UNBATCHABLE_STOCK = {"argmax", "scale", "full", "zeros"}
 _FIRST_ARG_OPS = {"dense", "matmul"}
 
 
-class DyNetRuntime(AcrobatRuntime):
-    """Runtime variant implementing DyNet's runtime-only batching."""
+class DyNetScheduler:
+    """Scheduler policy implementing DyNet's runtime-only batching.
+
+    Registered in the engine's policy registry as ``"dynet"``; the former
+    ``DyNetRuntime`` subclass is gone — the stock
+    :class:`~repro.runtime.executor.AcrobatRuntime` drives this scheduler
+    like any other policy, so DyNet and ACROBAT share every line of the
+    execution machinery and differ only in where the schedule comes from.
+    """
 
     def __init__(
         self,
-        kernels,
-        options: ExecutionOptions,
-        device: DeviceSimulator,
-        profiler: ActivityProfiler,
-        improvements: DyNetImprovements,
-        scheduler_kind: str = "agenda",
+        kernels: Dict[int, BlockKernel],
+        improvements: Optional[DyNetImprovements] = None,
+        kind: str = "agenda",
     ) -> None:
-        super().__init__(kernels, options, device, profiler)
-        self.improvements = improvements
-        if scheduler_kind not in ("agenda", "depth"):
-            raise ValueError("scheduler_kind must be 'agenda' or 'depth'")
-        self.scheduler_kind = scheduler_kind
+        if kind not in ("agenda", "depth"):
+            raise ValueError("scheduler kind must be 'agenda' or 'depth'")
+        self.kernels = kernels
+        self.improvements = improvements or DyNetImprovements.stock()
+        self.kind = kind
 
     # -- DyNet batching signature ------------------------------------------------
     def _signature(self, node: DFGNode) -> Hashable:
@@ -121,31 +129,12 @@ class DyNetRuntime(AcrobatRuntime):
         return sig
 
     # -- scheduling ------------------------------------------------------------------
-    def trigger(self) -> None:  # type: ignore[override]
-        if not self._pending:
-            return
-        nodes = self._pending
-        self._pending = []
-
-        def deps(node: DFGNode) -> List[DFGNode]:
-            return [
-                a.node
-                for a in node.args
-                if isinstance(a, LazyTensor) and not a.is_materialized
-            ]
-
-        sched_start = time.perf_counter()
-        if self.scheduler_kind == "agenda":
-            raw_batches = agenda_schedule(nodes, deps, self._signature)
+    def schedule(self, nodes: Sequence[DFGNode]) -> List[ScheduledBatch]:
+        if self.kind == "agenda":
+            raw_batches = agenda_schedule(nodes, dfg_deps, self._signature)
         else:
-            raw_batches = dynamic_depth_schedule(nodes, deps, self._signature)
-        batches = [ScheduledBatch(block_id=b[0].block_id, nodes=b) for b in raw_batches]
-        self.profiler.add("scheduling", time.perf_counter() - sched_start)
-
-        for batch in batches:
-            self._execute_batch(batch)
-        self.num_batches_total += len(batches)
-        self.profiler.bump("num_batches", len(batches))
+            raw_batches = dynamic_depth_schedule(nodes, dfg_deps, self._signature)
+        return [ScheduledBatch(block_id=b[0].block_id, nodes=b) for b in raw_batches]
 
 
 @dataclass
@@ -155,26 +144,16 @@ class DyNetModel(CompiledModel):
     improvements: DyNetImprovements = field(default_factory=DyNetImprovements.stock)
     scheduler_kind: str = "agenda"
 
-    def make_runtime(self, device: Optional[DeviceSimulator] = None) -> AcrobatRuntime:
-        exec_options = ExecutionOptions(
+    def _exec_options(self, policy: Optional[str] = None) -> ExecutionOptions:
+        return ExecutionOptions(
             gather_fusion=False,        # DyNet performs explicit memory gathers
-            inline_depth=False,
+            scheduler=policy or "dynet",
             batch_memcpy=False,         # transfers are not coalesced
             validate=self.options.validate,
         )
-        device = device or DeviceSimulator(
-            spec=self.gpu_spec,
-            schedule_table=self.schedule_table,
-            default_schedule_quality=self.options.default_schedule_quality,
-        )
-        return DyNetRuntime(
-            self.kernels,
-            exec_options,
-            device,
-            ActivityProfiler(),
-            improvements=self.improvements,
-            scheduler_kind=self.scheduler_kind,
-        )
+
+    def _policy_args(self) -> Dict[str, Any]:
+        return {"improvements": self.improvements, "kind": self.scheduler_kind}
 
 
 def dynet_compiler_options(validate: bool = False) -> CompilerOptions:

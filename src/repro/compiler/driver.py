@@ -11,15 +11,16 @@
 6. batched-kernel construction (fusion + gather handling) for every static
    block (§5).
 
-The resulting :class:`CompiledModel` executes mini-batches and reports a
-host/device time breakdown per run.
+The resulting :class:`CompiledModel` is a thin adapter over the
+:class:`~repro.engine.engine.ExecutionEngine`: it supplies the generated
+program binding and per-instance argument assembly, and the engine owns
+runtime construction, fibers, and statistics.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,16 +28,44 @@ from ..analysis.duplication import specialize_functions
 from ..analysis.phases import infer_phases
 from ..analysis.structure import reachable_functions, uses_tensor_dependent_control_flow
 from ..analysis.taint import analyze_taint
+from ..engine.engine import ExecutionEngine, InstanceArgBinder, ProgramBinding
 from ..ir.expr import Function
 from ..ir.module import IRModule
 from ..kernels.batched import BlockKernel
 from ..runtime.device import DeviceSimulator, GPUSpec
 from ..runtime.executor import AcrobatRuntime, ExecutionOptions, RunStats
 from ..runtime.fibers import FiberScheduler
-from ..runtime.profiler import ActivityProfiler
-from ..runtime.tensor import materialize_value
 from .codegen import GeneratedProgram, PythonCodegen, py_func_name
 from .options import CompilerOptions
+
+
+class CompiledProgramBinding(ProgramBinding):
+    """Engine adapter for an AOT-generated program."""
+
+    def __init__(self, model: "CompiledModel") -> None:
+        self.model = model
+
+    @property
+    def uses_fibers(self) -> bool:
+        return self.model.program.tdc
+
+    def bind(
+        self, runtime: AcrobatRuntime, fibers: Optional[FiberScheduler]
+    ) -> Callable[[Any], Any]:
+        namespace = self.model.program.namespace
+        entry = namespace[py_func_name("main")]
+        binder = self.model.instance_binder
+
+        def run_instance(instance: Any) -> Any:
+            # the generated code reads __rt/__fibers from the program's
+            # (shared, module-level) namespace; rebinding on every call keeps
+            # a persistent session's cached entry correct even when other
+            # engines of the same model execute between submits
+            namespace["__rt"] = runtime
+            namespace["__fibers"] = fibers
+            return entry(*binder(instance), [0], 0)
+
+        return run_instance
 
 
 @dataclass
@@ -73,40 +102,68 @@ class CompiledModel:
         return names
 
     # -- execution ------------------------------------------------------------------
+    @property
+    def instance_binder(self) -> InstanceArgBinder:
+        """Argument assembly for one instance (engine-layer binder)."""
+        return InstanceArgBinder(
+            [p.name_hint for p in self.module.main.params], self.params
+        )
+
     def _instance_args(self, instance: Any) -> List[Any]:
         """Assemble the argument list of ``main`` for one instance."""
-        main = self.module.main
-        args: List[Any] = []
-        for p in main.params:
-            if p.name_hint in self.params:
-                args.append(self.params[p.name_hint])
-            else:
-                if isinstance(instance, Mapping):
-                    args.append(instance[p.name_hint])
-                elif len(self.instance_param_names) == 1:
-                    args.append(instance)
-                else:
-                    raise TypeError(
-                        f"instance input must be a mapping with keys "
-                        f"{self.instance_param_names}"
-                    )
-        return args
+        return self.instance_binder(instance)
 
-    def make_runtime(self, device: Optional[DeviceSimulator] = None) -> AcrobatRuntime:
-        """Create a fresh runtime bound to this model's kernels and options."""
+    def _exec_options(self, policy: Optional[str] = None) -> ExecutionOptions:
+        """Runtime-facing options derived from the compiler options."""
         opts = self.options
-        exec_options = ExecutionOptions(
+        return ExecutionOptions(
             gather_fusion=opts.gather_fusion,
-            inline_depth=opts.inline_depth,
+            scheduler=policy
+            or opts.scheduler
+            or ("inline_depth" if opts.inline_depth else "dynamic_depth"),
             batch_memcpy=opts.batch_memcpy,
             validate=opts.validate,
         )
-        device = device or DeviceSimulator(
-            spec=self.gpu_spec,
+
+    def _policy_args(self) -> Dict[str, Any]:
+        """Extra arguments passed to the scheduler-policy factory."""
+        return {}
+
+    def make_engine(
+        self,
+        device: Optional[DeviceSimulator] = None,
+        policy: Optional[str] = None,
+    ) -> ExecutionEngine:
+        """Create an execution engine bound to this model.
+
+        ``policy`` overrides the scheduler-policy name (a key of the engine's
+        scheduler registry); the default derives from the compiler options.
+        """
+        return ExecutionEngine(
+            program=CompiledProgramBinding(self),
+            kernels=self.kernels,
+            options=self._exec_options(policy),
+            policy_args=self._policy_args(),
+            device=device,
+            gpu_spec=self.gpu_spec,
             schedule_table=self.schedule_table,
-            default_schedule_quality=opts.default_schedule_quality,
+            default_schedule_quality=self.options.default_schedule_quality,
         )
-        return AcrobatRuntime(self.kernels, exec_options, device, ActivityProfiler())
+
+    def make_runtime(self, device: Optional[DeviceSimulator] = None) -> AcrobatRuntime:
+        """Create a fresh runtime bound to this model's kernels and options
+        (compatibility shim over :meth:`make_engine`)."""
+        return self.make_engine(device).runtime
+
+    def session(
+        self,
+        max_batch: Optional[int] = None,
+        device: Optional[DeviceSimulator] = None,
+        policy: Optional[str] = None,
+    ):
+        """Open a persistent :class:`~repro.engine.session.InferenceSession`
+        that batches across independently submitted requests."""
+        return self.make_engine(device, policy).session(max_batch=max_batch)
 
     def run(
         self,
@@ -131,44 +188,7 @@ class CompiledModel:
             Per-instance outputs (fully materialized NumPy / ADT values) and
             the host/device breakdown of the run.
         """
-        rt = self.make_runtime(device)
-        namespace = self.program.namespace
-        namespace["__rt"] = rt
-        entry = namespace[py_func_name("main")]
-
-        run_start = time.perf_counter()
-        sync_rounds = 0
-        raw_results: List[Any] = []
-
-        if not self.program.tdc:
-            for i, instance in enumerate(instances):
-                rt.current_instance = i
-                args = self._instance_args(instance)
-                raw_results.append(entry(*args, [0], 0))
-            rt.trigger()
-        else:
-            fibers = FiberScheduler(rt.trigger)
-            namespace["__fibers"] = fibers
-            roots = []
-            for i, instance in enumerate(instances):
-                rt.current_instance = i
-                args = self._instance_args(instance)
-                roots.append(entry(*args, [0], 0))
-            raw_results = fibers.run(roots)
-            rt.trigger()
-            sync_rounds = fibers.num_sync_rounds
-
-        rt.trigger()
-        outputs = [materialize_value(r) for r in raw_results]
-        total_s = time.perf_counter() - run_start
-
-        stats = rt.collect_stats(len(instances), sync_rounds)
-        accounted = (
-            stats.host_ms.get("scheduling", 0.0)
-            + stats.host_ms.get("dispatch", 0.0)
-            + rt.profiler.ms("numpy_compute")
-        )
-        stats.host_ms["dfg_construction"] = max(0.0, total_s * 1e3 - accounted)
+        outputs, stats = self.make_engine(device).run(instances)
         self.last_stats = stats
         return outputs, stats
 

@@ -44,6 +44,10 @@ class CompilerOptions:
     batch_memcpy: bool = True
     #: enable extra runtime consistency checks (tests)
     validate: bool = False
+    #: scheduler-policy name from the engine registry
+    #: (:mod:`repro.engine.registry`); None derives the policy from
+    #: ``inline_depth`` ("inline_depth" when set, else "dynamic_depth")
+    scheduler: Optional[str] = None
     #: default auto-scheduler quality assumed for kernels that were not
     #: explicitly auto-scheduled (see kernels.autoscheduler)
     default_schedule_quality: float = 0.9

@@ -4,6 +4,9 @@
   executable model.  With ``options.aot=False`` the returned object executes
   through the Relay-VM-style interpreter instead of AOT-generated code
   (Table 4's baseline); the ``run`` interface is identical.
+* :func:`open_session` — compile a model and open a persistent
+  :class:`~repro.engine.session.InferenceSession` that batches across
+  independently submitted requests (the serving path).
 * :func:`reference_run` — unbatched eager execution used as numerical ground
   truth.
 """
@@ -16,6 +19,7 @@ import numpy as np
 
 from ..compiler.driver import CompiledModel, compile_module
 from ..compiler.options import CompilerOptions
+from ..engine.session import InferenceSession
 from ..ir.module import IRModule
 from ..runtime.device import GPUSpec
 from ..vm.interpreter import VMModel, run_reference
@@ -54,6 +58,25 @@ def compile_model(
             gather_fusion=options.gather_fusion,
         )
     return compile_module(module, params, options, gpu_spec)
+
+
+def open_session(
+    module: IRModule,
+    params: Mapping[str, np.ndarray],
+    options: Optional[CompilerOptions] = None,
+    gpu_spec: Optional[GPUSpec] = None,
+    max_batch: Optional[int] = None,
+) -> InferenceSession:
+    """Compile ``module`` and open a cross-request batching session.
+
+    Requests enter via :meth:`~repro.engine.session.InferenceSession.submit`
+    and accumulate in the lazy DFG; execution happens when ``max_batch``
+    requests are pending or on an explicit
+    :meth:`~repro.engine.session.InferenceSession.flush`, batching across
+    the independently submitted requests.
+    """
+    model = compile_model(module, params, options, gpu_spec)
+    return model.session(max_batch=max_batch)
 
 
 def reference_run(

@@ -1,0 +1,34 @@
+"""Execution-engine layer: the bridge between front-ends and the runtime.
+
+Sits between the front-ends (AOT-compiled programs, the Relay-VM
+interpreter, the DyNet baseline) and :mod:`repro.runtime`:
+
+* :class:`ExecutionEngine` — owns runtime construction, device/profiler
+  wiring, instance-argument binding and statistics assembly;
+* the scheduler-policy registry — string-keyed scheduling strategies
+  (``inline_depth``, ``dynamic_depth``, ``agenda``, ``nobatch``,
+  ``dynet``), extensible via :func:`register_scheduler`;
+* :class:`InferenceSession` — a persistent session batching across
+  independently submitted requests (the serving path).
+"""
+
+from .engine import ExecutionEngine, InstanceArgBinder, ProgramBinding
+from .registry import (
+    available_policies,
+    make_scheduler,
+    register_scheduler,
+    unregister_scheduler,
+)
+from .session import InferenceRequest, InferenceSession
+
+__all__ = [
+    "ExecutionEngine",
+    "InstanceArgBinder",
+    "ProgramBinding",
+    "InferenceRequest",
+    "InferenceSession",
+    "available_policies",
+    "make_scheduler",
+    "register_scheduler",
+    "unregister_scheduler",
+]

@@ -1,0 +1,194 @@
+"""The unified execution engine.
+
+Every front-end — the AOT-compiled program, the Relay-VM-style interpreter
+and the DyNet baseline — used to hand-build an
+:class:`~repro.runtime.executor.AcrobatRuntime`, bind per-instance
+arguments, drive fibers and assemble :class:`~repro.runtime.executor.RunStats`
+on its own.  :class:`ExecutionEngine` owns that machinery once:
+
+* runtime construction (device simulator wiring, profiler, scheduler-policy
+  resolution through :mod:`repro.engine.registry`);
+* the per-instance execution loop, including the fiber scheduler for
+  programs with tensor-dependent control flow;
+* statistics assembly (wall-clock DFG-construction accounting).
+
+Front-ends supply a :class:`ProgramBinding` that knows how to wire a runtime
+into the program and return a per-instance entry callable; they shrink to
+thin adapters.  :meth:`ExecutionEngine.session` opens a persistent
+:class:`~repro.engine.session.InferenceSession` that batches *across*
+independently submitted requests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..runtime.device import DeviceSimulator, GPUSpec
+from ..runtime.executor import AcrobatRuntime, ExecutionOptions, RunStats
+from ..runtime.fibers import FiberScheduler
+from ..runtime.profiler import ActivityProfiler
+from ..runtime.tensor import materialize_value
+from ..utils import ensure_recursion_limit
+from .registry import make_scheduler
+
+
+class ProgramBinding:
+    """Adapter between a front-end program and the engine.
+
+    ``bind`` wires ``runtime`` (and, for programs with tensor-dependent
+    control flow, the fiber scheduler) into the program and returns the
+    per-instance entry: a callable taking one instance and returning either
+    the instance's (lazy) result or, when ``uses_fibers`` is true, a root
+    generator for the fiber scheduler.
+    """
+
+    #: whether the program must run on interleaved fibers (§4.2)
+    uses_fibers: bool = False
+
+    def bind(
+        self, runtime: AcrobatRuntime, fibers: Optional[FiberScheduler]
+    ) -> Callable[[Any], Any]:
+        raise NotImplementedError
+
+
+class InstanceArgBinder:
+    """Assembles the argument list of ``main`` for one instance.
+
+    Bound (weight) parameters come from ``params``; every remaining ``main``
+    parameter is a per-instance input taken from the instance mapping (or
+    from the bare instance value when there is exactly one such input).
+    Replaces the ``_instance_args`` copies the front-ends used to carry.
+    """
+
+    def __init__(self, main_param_names: Sequence[str], params: Mapping[str, Any]) -> None:
+        self.main_param_names = list(main_param_names)
+        self.params = params
+        self.instance_param_names = [n for n in self.main_param_names if n not in params]
+
+    def __call__(self, instance: Any) -> List[Any]:
+        args: List[Any] = []
+        for name in self.main_param_names:
+            if name in self.params:
+                args.append(self.params[name])
+            elif isinstance(instance, Mapping):
+                args.append(instance[name])
+            elif len(self.instance_param_names) == 1:
+                args.append(instance)
+            else:
+                raise TypeError(
+                    f"instance input must be a mapping with keys "
+                    f"{self.instance_param_names}"
+                )
+        return args
+
+
+class ExecutionEngine:
+    """Owns one runtime and executes a program's instances through it."""
+
+    def __init__(
+        self,
+        program: ProgramBinding,
+        kernels: Dict[int, Any],
+        options: Optional[ExecutionOptions] = None,
+        *,
+        policy: Optional[str] = None,
+        policy_args: Optional[Dict[str, Any]] = None,
+        device: Optional[DeviceSimulator] = None,
+        gpu_spec: Optional[GPUSpec] = None,
+        schedule_table: Optional[Dict[str, float]] = None,
+        default_schedule_quality: float = 0.9,
+        profiler: Optional[ActivityProfiler] = None,
+    ) -> None:
+        self.program = program
+        self.kernels = kernels
+        options = options or ExecutionOptions()
+        if policy is not None:
+            options = replace(options, scheduler=policy)
+        self.options = options
+        self.device = device or DeviceSimulator(
+            spec=gpu_spec,
+            schedule_table=schedule_table,
+            default_schedule_quality=default_schedule_quality,
+        )
+        scheduler = make_scheduler(
+            options.scheduler,
+            kernels=kernels,
+            options=options,
+            **(policy_args or {}),
+        )
+        self.runtime = AcrobatRuntime(
+            kernels, options, self.device, profiler or ActivityProfiler(), scheduler
+        )
+        # deep model recursion (trees, long sequences) needs a high recursion
+        # limit; raised once here rather than on every call
+        ensure_recursion_limit()
+        self.last_stats: Optional[RunStats] = None
+
+    @property
+    def policy(self) -> str:
+        """Name of the scheduler policy this engine runs."""
+        return self.options.scheduler
+
+    # -- batch execution -------------------------------------------------------
+    def run(self, instances: Sequence[Any]) -> Tuple[List[Any], RunStats]:
+        """Execute one mini-batch through the engine's runtime.
+
+        Returns per-instance outputs (fully materialized) and the host/device
+        breakdown of the run.  The runtime is reset first, so engines can be
+        reused across runs.
+        """
+        rt = self.runtime
+        rt.reset()
+
+        run_start = time.perf_counter()
+        fibers = FiberScheduler(rt.trigger) if self.program.uses_fibers else None
+        entry = self.program.bind(rt, fibers)
+
+        raw_results: List[Any] = []
+        if fibers is None:
+            for i, instance in enumerate(instances):
+                rt.current_instance = i
+                raw_results.append(entry(instance))
+        else:
+            roots = []
+            for i, instance in enumerate(instances):
+                rt.current_instance = i
+                roots.append(entry(instance))
+            raw_results = fibers.run(roots)
+        rt.trigger()
+
+        outputs = [materialize_value(r) for r in raw_results]
+        total_s = time.perf_counter() - run_start
+
+        stats = self.collect_stats(len(instances), total_s)
+        self.last_stats = stats
+        return outputs, stats
+
+    # -- statistics ------------------------------------------------------------
+    def collect_stats(self, batch_size: int, wall_s: float) -> RunStats:
+        """Snapshot runtime counters into a :class:`RunStats`.
+
+        Host time not attributed to scheduling, dispatch or kernel compute is
+        charged to DFG construction (graph building is interleaved with the
+        front-end's own program execution, so it is measured as the
+        remainder of the wall-clock time).
+        """
+        rt = self.runtime
+        stats = rt.collect_stats(batch_size)
+        accounted = (
+            stats.host_ms.get("scheduling", 0.0)
+            + stats.host_ms.get("dispatch", 0.0)
+            + rt.profiler.ms("numpy_compute")
+        )
+        stats.host_ms["dfg_construction"] = max(0.0, wall_s * 1e3 - accounted)
+        return stats
+
+    # -- sessions --------------------------------------------------------------
+    def session(self, max_batch: Optional[int] = None):
+        """Open a persistent :class:`~repro.engine.session.InferenceSession`
+        that batches across independently submitted requests."""
+        from .session import InferenceSession
+
+        return InferenceSession(self, max_batch=max_batch)

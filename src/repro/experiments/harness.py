@@ -21,7 +21,7 @@ crossovers are.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -98,26 +98,61 @@ def raw_inputs_for_cortex(model_name: str, size, batch_size: int, seed: int = 0)
 # ---------------------------------------------------------------------------
 
 
+def _best_stats(run_once: Callable[[], RunStats], repeats: Optional[int] = None) -> RunStats:
+    """Measure ``run_once`` up to ``repeats`` times and keep the
+    lowest-latency result.
+
+    Host time is real wall-clock time, so on a busy machine a one-off
+    scheduler preemption can inflate a single measurement several-fold;
+    best-of-N is the standard benchmark hygiene against that.  ``repeats``
+    defaults to the ``REPRO_BEST_OF`` environment variable (itself defaulting
+    to 1, i.e. single-run).
+    """
+    n = repeats if repeats is not None else int(os.environ.get("REPRO_BEST_OF", "1"))
+    best: Optional[RunStats] = None
+    for _ in range(max(1, n)):
+        stats = run_once()
+        if best is None or stats.latency_ms < best.latency_ms:
+            best = stats
+    return best
+
+
 def run_acrobat(
     model_name: str,
     size_name: str,
     batch_size: int,
     options: Optional[CompilerOptions] = None,
     seed: int = 0,
+    scheduler: Optional[str] = None,
+    repeats: Optional[int] = None,
+) -> RunStats:
+    """Run the ACROBAT backend.
+
+    ``scheduler`` selects the runtime scheduling policy by registry name
+    (e.g. ``"inline_depth"``, ``"dynamic_depth"``, ``"agenda"``,
+    ``"nobatch"``); the default derives from the compiler options.
+    ``repeats`` takes the best of N measurements (see :func:`_best_stats`).
+    """
+    mod, params, size = build_model(model_name, size_name, seed)
+    instances = make_instances(model_name, mod, size, batch_size, seed)
+    opts = options or CompilerOptions()
+    if scheduler is not None:
+        opts = replace(opts, scheduler=scheduler)
+    compiled = compile_model(mod, params, opts)
+    return _best_stats(lambda: compiled.run(instances)[1], repeats)
+
+
+def run_vm(
+    model_name: str,
+    size_name: str,
+    batch_size: int,
+    seed: int = 0,
+    repeats: Optional[int] = None,
 ) -> RunStats:
     mod, params, size = build_model(model_name, size_name, seed)
     instances = make_instances(model_name, mod, size, batch_size, seed)
-    compiled = compile_model(mod, params, options or CompilerOptions())
-    _, stats = compiled.run(instances)
-    return stats
-
-
-def run_vm(model_name: str, size_name: str, batch_size: int, seed: int = 0) -> RunStats:
-    mod, params, size = build_model(model_name, size_name, seed)
-    instances = make_instances(model_name, mod, size, batch_size, seed)
     vm = compile_model(mod, params, CompilerOptions(aot=False))
-    _, stats = vm.run(instances)
-    return stats
+    return _best_stats(lambda: vm.run(instances)[1], repeats)
 
 
 def run_dynet(
@@ -127,6 +162,7 @@ def run_dynet(
     improvements: Optional[DyNetImprovements] = None,
     best_of_schedulers: bool = True,
     seed: int = 0,
+    repeats: Optional[int] = None,
 ) -> RunStats:
     mod, params, size = build_model(model_name, size_name, seed)
     instances = make_instances(model_name, mod, size, batch_size, seed)
@@ -134,26 +170,36 @@ def run_dynet(
     kinds = ("depth", "agenda") if best_of_schedulers else ("agenda",)
     for kind in kinds:
         model = compile_dynet(mod, params, improvements, scheduler_kind=kind)
-        _, stats = model.run(instances)
+        stats = _best_stats(lambda: model.run(instances)[1], repeats)
         if best is None or stats.latency_ms < best.latency_ms:
             best = stats
     return best
 
 
-def run_eager(model_name: str, size_name: str, batch_size: int, seed: int = 0) -> RunStats:
+def run_eager(
+    model_name: str,
+    size_name: str,
+    batch_size: int,
+    seed: int = 0,
+    repeats: Optional[int] = None,
+) -> RunStats:
     mod, params, size = build_model(model_name, size_name, seed)
     instances = make_instances(model_name, mod, size, batch_size, seed)
     model = compile_eager(mod, params)
-    _, stats = model.run(instances)
-    return stats
+    return _best_stats(lambda: model.run(instances)[1], repeats)
 
 
-def run_cortex(model_name: str, size_name: str, batch_size: int, seed: int = 0) -> RunStats:
+def run_cortex(
+    model_name: str,
+    size_name: str,
+    batch_size: int,
+    seed: int = 0,
+    repeats: Optional[int] = None,
+) -> RunStats:
     _, params, size = build_model(model_name, size_name, seed)
     raw = raw_inputs_for_cortex(model_name, size, batch_size, seed)
     model = CortexModel(model_name, params)
-    _, stats = model.run(raw)
-    return stats
+    return _best_stats(lambda: model.run(raw)[1], repeats)
 
 
 # ---------------------------------------------------------------------------

@@ -6,8 +6,10 @@ from .executor import AcrobatRuntime, ExecutionOptions, RunStats
 from .fibers import FiberHandle, FiberScheduler, FiberYield, run_sequential
 from .profiler import ActivityProfiler
 from .scheduler import (
+    AgendaScheduler,
     DynamicDepthScheduler,
     InlineDepthScheduler,
+    NoBatchScheduler,
     ScheduledBatch,
     agenda_schedule,
     dynamic_depth_schedule,
@@ -28,6 +30,8 @@ __all__ = [
     "run_sequential",
     "InlineDepthScheduler",
     "DynamicDepthScheduler",
+    "AgendaScheduler",
+    "NoBatchScheduler",
     "ScheduledBatch",
     "agenda_schedule",
     "dynamic_depth_schedule",

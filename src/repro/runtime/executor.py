@@ -23,7 +23,7 @@ import numpy as np
 from ..kernels.batched import BlockKernel
 from .device import DeviceSimulator
 from .profiler import ActivityProfiler
-from .scheduler import DynamicDepthScheduler, InlineDepthScheduler, ScheduledBatch
+from .scheduler import ScheduledBatch
 from .tensor import DFGNode, LazyTensor, new_storage_region
 
 
@@ -35,9 +35,11 @@ class ExecutionOptions:
     #: operands are first copied into contiguous buffers by explicit gather
     #: kernels, as DyNet does
     gather_fusion: bool = True
-    #: schedule using the statically computed (phase, depth) pairs; when off
-    #: the runtime recomputes depths by traversing the DFG
-    inline_depth: bool = True
+    #: scheduler-policy name, resolved through the registry in
+    #: :mod:`repro.engine.registry` ("inline_depth" schedules by the
+    #: statically computed (phase, depth) pairs; "dynamic_depth" recomputes
+    #: depths by traversing the DFG at runtime)
+    scheduler: str = "inline_depth"
     #: coalesce host->device parameter/input transfers
     batch_memcpy: bool = True
     #: extra consistency checks (shared-argument equality, dependency order)
@@ -111,12 +113,23 @@ class AcrobatRuntime:
         self.device = device or DeviceSimulator()
         self.profiler = profiler or ActivityProfiler()
         self._pending: List[DFGNode] = []
-        self._scheduler = scheduler or (
-            InlineDepthScheduler() if self.options.inline_depth else DynamicDepthScheduler()
-        )
+        if scheduler is None:
+            # resolved through the engine-layer policy registry so that even
+            # directly constructed runtimes select schedulers by name; this
+            # fallback cannot forward policy-specific arguments (improvements,
+            # kind, ...) — parameterized policies must be resolved by the
+            # ExecutionEngine, which passes policy_args and hands the
+            # scheduler instance in here
+            from ..engine.registry import make_scheduler
+
+            scheduler = make_scheduler(
+                self.options.scheduler, kernels=kernels, options=self.options
+            )
+        self._scheduler = scheduler
         self.current_instance = 0
         self.num_nodes_total = 0
         self.num_batches_total = 0
+        self.sync_rounds = 0
 
     # -- API called by generated code / VM ------------------------------------
     def invoke(self, block_id: int, depth: int, phase: int, args: Sequence[Any]) -> Any:
@@ -155,11 +168,17 @@ class AcrobatRuntime:
 
     # -- execution -------------------------------------------------------------
     def trigger(self) -> None:
-        """Schedule and execute all pending DFG nodes."""
+        """Schedule and execute all pending DFG nodes.
+
+        Every non-empty trigger is one synchronization round (a DFG flush);
+        the count is reported in :attr:`RunStats.sync_rounds`, so callers no
+        longer thread fiber-round counts through :meth:`collect_stats`.
+        """
         if not self._pending:
             return
         nodes = self._pending
         self._pending = []
+        self.sync_rounds += 1
 
         sched_start = time.perf_counter()
         batches = self._scheduler.schedule(nodes)
@@ -248,8 +267,11 @@ class AcrobatRuntime:
         self.profiler.add("dispatch", time.perf_counter() - store_start)
 
     # -- bookkeeping -------------------------------------------------------------
-    def collect_stats(self, batch_size: int, sync_rounds: int = 0) -> RunStats:
-        """Snapshot the profiler and device counters into a :class:`RunStats`."""
+    def collect_stats(self, batch_size: int) -> RunStats:
+        """Snapshot the profiler and device counters into a :class:`RunStats`.
+
+        Synchronization rounds are accounted by :meth:`trigger` itself.
+        """
         host_ms = {
             "dfg_construction": self.profiler.ms("dfg_construction"),
             "scheduling": self.profiler.ms("scheduling"),
@@ -261,7 +283,7 @@ class AcrobatRuntime:
             num_dfg_nodes=self.num_nodes_total,
             num_batches=self.num_batches_total,
             batch_size=batch_size,
-            sync_rounds=sync_rounds,
+            sync_rounds=self.sync_rounds,
         )
 
     def reset(self) -> None:
@@ -270,6 +292,7 @@ class AcrobatRuntime:
         self.current_instance = 0
         self.num_nodes_total = 0
         self.num_batches_total = 0
+        self.sync_rounds = 0
         self.profiler.reset()
         self.device.reset()
         self.device.reset_residency()

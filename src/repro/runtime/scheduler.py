@@ -41,6 +41,17 @@ class ScheduledBatch:
         return len(self.nodes)
 
 
+def dfg_deps(node: DFGNode) -> List[DFGNode]:
+    """Pending producers of a DFG node: the nodes behind its not-yet
+    materialized lazy-tensor arguments.  Shared by every runtime-analysis
+    scheduler so 'ready' means the same thing under all policies."""
+    return [
+        a.node
+        for a in node.args
+        if isinstance(a, LazyTensor) and not a.is_materialized
+    ]
+
+
 class InlineDepthScheduler:
     """ACROBAT's scheduler: bucket by the statically computed (phase, depth)."""
 
@@ -71,7 +82,7 @@ class DynamicDepthScheduler:
             cached = depth.get(n.node_id)
             if cached is not None:
                 return cached
-            producers = [a.node for a in n.args if isinstance(a, LazyTensor) and not a.is_materialized]
+            producers = dfg_deps(n)
             d = 0 if not producers else 1 + max(node_depth(p) for p in producers)
             depth[n.node_id] = d
             return d
@@ -86,6 +97,20 @@ class DynamicDepthScheduler:
             buckets[key].append(node)
         keys = sorted(buckets, key=lambda k: (k[0], order[k]))
         return [ScheduledBatch(block_id=k[1], nodes=buckets[k]) for k in keys]
+
+
+class AgendaScheduler:
+    """Agenda-based scheduling over DFG nodes (Neubig et al. 2017b).
+
+    Batches by block signature among the currently-ready nodes, picking the
+    signature with the lowest average depth first.  This is DyNet's
+    alternative scheduling scheme running on ACROBAT's coarsened DFG; the
+    dependency analysis happens at runtime, so its cost is real host time.
+    """
+
+    def schedule(self, nodes: Sequence[DFGNode]) -> List[ScheduledBatch]:
+        raw = agenda_schedule(nodes, dfg_deps, lambda n: n.block_id)
+        return [ScheduledBatch(block_id=b[0].block_id, nodes=b) for b in raw]
 
 
 class NoBatchScheduler:

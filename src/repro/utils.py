@@ -2,11 +2,29 @@
 
 from __future__ import annotations
 
+import sys
 from typing import Any
 
 import numpy as np
 
 from .ir.adt import ADTValue
+
+#: recursion depth needed by deeply recursive models (trees, long sequences)
+RECURSION_LIMIT_FLOOR = 20000
+
+
+def ensure_recursion_limit(limit: int = RECURSION_LIMIT_FLOOR) -> int:
+    """Raise the interpreter recursion limit to at least ``limit``.
+
+    Only ever raises: a limit the user already set higher is left untouched.
+    Called once at engine/interpreter construction rather than on every run.
+    Returns the limit in effect afterwards.
+    """
+    current = sys.getrecursionlimit()
+    if current < limit:
+        sys.setrecursionlimit(limit)
+        return limit
+    return current
 
 
 def values_allclose(a: Any, b: Any, atol: float = 1e-4, rtol: float = 1e-4) -> bool:

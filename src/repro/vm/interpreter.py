@@ -15,13 +15,12 @@ Two execution modes over the same tree-walking evaluator:
 
 from __future__ import annotations
 
-import sys
-import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine.engine import ExecutionEngine, InstanceArgBinder, ProgramBinding
 from ..ir.adt import ADTValue, bind, matches, pattern_bound_vars
 from ..ir.expr import (
     Call,
@@ -44,8 +43,9 @@ from ..kernels.block import single_op_block
 from ..kernels.registry import get_op
 from ..runtime.device import DeviceSimulator, GPUSpec
 from ..runtime.executor import AcrobatRuntime, ExecutionOptions, RunStats
-from ..runtime.profiler import ActivityProfiler
+from ..runtime.fibers import FiberScheduler
 from ..runtime.tensor import LazyTensor, materialize_value
+from ..utils import ensure_recursion_limit
 
 
 class _Closure:
@@ -74,12 +74,15 @@ class Interpreter:
         self.runtime = runtime
         #: lazily created single-operator blocks, keyed by operator signature
         self._op_blocks: Dict[Tuple, int] = {}
+        # deep recursion support: raised once at construction, never lowering
+        # a limit the user already raised (the engine does the same for the
+        # compiled path)
+        ensure_recursion_limit()
 
     # -- public ------------------------------------------------------------------
     def run_main(self, args: Sequence[Any]) -> Any:
         main = self.module.main
         env = {id(p): a for p, a in zip(main.params, args)}
-        sys.setrecursionlimit(max(sys.getrecursionlimit(), 20000))
         return self._eval(main.body, env)
 
     # -- evaluation -----------------------------------------------------------------
@@ -192,12 +195,30 @@ class Interpreter:
         return result
 
 
+class VMProgramBinding(ProgramBinding):
+    """Engine adapter interpreting the unbatched program per instance."""
+
+    uses_fibers = False
+
+    def __init__(self, model: "VMModel") -> None:
+        self.model = model
+
+    def bind(
+        self, runtime: AcrobatRuntime, fibers: Optional[FiberScheduler]
+    ) -> Callable[[Any], Any]:
+        interp = Interpreter(self.model.module, mode="lazy", runtime=runtime)
+        binder = self.model.instance_binder
+
+        return lambda instance: interp.run_main(binder(instance))
+
+
 @dataclass
 class VMModel:
     """Relay-VM-style execution of a model (Table 4 baseline).
 
     Mirrors the :class:`~repro.compiler.driver.CompiledModel` interface so the
-    experiment harness can swap backends.
+    experiment harness can swap backends; execution goes through the shared
+    :class:`~repro.engine.engine.ExecutionEngine`.
     """
 
     module: IRModule
@@ -209,52 +230,49 @@ class VMModel:
     batching: bool = True
     last_stats: Optional[RunStats] = None
 
+    @property
+    def instance_binder(self) -> InstanceArgBinder:
+        return InstanceArgBinder(
+            [p.name_hint for p in self.module.main.params], self.params
+        )
+
     def _instance_args(self, instance: Any) -> List[Any]:
-        main = self.module.main
-        args: List[Any] = []
-        instance_names = [p.name_hint for p in main.params if p.name_hint not in self.params]
-        for p in main.params:
-            if p.name_hint in self.params:
-                args.append(self.params[p.name_hint])
-            elif isinstance(instance, Mapping):
-                args.append(instance[p.name_hint])
-            elif len(instance_names) == 1:
-                args.append(instance)
-            else:
-                raise TypeError(f"instance input must be a mapping with keys {instance_names}")
-        return args
+        return self.instance_binder(instance)
+
+    def make_engine(
+        self,
+        device: Optional[DeviceSimulator] = None,
+        policy: Optional[str] = None,
+    ) -> ExecutionEngine:
+        """Engine interpreting the program with runtime-only batching.
+
+        Kernels start empty: the interpreter creates single-operator blocks
+        on demand and installs them into the engine's runtime.
+        """
+        return ExecutionEngine(
+            program=VMProgramBinding(self),
+            kernels={},
+            options=ExecutionOptions(
+                gather_fusion=self.gather_fusion,
+                scheduler=policy or ("dynamic_depth" if self.batching else "nobatch"),
+            ),
+            device=device,
+            gpu_spec=self.gpu_spec,
+        )
+
+    def session(
+        self,
+        max_batch: Optional[int] = None,
+        device: Optional[DeviceSimulator] = None,
+        policy: Optional[str] = None,
+    ):
+        """Open a cross-request batching session over the interpreter."""
+        return self.make_engine(device, policy).session(max_batch=max_batch)
 
     def run(
         self, instances: Sequence[Any], device: Optional[DeviceSimulator] = None
     ) -> Tuple[List[Any], RunStats]:
-        from ..runtime.scheduler import NoBatchScheduler
-
-        device = device or DeviceSimulator(spec=self.gpu_spec)
-        rt = AcrobatRuntime(
-            kernels={},
-            options=ExecutionOptions(gather_fusion=self.gather_fusion, inline_depth=False),
-            device=device,
-            profiler=ActivityProfiler(),
-            scheduler=None if self.batching else NoBatchScheduler(),
-        )
-        interp = Interpreter(self.module, mode="lazy", runtime=rt)
-
-        start = time.perf_counter()
-        raw: List[Any] = []
-        for i, instance in enumerate(instances):
-            rt.current_instance = i
-            raw.append(interp.run_main(self._instance_args(instance)))
-        rt.trigger()
-        outputs = [materialize_value(r) for r in raw]
-        total_s = time.perf_counter() - start
-
-        stats = rt.collect_stats(len(instances))
-        accounted = (
-            stats.host_ms.get("scheduling", 0.0)
-            + stats.host_ms.get("dispatch", 0.0)
-            + rt.profiler.ms("numpy_compute")
-        )
-        stats.host_ms["dfg_construction"] = max(0.0, total_s * 1e3 - accounted)
+        outputs, stats = self.make_engine(device).run(instances)
         self.last_stats = stats
         return outputs, stats
 
