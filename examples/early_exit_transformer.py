@@ -11,7 +11,6 @@ Run with::
     python examples/early_exit_transformer.py
 """
 
-import numpy as np
 
 from repro import CompilerOptions, compile_model, reference_run
 from repro.baselines import compile_eager

@@ -12,7 +12,6 @@ Run with::
     python examples/sentiment_treelstm.py
 """
 
-import numpy as np
 
 from repro import CompilerOptions, compile_model, reference_run
 from repro.baselines import DyNetImprovements, compile_dynet, compile_eager

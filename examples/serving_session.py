@@ -40,6 +40,15 @@ def main() -> None:
     print(f"launch reduction         : {solo_launches / stats.kernel_calls:.1f}x")
     print(f"session latency (ms)     : {stats.latency_ms:.2f}")
 
+    # host-side time per phase, including the memory layer's buckets
+    # (memory_planning: contiguity classification + arena placement;
+    #  materialize: committing launch outputs into storage arenas)
+    print("host time per phase:")
+    for phase in ("dfg_construction", "scheduling", "memory_planning", "dispatch", "materialize"):
+        print(f"  {phase:<16} : {stats.host_ms.get(phase, 0.0):7.3f} ms")
+    ops = ", ".join(f"{k}={v}" for k, v in sorted(stats.memory.items()) if v)
+    print(f"planned operands         : {ops}")
+
 
 if __name__ == "__main__":
     main()

@@ -10,6 +10,8 @@ Package map:
   kernels, auto-scheduling.
 * :mod:`repro.runtime` -- lazy DFGs, schedulers, batched executor, fibers,
   GPU simulator, profiler.
+* :mod:`repro.memory` -- arena-backed batched tensor storage and the
+  ahead-of-execution memory planner (contiguity / gather classification).
 * :mod:`repro.engine` -- the execution-engine layer: runtime orchestration,
   the scheduler-policy registry, cross-request batching sessions.
 * :mod:`repro.compiler` -- options, AOT Python codegen, compiled-model driver.

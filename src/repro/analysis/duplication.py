@@ -16,9 +16,9 @@ get distinct transitive copies (suffix ``$k``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
-from ..ir.expr import Call, Expr, Function, GlobalVar, Let, Var
+from ..ir.expr import Call, Expr, Function, GlobalVar, Var
 from ..ir.module import IRModule, PRELUDE_FUNCTIONS
 from ..ir.visitor import ExprMutator, collect
 from .structure import reachable_functions

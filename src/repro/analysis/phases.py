@@ -20,11 +20,11 @@ calls with ``phase_boundary`` (see :func:`repro.ir.builder.phase_boundary`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Tuple
 
-from ..ir.expr import Call, Expr, Function, GlobalVar, Let, Var
-from ..ir.module import IRModule, PRELUDE_FUNCTIONS
-from ..ir.visitor import collect, free_vars
+from ..ir.expr import Call, Expr, GlobalVar, Let, Var
+from ..ir.module import IRModule
+from ..ir.visitor import free_vars
 
 
 #: prelude functions that move data around without invoking tensor kernels

@@ -19,7 +19,7 @@ These analyses feed the AOT code generator:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..ir.adt import pattern_bound_vars
 from ..ir.expr import (
@@ -37,7 +37,7 @@ from ..ir.expr import (
     TupleGetItem,
     Var,
 )
-from ..ir.module import IRModule, PRELUDE_FUNCTIONS
+from ..ir.module import IRModule
 from ..ir.visitor import collect
 from ..kernels.registry import get_op, has_op
 

@@ -28,7 +28,7 @@ to ``True`` (per-instance / tainted) or ``False`` (batch-invariant).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..ir.adt import pattern_bound_vars
 from ..ir.expr import (

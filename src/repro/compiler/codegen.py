@@ -26,7 +26,7 @@ driven by :class:`repro.runtime.fibers.FiberScheduler`.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -34,13 +34,7 @@ import numpy as np
 from ..analysis.phases import PhaseAssignment
 from ..analysis.structure import hoistable_bindings
 from ..analysis.taint import TaintResult
-from ..ir.adt import (
-    ADTValue,
-    PatternConstructor,
-    PatternTuple,
-    PatternVar,
-    PatternWildcard,
-)
+from ..ir.adt import ADTValue, PatternConstructor, PatternVar, PatternWildcard
 from ..ir.expr import (
     Call,
     Constant,

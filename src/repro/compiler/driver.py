@@ -29,7 +29,6 @@ from ..analysis.phases import infer_phases
 from ..analysis.structure import reachable_functions, uses_tensor_dependent_control_flow
 from ..analysis.taint import analyze_taint
 from ..engine.engine import ExecutionEngine, InstanceArgBinder, ProgramBinding
-from ..ir.expr import Function
 from ..ir.module import IRModule
 from ..kernels.batched import BlockKernel
 from ..runtime.device import DeviceSimulator, GPUSpec

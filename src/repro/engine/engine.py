@@ -112,11 +112,14 @@ class ExecutionEngine:
             schedule_table=schedule_table,
             default_schedule_quality=default_schedule_quality,
         )
+        # policy arguments: options.scheduler_args is the base (so directly
+        # constructed runtimes and engines agree), explicit policy_args win
+        merged_args = {**options.scheduler_args, **(policy_args or {})}
         scheduler = make_scheduler(
             options.scheduler,
             kernels=kernels,
             options=options,
-            **(policy_args or {}),
+            **merged_args,
         )
         self.runtime = AcrobatRuntime(
             kernels, options, self.device, profiler or ActivityProfiler(), scheduler
@@ -170,16 +173,19 @@ class ExecutionEngine:
     def collect_stats(self, batch_size: int, wall_s: float) -> RunStats:
         """Snapshot runtime counters into a :class:`RunStats`.
 
-        Host time not attributed to scheduling, dispatch or kernel compute is
-        charged to DFG construction (graph building is interleaved with the
-        front-end's own program execution, so it is measured as the
-        remainder of the wall-clock time).
+        Host time not attributed to scheduling, memory planning, dispatch,
+        output materialization or kernel compute is charged to DFG
+        construction (graph building is interleaved with the front-end's own
+        program execution, so it is measured as the remainder of the
+        wall-clock time).
         """
         rt = self.runtime
         stats = rt.collect_stats(batch_size)
         accounted = (
             stats.host_ms.get("scheduling", 0.0)
+            + stats.host_ms.get("memory_planning", 0.0)
             + stats.host_ms.get("dispatch", 0.0)
+            + stats.host_ms.get("materialize", 0.0)
             + rt.profiler.ms("numpy_compute")
         )
         stats.host_ms["dfg_construction"] = max(0.0, wall_s * 1e3 - accounted)

@@ -148,8 +148,14 @@ class InferenceSession:
     # -- internals -------------------------------------------------------------
     def _ensure_round(self):
         """Bind the program for a new batching round (first submit after a
-        flush): reset the runtime and cache the per-instance entry."""
+        flush): reset the runtime and cache the per-instance entry.
+
+        The device's residency cache survives the reset: storage arenas and
+        parameters uploaded in earlier rounds stay device-resident, so
+        cross-request batches in later rounds reuse resident parameters
+        instead of re-transferring them.
+        """
         if self._entry is None:
-            self.engine.runtime.reset()
+            self.engine.runtime.reset(release_residency=False)
             self._entry = self.engine.program.bind(self.engine.runtime, None)
         return self._entry

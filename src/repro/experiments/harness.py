@@ -21,11 +21,10 @@ crossovers are.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from functools import lru_cache
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..baselines import (
     CortexModel,
@@ -37,7 +36,7 @@ from ..compiler.options import CompilerOptions
 from ..core.api import compile_model
 from ..data.sequences import random_sequences
 from ..data.trees import random_treebank
-from ..models import MODEL_MODULES, get_size
+from ..models import MODEL_MODULES
 from ..runtime.executor import RunStats
 
 
@@ -98,7 +97,7 @@ def raw_inputs_for_cortex(model_name: str, size, batch_size: int, seed: int = 0)
 # ---------------------------------------------------------------------------
 
 
-def _best_stats(run_once: Callable[[], RunStats], repeats: Optional[int] = None) -> RunStats:
+def best_stats(run_once: Callable[[], RunStats], repeats: Optional[int] = None) -> RunStats:
     """Measure ``run_once`` up to ``repeats`` times and keep the
     lowest-latency result.
 
@@ -131,7 +130,7 @@ def run_acrobat(
     ``scheduler`` selects the runtime scheduling policy by registry name
     (e.g. ``"inline_depth"``, ``"dynamic_depth"``, ``"agenda"``,
     ``"nobatch"``); the default derives from the compiler options.
-    ``repeats`` takes the best of N measurements (see :func:`_best_stats`).
+    ``repeats`` takes the best of N measurements (see :func:`best_stats`).
     """
     mod, params, size = build_model(model_name, size_name, seed)
     instances = make_instances(model_name, mod, size, batch_size, seed)
@@ -139,7 +138,7 @@ def run_acrobat(
     if scheduler is not None:
         opts = replace(opts, scheduler=scheduler)
     compiled = compile_model(mod, params, opts)
-    return _best_stats(lambda: compiled.run(instances)[1], repeats)
+    return best_stats(lambda: compiled.run(instances)[1], repeats)
 
 
 def run_vm(
@@ -152,7 +151,7 @@ def run_vm(
     mod, params, size = build_model(model_name, size_name, seed)
     instances = make_instances(model_name, mod, size, batch_size, seed)
     vm = compile_model(mod, params, CompilerOptions(aot=False))
-    return _best_stats(lambda: vm.run(instances)[1], repeats)
+    return best_stats(lambda: vm.run(instances)[1], repeats)
 
 
 def run_dynet(
@@ -170,7 +169,7 @@ def run_dynet(
     kinds = ("depth", "agenda") if best_of_schedulers else ("agenda",)
     for kind in kinds:
         model = compile_dynet(mod, params, improvements, scheduler_kind=kind)
-        stats = _best_stats(lambda: model.run(instances)[1], repeats)
+        stats = best_stats(lambda: model.run(instances)[1], repeats)
         if best is None or stats.latency_ms < best.latency_ms:
             best = stats
     return best
@@ -186,7 +185,7 @@ def run_eager(
     mod, params, size = build_model(model_name, size_name, seed)
     instances = make_instances(model_name, mod, size, batch_size, seed)
     model = compile_eager(mod, params)
-    return _best_stats(lambda: model.run(instances)[1], repeats)
+    return best_stats(lambda: model.run(instances)[1], repeats)
 
 
 def run_cortex(
@@ -199,7 +198,7 @@ def run_cortex(
     _, params, size = build_model(model_name, size_name, seed)
     raw = raw_inputs_for_cortex(model_name, size, batch_size, seed)
     model = CortexModel(model_name, params)
-    return _best_stats(lambda: model.run(raw)[1], repeats)
+    return best_stats(lambda: model.run(raw)[1], repeats)
 
 
 # ---------------------------------------------------------------------------

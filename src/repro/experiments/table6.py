@@ -20,9 +20,12 @@ HEADERS = ("activity", "treelstm_dynet", "treelstm_acrobat", "birnn_dynet", "bir
 ACTIVITIES = (
     "DFG construction (ms)",
     "Scheduling (ms)",
+    "Memory planning (ms)",
     "Memory copy time (ms)",
+    "Output materialization (ms)",
     "GPU kernel time (ms)",
     "#Kernel calls",
+    "#Gather launches",
     "CUDA API time (ms)",
 )
 
@@ -31,15 +34,18 @@ def _breakdown(stats: RunStats) -> Dict[str, float]:
     return {
         "DFG construction (ms)": stats.host_ms.get("dfg_construction", 0.0),
         "Scheduling (ms)": stats.host_ms.get("scheduling", 0.0),
+        "Memory planning (ms)": stats.host_ms.get("memory_planning", 0.0),
         "Memory copy time (ms)": (
             stats.device.get("gather_time_us", 0.0) + stats.device.get("memcpy_time_us", 0.0)
         )
         / 1e3,
+        "Output materialization (ms)": stats.host_ms.get("materialize", 0.0),
         "GPU kernel time (ms)": (
             stats.device.get("kernel_time_us", 0.0) + stats.device.get("gather_time_us", 0.0)
         )
         / 1e3,
         "#Kernel calls": stats.kernel_calls,
+        "#Gather launches": stats.device.get("num_gather_launches", 0),
         "CUDA API time (ms)": stats.api_time_ms + stats.host_ms.get("dispatch", 0.0),
     }
 

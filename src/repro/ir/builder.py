@@ -28,7 +28,6 @@ from .expr import (
     ConstructorRef,
     Expr,
     Function,
-    GlobalVar,
     If,
     Let,
     Match,

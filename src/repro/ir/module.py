@@ -8,21 +8,11 @@ prelude pre-defines the ``List`` ADT and the higher-order functions ``@map``,
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List
 
-import numpy as np
 
 from .adt import ADTDef, ADTValue, Constructor, PatternConstructor, PatternVar
-from .expr import (
-    Call,
-    Clause,
-    ConstructorRef,
-    Expr,
-    Function,
-    GlobalVar,
-    Match,
-    Var,
-)
+from .expr import Call, Clause, ConstructorRef, Function, GlobalVar, Match, Var
 from .types import AnyType
 
 

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Set
 
-from .adt import PatternConstructor, PatternTuple, PatternVar, PatternWildcard
 from .expr import (
     Call,
     Clause,

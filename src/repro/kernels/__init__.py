@@ -1,7 +1,7 @@
 """Tensor-kernel layer: operator registry, static blocks, fusion, batched
 kernel generation and auto-scheduling."""
 
-from .batched import BlockKernel, LaunchRecord
+from .batched import BatchedOperand, BatchedOutput, BlockKernel, LaunchRecord
 from .block import (
     ArgRef,
     BlockInput,
@@ -33,5 +33,7 @@ __all__ = [
     "fuse_block",
     "fused_kernel_name",
     "BlockKernel",
+    "BatchedOperand",
+    "BatchedOutput",
     "LaunchRecord",
 ]

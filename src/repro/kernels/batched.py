@@ -10,21 +10,26 @@ Given ``B`` DFG nodes for the same block at the same (phase, depth):
 
 * *shared* inputs are model parameters/constants — one array, reused across
   the whole batch (parameter-reuse analysis, §5.1);
-* *varying* inputs carry per-instance values — they are stacked into a
-  leading batch dimension (this stacking is the *memory gather*; whether it
-  is a separate gather launch or fused into the kernel is decided by the
-  gather-fusion option, §5.2);
+* *varying* inputs carry per-instance values with a leading batch dimension.
+  The memory planner (:mod:`repro.memory`) decides how that batched form is
+  obtained: a zero-copy arena view when the operands are already contiguous
+  in device memory, an explicit gather launch, or a gather fused into the
+  kernel (§5.2) — in which case the kernel itself stacks the scattered parts
+  and reports them as ``scattered_bytes``;
 * each fusion group becomes one (simulated) kernel launch and reports a
   :class:`LaunchRecord` so the device simulator can charge launch overhead,
   memory traffic and FLOPs.
 
-Numerical results always come from NumPy, so batched execution is checked
-against the unbatched reference in the test-suite.
+Kernels consume :class:`BatchedOperand` descriptors (views, not lists of
+per-instance arrays); raw arrays / lists are still accepted for direct use
+in tests and are normalized on entry.  Numerical results always come from
+NumPy, so batched execution is checked against the unbatched reference in
+the test-suite.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -45,9 +50,80 @@ class LaunchRecord:
     bytes_written: float
     #: bytes of varying operands that were *not* contiguous in device memory;
     #: with gather fusion these are read through indirect addressing, without
-    #: it they require a separate explicit gather launch (see executor).
+    #: it they require a separate explicit gather launch (see the planner).
     scattered_bytes: float = 0.0
     is_gather: bool = False
+
+
+class BatchedOperand:
+    """One block input in the form the batched kernel consumes it.
+
+    Exactly one of ``array`` / ``parts`` is set:
+
+    * ``array`` — the ready batched value: for shared inputs the single
+      parameter array, for varying inputs a ``[B, ...]`` array (a zero-copy
+      arena view for contiguous operands);
+    * ``parts`` — per-instance tensors the kernel stacks itself: the output
+      of an explicit gather launch (``scattered=False`` — already charged by
+      the planner), or a gather fused into the kernel (``scattered=True`` —
+      the read is accounted as scattered bytes on the launch records).
+      Entries are ``ndarray``\\ s (host values) or arena storage refs with an
+      ``.array`` view (:class:`~repro.memory.arena.TensorStorage`).
+    """
+
+    __slots__ = ("shared", "array", "parts", "scattered")
+
+    def __init__(
+        self,
+        shared: bool,
+        array: Optional[np.ndarray] = None,
+        parts: Optional[List[np.ndarray]] = None,
+        scattered: bool = False,
+    ) -> None:
+        self.shared = shared
+        self.array = array
+        self.parts = parts
+        self.scattered = scattered
+
+    @classmethod
+    def shared_value(cls, array: np.ndarray) -> "BatchedOperand":
+        return cls(shared=True, array=np.asarray(array))
+
+    @classmethod
+    def batched(cls, array: np.ndarray) -> "BatchedOperand":
+        """A varying operand already contiguous in device memory."""
+        return cls(shared=False, array=np.asarray(array))
+
+    @classmethod
+    def scattered_parts(cls, parts: Sequence[np.ndarray]) -> "BatchedOperand":
+        """A varying operand whose gather is fused into the kernel."""
+        return cls(shared=False, parts=[np.asarray(p) for p in parts], scattered=True)
+
+
+class BatchedOutput:
+    """One block output of a batched execution.
+
+    ``array`` is the batched ``[B, ...]`` result when ``batched`` is true;
+    otherwise it is a single shared (non-batched) array logically replicated
+    across the batch.  Sequence access returns instance views either way, so
+    ``outputs[k][b]`` is output ``k`` of instance ``b``.
+    """
+
+    __slots__ = ("array", "batched", "batch_size")
+
+    def __init__(self, array: np.ndarray, batched: bool, batch_size: int) -> None:
+        self.array = array
+        self.batched = batched
+        self.batch_size = batch_size
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def __getitem__(self, b: int) -> np.ndarray:
+        return self.array[b] if self.batched else self.array
+
+    def __iter__(self):
+        return (self[b] for b in range(self.batch_size))
 
 
 def _nbytes(arr: np.ndarray) -> float:
@@ -108,54 +184,84 @@ class BlockKernel:
     def kernel_names(self) -> List[str]:
         return list(self.group_names)
 
+    # -- operand normalization -------------------------------------------------
+    def _normalize_operand(self, inp, arg: Any, batch_size: int) -> BatchedOperand:
+        """Accept raw arrays (shared) / lists of arrays (varying) alongside
+        planner-produced :class:`BatchedOperand` descriptors."""
+        if isinstance(arg, BatchedOperand):
+            return arg
+        if inp.shared:
+            return BatchedOperand.shared_value(arg)
+        arrs = [np.asarray(a) for a in arg]
+        if len(arrs) != batch_size:
+            raise ValueError(
+                f"block {self.block.name}: varying input {inp.name} got "
+                f"{len(arrs)} values for batch size {batch_size}"
+            )
+        return BatchedOperand.batched(np.stack(arrs, axis=0))
+
     # -- execution ------------------------------------------------------------
     def execute_batched(
         self,
         args: Sequence[Any],
         batch_size: int,
-        scattered_mask: Optional[Sequence[bool]] = None,
-    ) -> Tuple[List[List[np.ndarray]], List[LaunchRecord]]:
+    ) -> Tuple[List[BatchedOutput], List[LaunchRecord]]:
         """Run the block for a whole batch.
 
         Parameters
         ----------
         args:
-            One entry per block input.  Shared inputs: a single ``ndarray``.
-            Varying inputs: a list of ``batch_size`` arrays.
+            One entry per block input: a :class:`BatchedOperand` (the memory
+            planner's resolved form), or — for direct callers — a single
+            ``ndarray`` for shared inputs / a list of ``batch_size`` arrays
+            for varying inputs.
         batch_size:
             Number of DFG nodes batched together.
-        scattered_mask:
-            Optional per-input flags: True when the varying operand's
-            per-instance tensors are *not* contiguous in device memory
-            (affects gather accounting only, not numerics).
 
         Returns
         -------
         (outputs, launches):
-            ``outputs[k][b]`` is output ``k`` of instance ``b`` (a shared,
-            non-batched output is replicated by reference).  ``launches`` are
-            the per-fusion-group cost records.
+            ``outputs[k]`` is a :class:`BatchedOutput` (``outputs[k][b]`` is
+            output ``k`` of instance ``b``); ``launches`` are the
+            per-fusion-group cost records.
         """
         block = self.block
-        scattered_mask = list(scattered_mask or [False] * len(block.inputs))
+        operands = [
+            self._normalize_operand(inp, args[inp.index], batch_size)
+            for inp in block.inputs
+        ]
 
         values: Dict[Tuple[str, int], _Value] = {}
-        gather_bytes_by_input: Dict[int, float] = {}
+        scattered_inputs = [False] * len(block.inputs)
 
         for inp in block.inputs:
-            arg = args[inp.index]
+            op = operands[inp.index]
             if inp.shared:
-                values[("input", inp.index)] = _Value(np.asarray(arg), batched=False)
+                values[("input", inp.index)] = _Value(np.asarray(op.array), batched=False)
+                continue
+            if op.array is not None:
+                stacked = np.asarray(op.array)
+                if stacked.shape[0] != batch_size:
+                    raise ValueError(
+                        f"block {block.name}: varying input {inp.name} got batch "
+                        f"dimension {stacked.shape[0]} for batch size {batch_size}"
+                    )
             else:
-                arrs = [np.asarray(a) for a in arg]
-                if len(arrs) != batch_size:
+                # the kernel performs the gather: realize the per-instance
+                # storage refs and stack them (this read is device work — an
+                # explicit gather launch already charged by the planner, or
+                # scattered bytes accounted on this kernel's launch records)
+                if len(op.parts) != batch_size:
                     raise ValueError(
                         f"block {block.name}: varying input {inp.name} got "
-                        f"{len(arrs)} values for batch size {batch_size}"
+                        f"{len(op.parts)} values for batch size {batch_size}"
                     )
-                stacked = np.stack(arrs, axis=0)
-                values[("input", inp.index)] = _Value(stacked, batched=True)
-                gather_bytes_by_input[inp.index] = _nbytes(stacked)
+                stacked = np.stack(
+                    [p if isinstance(p, np.ndarray) else p.array for p in op.parts],
+                    axis=0,
+                )
+            scattered_inputs[inp.index] = op.scattered
+            values[("input", inp.index)] = _Value(stacked, batched=True)
 
         launches: List[LaunchRecord] = []
 
@@ -181,7 +287,7 @@ class BlockKernel:
                                 external_reads.add((kind, ref))
                                 nb = _nbytes(arg_vals[-1].array)
                                 bytes_read += nb
-                                if kind == "input" and scattered_mask[ref] and not block.inputs[ref].shared:
+                                if kind == "input" and scattered_inputs[ref]:
                                     scattered_bytes += nb
 
                 any_batched = any(v.batched for v in arg_vals)
@@ -229,13 +335,10 @@ class BlockKernel:
                 )
             )
 
-        outputs: List[List[np.ndarray]] = []
+        outputs: List[BatchedOutput] = []
         for kind, ref in block.outputs:
             val = values[(kind, ref)]
-            if val.batched:
-                outputs.append([val.array[b] for b in range(batch_size)])
-            else:
-                outputs.append([val.array] * batch_size)
+            outputs.append(BatchedOutput(val.array, batched=val.batched, batch_size=batch_size))
         return outputs, launches
 
     def execute_single(self, args: Sequence[np.ndarray]) -> List[np.ndarray]:

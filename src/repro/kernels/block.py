@@ -23,7 +23,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 # An ArgRef is ("input", i), ("op", j) or ("const", ndarray/scalar).
 ArgRef = Tuple[str, Any]

@@ -20,8 +20,7 @@ the lookup API used by the compiler, runtime, VM and baselines.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

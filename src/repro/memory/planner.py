@@ -1,0 +1,325 @@
+"""The ahead-of-execution memory planner.
+
+After the scheduler has grouped the round's DFG nodes into batches and
+*before* anything executes, :meth:`MemoryPlanner.plan_round` walks the
+batches in execution order and decides, for every varying operand of every
+batch, how its batched form will be obtained:
+
+``contiguous``
+    All per-instance tensors sit at consecutive offsets of one storage
+    arena, so the batched operand is a zero-copy arena slice — no gather,
+    no copy, no device charge (§5.2's gather elision).
+``gather``
+    The operands are scattered and gather fusion is off: the plan calls for
+    one explicit gather launch copying them into a fresh contiguous buffer
+    (what DyNet does).
+``fused_gather``
+    The operands are scattered and gather fusion is on: the batched kernel
+    reads them through indirect addressing, charged as scattered bytes on
+    its launch records.
+
+Planning ahead of execution is possible because the planner *places*
+outputs symbolically as it walks: each batch's outputs are assigned a fresh
+arena id with instance ``b`` at offset ``b``, so a later batch's contiguity
+is decided from planned placements before any value exists.  Execution then
+resolves each :class:`OperandPlan` into a :class:`~repro.kernels.batched.BatchedOperand`
+(:meth:`MemoryPlanner.resolve`, charging gathers/uploads against the device
+simulator) and commits outputs into real arenas under the planned ids
+(:meth:`MemoryPlanner.commit`).
+
+This module is the single authority on storage contiguity: nothing outside
+``repro.memory`` compares arena placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..kernels.batched import BatchedOperand, BatchedOutput
+from ..runtime.tensor import LazyTensor
+from .arena import StorageArena, TensorStorage, next_arena_id
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..kernels.batched import BlockKernel
+    from ..runtime.device import DeviceSimulator
+    from ..runtime.scheduler import ScheduledBatch
+
+
+class OperandKind(Enum):
+    """How one block operand reaches its batched kernel."""
+
+    SHARED = "shared"
+    CONTIGUOUS = "contiguous"
+    GATHER = "gather"
+    FUSED_GATHER = "fused_gather"
+
+
+# hot-path aliases: Enum member access goes through a descriptor, so the
+# planner binds the members once at import time
+_SHARED = OperandKind.SHARED
+_CONTIGUOUS = OperandKind.CONTIGUOUS
+_GATHER = OperandKind.GATHER
+_FUSED_GATHER = OperandKind.FUSED_GATHER
+
+
+class OperandPlan:
+    """The planner's verdict for one block input of one batch."""
+
+    __slots__ = ("index", "kind", "arena_id", "start")
+
+    def __init__(
+        self,
+        index: int,
+        kind: OperandKind,
+        arena_id: Optional[int] = None,
+        start: Optional[int] = None,
+    ) -> None:
+        self.index = index
+        self.kind = kind
+        #: source placement for contiguous multi-instance operands: the arena
+        #: id and the offset of the first instance (None for batch-of-one /
+        #: shared)
+        self.arena_id = arena_id
+        self.start = start
+
+    def __repr__(self) -> str:
+        return f"OperandPlan(input={self.index}, kind={self.kind.value})"
+
+
+@dataclass
+class BatchPlan:
+    """Everything the executor needs to know about one batch's memory.
+
+    ``batch`` is released (set to ``None``) by :meth:`MemoryPlanner.commit`
+    once the batch has executed, so retained plans (``last_plans``) keep only
+    the lightweight classification — not the round's node graph and arenas.
+    """
+
+    batch: Optional["ScheduledBatch"]
+    batch_size: int
+    operands: List[OperandPlan]
+    #: pre-allocated arena ids, one per block output; the commit step creates
+    #: the arenas under exactly these ids so later plans stay valid
+    output_arena_ids: List[int]
+
+    def count(self, kind: OperandKind) -> int:
+        return sum(1 for op in self.operands if op.kind is kind)
+
+
+class MemoryPlanner:
+    """Plans arena placement and operand contiguity for scheduled batches."""
+
+    def __init__(self, gather_fusion: bool = True) -> None:
+        self.gather_fusion = gather_fusion
+        #: plans of the most recent round (introspection / tests)
+        self.last_plans: List[BatchPlan] = []
+        #: cumulative per-kind operand counts since the last reset
+        self.operand_counts: Dict[str, int] = {k.value: 0 for k in OperandKind}
+
+    def reset(self) -> None:
+        self.last_plans = []
+        self.operand_counts = {k.value: 0 for k in OperandKind}
+
+    # -- planning --------------------------------------------------------------
+    def plan_round(
+        self, batches: List["ScheduledBatch"], kernels: Dict[int, "BlockKernel"]
+    ) -> List[BatchPlan]:
+        """Plan memory for one scheduled round, in execution order."""
+        #: symbolic placements of tensors this round will produce: tid ->
+        #: (arena_id, offset); tensors from earlier rounds carry real storage
+        placements: Dict[int, Tuple[int, int]] = {}
+        plans: List[BatchPlan] = []
+        counts = self.operand_counts
+
+        for batch in batches:
+            block = kernels[batch.block_id].block
+            nodes = batch.nodes
+            if len(nodes) == 1:
+                # batch of one never gathers: every varying operand only gains
+                # a leading batch axis (a zero-copy reshape)
+                operands = [
+                    OperandPlan(inp.index, _SHARED if inp.shared else _CONTIGUOUS)
+                    for inp in block.inputs
+                ]
+            else:
+                operands = [self._plan_operand(inp, nodes, placements) for inp in block.inputs]
+            output_ids = [next_arena_id() for _ in range(block.num_outputs)]
+            for b, node in enumerate(nodes):
+                for out, arena_id in zip(node.outputs, output_ids):
+                    placements[out.tid] = (arena_id, b)
+            for op in operands:
+                counts[op.kind.value] += 1
+            plans.append(
+                BatchPlan(
+                    batch=batch,
+                    batch_size=len(nodes),
+                    operands=operands,
+                    output_arena_ids=output_ids,
+                )
+            )
+
+        self.last_plans = plans
+        return plans
+
+    def _plan_operand(
+        self, inp, nodes, placements: Dict[int, Tuple[int, int]]
+    ) -> OperandPlan:
+        if inp.shared:
+            return OperandPlan(inp.index, _SHARED)
+
+        index = inp.index
+        contiguous = True
+        prev: Optional[Tuple[int, int]] = None
+        first: Optional[Tuple[int, int]] = None
+        for node in nodes:
+            arg = node.args[index]
+            if not isinstance(arg, LazyTensor):
+                # host-resident constant/input: never already on-device-contiguous
+                contiguous = False
+                continue
+            placement = placements.get(arg.tid)
+            if placement is None:
+                storage = arg.storage
+                if storage is None:
+                    raise RuntimeError(
+                        f"memory planner: operand tensor {arg.tid} (node "
+                        f"{arg.node.node_id}) is neither materialized nor planned "
+                        f"earlier in this round — the scheduler emitted batches "
+                        f"out of dependency order"
+                    )
+                placement = storage.placement
+            if prev is None:
+                first = placement
+            elif placement[0] != prev[0] or placement[1] != prev[1] + 1:
+                contiguous = False
+            prev = placement
+
+        if contiguous and first is not None:
+            return OperandPlan(index, _CONTIGUOUS, arena_id=first[0], start=first[1])
+        return OperandPlan(index, _FUSED_GATHER if self.gather_fusion else _GATHER)
+
+    # -- execution-time resolution ---------------------------------------------
+    def resolve(
+        self,
+        plan: BatchPlan,
+        kernel: "BlockKernel",
+        device: "DeviceSimulator",
+        options: Any,
+    ) -> List[BatchedOperand]:
+        """Turn a batch plan into kernel operands, charging the device.
+
+        Explicit gathers are charged here (one gather launch per scattered
+        operand); host arrays are uploaded through the device's residency
+        cache; contiguous operands become zero-copy arena views.
+        """
+        block = kernel.block
+        nodes = plan.batch.nodes
+        batch_size = len(nodes)
+        resolved: List[BatchedOperand] = []
+        validate = options.validate
+        batch_memcpy = options.batch_memcpy
+        ensure_resident = device.ensure_resident
+
+        for op in plan.operands:
+            kind = op.kind
+            index = op.index
+            if kind is _SHARED:
+                first = nodes[0].args[index]
+                value = first.value if isinstance(first, LazyTensor) else np.asarray(first)
+                if validate:
+                    for other in nodes[1:]:
+                        oarg = other.args[index]
+                        ov = oarg.value if isinstance(oarg, LazyTensor) else np.asarray(oarg)
+                        if not np.array_equal(np.asarray(ov), np.asarray(value)):
+                            raise RuntimeError(
+                                f"block {block.name}: input "
+                                f"{block.inputs[index].name} marked shared but "
+                                f"differs across batched nodes"
+                            )
+                if not isinstance(first, LazyTensor):
+                    ensure_resident(value, batch_memcpy)
+                resolved.append(BatchedOperand(shared=True, array=value))
+                continue
+
+            if kind is _CONTIGUOUS:
+                resolved.append(
+                    self._resolve_contiguous(op, nodes, batch_size, device, options)
+                )
+                continue
+
+            # scattered: hand the kernel per-instance storage refs; the views
+            # are only realized inside the kernel's own gather (the read is
+            # device work — charged as a gather launch or as scattered bytes —
+            # not host dispatch time)
+            parts: List[Any] = []
+            for node in nodes:
+                arg = node.args[index]
+                if isinstance(arg, LazyTensor):
+                    parts.append(arg.storage)
+                else:
+                    arr = np.asarray(arg)
+                    ensure_resident(arr, batch_memcpy)
+                    parts.append(arr)
+            if kind is _GATHER:
+                # one explicit gather launch copies the scattered operand into
+                # a contiguous buffer; downstream the operand is dense, so the
+                # kernel performs the stack without scattered-read accounting
+                device.gather(float(sum(p.nbytes for p in parts)))
+                resolved.append(BatchedOperand(shared=False, parts=parts))
+            else:  # FUSED_GATHER: the kernel reads the scattered parts itself
+                resolved.append(BatchedOperand(shared=False, parts=parts, scattered=True))
+
+        return resolved
+
+    def _resolve_contiguous(
+        self, op: OperandPlan, nodes, batch_size: int, device, options
+    ) -> BatchedOperand:
+        if batch_size == 1:
+            arg = nodes[0].args[op.index]
+            if isinstance(arg, LazyTensor):
+                arr = arg.value
+            else:
+                arr = np.asarray(arg)
+                device.ensure_resident(arr, options.batch_memcpy)
+            return BatchedOperand(shared=False, array=arr[None])  # zero-copy leading axis
+        storage = nodes[0].args[op.index].storage
+        if storage is None or storage.placement != (op.arena_id, op.start):
+            raise RuntimeError(
+                f"memory plan violated: operand {op.index} expected at arena "
+                f"{op.arena_id}+{op.start}, found "
+                f"{None if storage is None else storage.placement} — batches "
+                f"executed out of plan order"
+            )
+        return BatchedOperand(shared=False, array=storage.arena.slice(op.start, batch_size))
+
+    # -- execution-time commit ---------------------------------------------------
+    def commit(
+        self,
+        plan: BatchPlan,
+        outputs: List[BatchedOutput],
+        device: "DeviceSimulator",
+    ) -> List[StorageArena]:
+        """Store a batch's outputs into arenas under the planned ids and
+        materialize every node output as a zero-copy arena view."""
+        nodes = plan.batch.nodes
+        arenas: List[StorageArena] = []
+        for k, (out, arena_id) in enumerate(zip(outputs, plan.output_arena_ids)):
+            if out.batched:
+                arena = StorageArena.from_batched(out.array, arena_id=arena_id)
+            else:
+                arena = StorageArena.from_broadcast(
+                    out.array, len(nodes), arena_id=arena_id
+                )
+            device.note_arena(arena)
+            for b, node in enumerate(nodes):
+                node.outputs[k].storage = TensorStorage(arena, b)
+            arenas.append(arena)
+        for node in nodes:
+            node.executed = True
+        # release the node graph: retained plans keep only the classification
+        plan.batch = None
+        return arenas

@@ -25,7 +25,6 @@ from ..ir import (
     if_else,
     op,
     prelude_module,
-    tuple_expr,
     var,
 )
 from .common import glorot, zeros

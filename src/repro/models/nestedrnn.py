@@ -20,7 +20,6 @@ from ..ir import (
     IRModule,
     ScopeBuilder,
     call,
-    ctor,
     function,
     if_else,
     match,

@@ -27,7 +27,6 @@ from ..ir import (
     match,
     op,
     pat_ctor,
-    pat_wild,
     prelude_module,
     var,
 )

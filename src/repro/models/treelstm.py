@@ -20,7 +20,6 @@ from ..ir import (
     ScopeBuilder,
     call,
     concurrent,
-    ctor,
     function,
     match,
     op,
@@ -30,7 +29,7 @@ from ..ir import (
     tuple_get,
     var,
 )
-from .common import glorot, make_linear_params, tree_to_adt, zeros
+from .common import glorot, tree_to_adt, zeros
 from .configs import ModelSize, get_size
 
 GATES = ("i", "fl", "fr", "o", "u")

@@ -14,7 +14,7 @@ from .scheduler import (
     agenda_schedule,
     dynamic_depth_schedule,
 )
-from .tensor import DFGNode, LazyTensor, materialize_value, new_storage_region
+from .tensor import DFGNode, LazyTensor, materialize_value
 
 __all__ = [
     "AcrobatRuntime",
@@ -38,5 +38,4 @@ __all__ = [
     "DFGNode",
     "LazyTensor",
     "materialize_value",
-    "new_storage_region",
 ]

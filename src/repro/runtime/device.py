@@ -22,10 +22,12 @@ measured as real Python wall-clock by :mod:`repro.runtime.profiler`.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..kernels.batched import LaunchRecord
+from ..memory.arena import StorageArena
 
 
 @dataclass
@@ -107,8 +109,13 @@ class DeviceSimulator:
         self.schedule_table: Dict[str, float] = dict(schedule_table or {})
         self.default_schedule_quality = default_schedule_quality
         self.counters = DeviceCounters()
-        #: set of id()s of arrays already resident on the device
-        self._resident: set = set()
+        #: residency cache: host arrays are keyed by ``id()``, arena-backed
+        #: storage by ``("arena", arena_id)`` — arena buffers are written by
+        #: batched launches, so they are born on-device and never re-uploaded.
+        #: Values are held weakly and verified by identity, so a freed host
+        #: array cannot leave a stale entry behind (CPython recycles ids) and
+        #: long-lived sessions do not grow the cache without bound.
+        self._resident: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
 
     # -- configuration --------------------------------------------------------
     def set_schedule_quality(self, kernel_name: str, quality: float) -> None:
@@ -121,7 +128,7 @@ class DeviceSimulator:
 
     def reset_residency(self) -> None:
         """Forget which host arrays have been uploaded."""
-        self._resident = set()
+        self._resident = weakref.WeakValueDictionary()
 
     # -- cost model -----------------------------------------------------------
     def _quality(self, kernel_name: str) -> float:
@@ -176,14 +183,31 @@ class DeviceSimulator:
         self.counters.bytes_copied += nbytes
         return t
 
+    @staticmethod
+    def _residency_key(obj) -> object:
+        """Residency-cache key: arenas by id, host arrays by object identity."""
+        if isinstance(obj, StorageArena):
+            return ("arena", obj.arena_id)
+        return id(obj)
+
     def ensure_resident(self, array, batch_transfers: bool = True) -> float:
-        """Upload a host array to the device once; subsequent calls are free.
+        """Upload a host array (or arena) to the device once; subsequent
+        calls are free while the object stays alive.
 
         Returns the charged transfer time (0 when already resident).
         """
-        key = id(array)
-        if key in self._resident:
+        key = self._residency_key(array)
+        if self._resident.get(key) is array:
             return 0.0
-        self._resident.add(key)
+        self._resident[key] = array
         nbytes = float(getattr(array, "nbytes", 0))
         return self.memcpy(nbytes, batched_with=1 if batch_transfers else 0)
+
+    def note_arena(self, arena) -> None:
+        """Mark a storage arena as device-resident without charging a copy
+        (batched launches write their outputs directly on the device)."""
+        self._resident[("arena", arena.arena_id)] = arena
+
+    def is_resident(self, obj) -> bool:
+        """Whether a host array or arena is currently device-resident."""
+        return self._resident.get(self._residency_key(obj)) is obj

@@ -2,13 +2,17 @@
 
 The AOT-compiled program (or the VM) calls :meth:`AcrobatRuntime.invoke` for
 every static-block invocation; the runtime records a DFG node and hands back
-lazy tensors.  :meth:`AcrobatRuntime.trigger` schedules the pending nodes
-(inline-depth or dynamic-depth), resolves operands, performs gather / memory
-transfer accounting against the device simulator, runs the batched NumPy
-kernels and materializes the results.
+lazy tensors.  :meth:`AcrobatRuntime.trigger` schedules the pending nodes,
+hands the scheduled batches to the memory planner
+(:class:`~repro.memory.planner.MemoryPlanner`) — which classifies every
+operand as contiguous-reuse / explicit-gather / fused-gather and places every
+output in a storage arena ahead of execution — then resolves each plan
+against the device simulator, runs the batched NumPy kernels and commits the
+outputs into arenas.
 
-Host-side work (graph construction, scheduling, batch assembly) is measured
-as real wall-clock time; device-side work is charged to the
+Host-side work (graph construction, scheduling, memory planning, operand
+dispatch, output materialization) is measured as real wall-clock time;
+device-side work is charged to the
 :class:`~repro.runtime.device.DeviceSimulator`.
 """
 
@@ -16,15 +20,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..kernels.batched import BlockKernel
+from ..memory.planner import BatchPlan, MemoryPlanner
 from .device import DeviceSimulator
 from .profiler import ActivityProfiler
 from .scheduler import ScheduledBatch
-from .tensor import DFGNode, LazyTensor, new_storage_region
+from .tensor import DFGNode, LazyTensor
 
 
 @dataclass
@@ -40,6 +45,10 @@ class ExecutionOptions:
     #: statically computed (phase, depth) pairs; "dynamic_depth" recomputes
     #: depths by traversing the DFG at runtime)
     scheduler: str = "inline_depth"
+    #: extra keyword arguments forwarded to the scheduler-policy factory
+    #: (e.g. ``{"kind": "depth"}`` for the "dynet" policy), so parameterized
+    #: policies work even when the runtime resolves its own scheduler
+    scheduler_args: Dict[str, Any] = field(default_factory=dict)
     #: coalesce host->device parameter/input transfers
     batch_memcpy: bool = True
     #: extra consistency checks (shared-argument equality, dependency order)
@@ -52,6 +61,9 @@ class RunStats:
 
     host_ms: Dict[str, float] = field(default_factory=dict)
     device: Dict[str, float] = field(default_factory=dict)
+    #: memory-planner operand classification counts (contiguous / gather /
+    #: fused_gather / shared)
+    memory: Dict[str, int] = field(default_factory=dict)
     num_dfg_nodes: int = 0
     num_batches: int = 0
     batch_size: int = 0
@@ -93,6 +105,7 @@ class RunStats:
             "batches": self.num_batches,
         }
         out.update({f"host_{k}_ms": v for k, v in self.host_ms.items()})
+        out.update({f"mem_{k}_operands": v for k, v in self.memory.items()})
         out.update(self.device)
         return out
 
@@ -112,18 +125,19 @@ class AcrobatRuntime:
         self.options = options or ExecutionOptions()
         self.device = device or DeviceSimulator()
         self.profiler = profiler or ActivityProfiler()
+        self.planner = MemoryPlanner(gather_fusion=self.options.gather_fusion)
         self._pending: List[DFGNode] = []
         if scheduler is None:
             # resolved through the engine-layer policy registry so that even
-            # directly constructed runtimes select schedulers by name; this
-            # fallback cannot forward policy-specific arguments (improvements,
-            # kind, ...) — parameterized policies must be resolved by the
-            # ExecutionEngine, which passes policy_args and hands the
-            # scheduler instance in here
+            # directly constructed runtimes select schedulers by name;
+            # policy-specific arguments come from options.scheduler_args
             from ..engine.registry import make_scheduler
 
             scheduler = make_scheduler(
-                self.options.scheduler, kernels=kernels, options=self.options
+                self.options.scheduler,
+                kernels=kernels,
+                options=self.options,
+                **self.options.scheduler_args,
             )
         self._scheduler = scheduler
         self.current_instance = 0
@@ -168,7 +182,7 @@ class AcrobatRuntime:
 
     # -- execution -------------------------------------------------------------
     def trigger(self) -> None:
-        """Schedule and execute all pending DFG nodes.
+        """Schedule, memory-plan and execute all pending DFG nodes.
 
         Every non-empty trigger is one synchronization round (a DFG flush);
         the count is reported in :attr:`RunStats.sync_rounds`, so callers no
@@ -184,87 +198,34 @@ class AcrobatRuntime:
         batches = self._scheduler.schedule(nodes)
         self.profiler.add("scheduling", time.perf_counter() - sched_start)
 
-        for batch in batches:
-            self._execute_batch(batch)
+        plan_start = time.perf_counter()
+        plans = self.planner.plan_round(batches, self.kernels)
+        self.profiler.add("memory_planning", time.perf_counter() - plan_start)
+
+        for plan in plans:
+            self._execute_batch(plan)
         self.num_batches_total += len(batches)
         self.profiler.bump("num_batches", len(batches))
 
-    def _execute_batch(self, batch: ScheduledBatch) -> None:
+    def _execute_batch(self, plan: BatchPlan) -> None:
+        batch: ScheduledBatch = plan.batch
         kernel = self.kernels[batch.block_id]
-        block = kernel.block
-        nodes = batch.nodes
-        batch_size = len(nodes)
+        batch_size = len(batch.nodes)
 
         dispatch_start = time.perf_counter()
-        args: List[Any] = []
-        scattered_mask: List[bool] = []
-        validate = self.options.validate
-
-        for inp in block.inputs:
-            if inp.shared:
-                first = nodes[0].args[inp.index]
-                value = self.read(first)
-                if validate:
-                    for other in nodes[1:]:
-                        ov = self.read(other.args[inp.index])
-                        if not np.array_equal(np.asarray(ov), np.asarray(value)):
-                            raise RuntimeError(
-                                f"block {block.name}: input {inp.name} marked shared but "
-                                f"differs across batched nodes"
-                            )
-                if not isinstance(first, LazyTensor):
-                    self.device.ensure_resident(value, self.options.batch_memcpy)
-                args.append(value)
-                scattered_mask.append(False)
-            else:
-                values = []
-                contiguous = True
-                prev_region, prev_offset = None, None
-                for node in nodes:
-                    arg = node.args[inp.index]
-                    if isinstance(arg, LazyTensor):
-                        values.append(arg.value)
-                        if prev_region is None:
-                            prev_region, prev_offset = arg.storage_region, arg.storage_offset
-                        else:
-                            if (
-                                arg.storage_region != prev_region
-                                or arg.storage_offset != prev_offset + 1
-                            ):
-                                contiguous = False
-                            prev_region, prev_offset = arg.storage_region, arg.storage_offset
-                    else:
-                        arr = np.asarray(arg)
-                        self.device.ensure_resident(arr, self.options.batch_memcpy)
-                        values.append(arr)
-                        contiguous = False
-                if batch_size == 1:
-                    contiguous = True
-                scattered = not contiguous
-                if scattered and not self.options.gather_fusion:
-                    total_bytes = float(sum(v.nbytes for v in values))
-                    self.device.gather(total_bytes)
-                    scattered = False  # explicit gather made it contiguous
-                args.append(values)
-                scattered_mask.append(scattered)
+        operands = self.planner.resolve(plan, kernel, self.device, self.options)
         self.profiler.add("dispatch", time.perf_counter() - dispatch_start)
 
         compute_start = time.perf_counter()
-        outputs, launches = kernel.execute_batched(args, batch_size, scattered_mask)
+        outputs, launches = kernel.execute_batched(operands, batch_size)
         self.profiler.add("numpy_compute", time.perf_counter() - compute_start)
 
         for record in launches:
             self.device.launch(record, gather_fused=self.options.gather_fusion)
 
         store_start = time.perf_counter()
-        for k in range(block.num_outputs):
-            region = new_storage_region()
-            per_instance = outputs[k]
-            for b, node in enumerate(nodes):
-                node.outputs[k].materialize(per_instance[b], region, b)
-        for node in nodes:
-            node.executed = True
-        self.profiler.add("dispatch", time.perf_counter() - store_start)
+        self.planner.commit(plan, outputs, self.device)
+        self.profiler.add("materialize", time.perf_counter() - store_start)
 
     # -- bookkeeping -------------------------------------------------------------
     def collect_stats(self, batch_size: int) -> RunStats:
@@ -275,24 +236,34 @@ class AcrobatRuntime:
         host_ms = {
             "dfg_construction": self.profiler.ms("dfg_construction"),
             "scheduling": self.profiler.ms("scheduling"),
+            "memory_planning": self.profiler.ms("memory_planning"),
             "dispatch": self.profiler.ms("dispatch"),
+            "materialize": self.profiler.ms("materialize"),
         }
         return RunStats(
             host_ms=host_ms,
             device=self.device.counters.as_dict(),
+            memory=dict(self.planner.operand_counts),
             num_dfg_nodes=self.num_nodes_total,
             num_batches=self.num_batches_total,
             batch_size=batch_size,
             sync_rounds=self.sync_rounds,
         )
 
-    def reset(self) -> None:
-        """Clear per-run state (keeps kernels, device schedule table)."""
+    def reset(self, release_residency: bool = True) -> None:
+        """Clear per-run state (keeps kernels, device schedule table).
+
+        ``release_residency=False`` keeps the device's residency cache —
+        parameters (and arenas) uploaded in earlier rounds stay resident, as
+        they do for a persistent serving session.
+        """
         self._pending = []
         self.current_instance = 0
         self.num_nodes_total = 0
         self.num_batches_total = 0
         self.sync_rounds = 0
         self.profiler.reset()
+        self.planner.reset()
         self.device.reset()
-        self.device.reset_residency()
+        if release_residency:
+            self.device.reset_residency()

@@ -21,9 +21,9 @@ generator.  The protocol between generated code and this scheduler:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Generator, List, Sequence
 
 _fiber_ids = itertools.count()
 
@@ -111,7 +111,6 @@ class FiberScheduler:
         spawned fibers are picked up in the same pass.  Returns True when any
         fiber made progress."""
         progressed = False
-        i = 0
         while True:
             made_progress_this_round = False
             # iterate over a snapshot; spawn() may append
@@ -123,7 +122,6 @@ class FiberScheduler:
                 self._step(fiber)
             if not made_progress_this_round:
                 break
-            i += 1
             # joins may have become resolvable mid-pass
             self._resolve_joins()
         return progressed

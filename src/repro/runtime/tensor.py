@@ -5,29 +5,26 @@ invocation appends a :class:`DFGNode` to the runtime's pending graph and
 returns :class:`LazyTensor` handles for its outputs (§2.2, §3).  Values are
 filled in when the runtime triggers batched execution.
 
-Every materialized tensor records a ``(storage_region, offset)`` pair: all
-outputs of one batched kernel launch share a region and consecutive offsets,
-which is how the executor decides whether the operands of a later batch are
-already contiguous in device memory (relevant to gather-operator fusion,
-§5.2).
+A materialized tensor does not own its array: it is a zero-copy *view* into
+a :class:`~repro.memory.arena.StorageArena` — the contiguous device buffer
+holding all outputs of its batched launch, with instance ``b`` at offset
+``b``.  The memory planner (:mod:`repro.memory.planner`) reasons about those
+(arena, offset) placements to decide when a later batch's operands are
+already contiguous in device memory (gather elision, §5.2).
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..memory.arena import TensorStorage
+
 _tensor_ids = itertools.count()
 _node_ids = itertools.count()
-_region_ids = itertools.count()
-
-
-def new_storage_region() -> int:
-    """Allocate a fresh storage-region identifier (one per batched launch)."""
-    return next(_region_ids)
 
 
 class LazyTensor:
@@ -37,9 +34,7 @@ class LazyTensor:
         "tid",
         "node",
         "output_index",
-        "_value",
-        "storage_region",
-        "storage_offset",
+        "storage",
         "inferred_shape",
     )
 
@@ -47,31 +42,26 @@ class LazyTensor:
         self.tid = next(_tensor_ids)
         self.node = node
         self.output_index = output_index
-        self._value: Optional[np.ndarray] = None
-        self.storage_region: Optional[int] = None
-        self.storage_offset: Optional[int] = None
+        #: where the value lives once executed: a view into a storage arena
+        self.storage: Optional["TensorStorage"] = None
         #: statically inferred shape (filled by the VM's lazy interpreter so
         #: that batching signatures can include operand shapes)
         self.inferred_shape: Optional[tuple] = None
 
     @property
     def is_materialized(self) -> bool:
-        return self._value is not None
+        return self.storage is not None
 
     @property
     def value(self) -> np.ndarray:
-        """The concrete array; raises if the node has not executed yet."""
-        if self._value is None:
+        """The concrete array (a zero-copy view into the backing arena);
+        raises if the node has not executed yet."""
+        if self.storage is None:
             raise RuntimeError(
                 f"LazyTensor {self.tid} (node {self.node.node_id}, block "
                 f"{self.node.block_id}) read before execution was triggered"
             )
-        return self._value
-
-    def materialize(self, value: np.ndarray, region: int, offset: int) -> None:
-        self._value = value
-        self.storage_region = region
-        self.storage_offset = offset
+        return self.storage.array
 
     def __repr__(self) -> str:
         state = "ready" if self.is_materialized else "pending"

@@ -15,13 +15,13 @@ Two execution modes over the same tree-walking evaluator:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..engine.engine import ExecutionEngine, InstanceArgBinder, ProgramBinding
-from ..ir.adt import ADTValue, bind, matches, pattern_bound_vars
+from ..ir.adt import ADTValue, bind, matches
 from ..ir.expr import (
     Call,
     Constant,

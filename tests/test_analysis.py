@@ -13,7 +13,7 @@ from repro.analysis import (
     specialize_functions,
     uses_tensor_dependent_control_flow,
 )
-from repro.ir import Call, GlobalVar, Let, is_op_call, iter_let_chain
+from repro.ir import Call, GlobalVar, iter_let_chain
 from repro.ir.visitor import collect
 from repro.models import berxit, birnn, drnn, mvrnn, nestedrnn, stackrnn, treelstm
 from tests.conftest import build_listing1_rnn

@@ -58,7 +58,9 @@ class TestCodegen:
         # the hoisted input transformation is invoked at literal depth 0
         assert "__rt.invoke(" in compiled.source
         hoisted_lines = [
-            l for l in compiled.source.splitlines() if "__rt.invoke(" in l and ", 0, __phase" in l
+            line
+            for line in compiled.source.splitlines()
+            if "__rt.invoke(" in line and ", 0, __phase" in line
         ]
         assert hoisted_lines, "expected at least one hoisted invocation at static depth 0"
 
@@ -121,7 +123,13 @@ class TestCompiledModelDriver:
     def test_stats_have_host_and_device_breakdown(self, rnn_compiled):
         _, _, instances, compiled, _ = rnn_compiled
         _, stats = compiled.run(instances)
-        assert set(stats.host_ms) == {"dfg_construction", "scheduling", "dispatch"}
+        assert set(stats.host_ms) == {
+            "dfg_construction",
+            "scheduling",
+            "memory_planning",
+            "dispatch",
+            "materialize",
+        }
         assert stats.device["num_kernel_launches"] > 0
         assert stats.latency_ms >= stats.device_total_ms
 

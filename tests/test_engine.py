@@ -1,12 +1,10 @@
 """Tests for the engine layer: the scheduler-policy registry, policy
 equivalence across backends, and cross-request batching sessions."""
 
-import numpy as np
 import pytest
 
 from repro import CompilerOptions, compile_model, open_session, reference_run
 from repro.engine import (
-    ExecutionEngine,
     InferenceSession,
     available_policies,
     make_scheduler,

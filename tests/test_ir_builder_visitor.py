@@ -17,7 +17,6 @@ from repro.ir import (
     collect,
     concurrent,
     const,
-    ctor,
     expr_to_text,
     free_vars,
     function,
@@ -27,7 +26,6 @@ from repro.ir import (
     module_to_text,
     op,
     pat_ctor,
-    pat_var,
     pat_wild,
     phase_boundary,
     post_order,

@@ -12,8 +12,6 @@ from repro.ir import (
     ConstructorRef,
     Function,
     GlobalVar,
-    If,
-    Let,
     OpRef,
     PatternConstructor,
     PatternTuple,

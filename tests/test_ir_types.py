@@ -1,6 +1,5 @@
 """Tests for the IR type system."""
 
-import pytest
 
 from repro.ir import (
     ADTType,

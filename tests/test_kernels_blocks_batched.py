@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.kernels import (
+    BatchedOperand,
     BlockInput,
     BlockKernel,
     BlockOp,
@@ -161,9 +162,27 @@ class TestBatchedExecution:
         kernel = BlockKernel(rnn_cell_block())
         xs, hs, w, u, b = self._args(3)
         _, launches = kernel.execute_batched(
-            [xs, hs, w, u, b], 3, scattered_mask=[True, False, False, False, False]
+            [BatchedOperand.scattered_parts(xs), hs, w, u, b], 3
         )
-        assert sum(l.scattered_bytes for l in launches) > 0
+        assert sum(rec.scattered_bytes for rec in launches) > 0
+
+    def test_contiguous_operand_view_is_not_copied(self, monkeypatch):
+        kernel = BlockKernel(rnn_cell_block())
+        xs, hs, w, u, b = self._args(3)
+        stacked = np.stack(xs, axis=0)
+        real_stack, stack_calls = np.stack, []
+        monkeypatch.setattr(
+            np, "stack", lambda *a, **k: (stack_calls.append(1), real_stack(*a, **k))[1]
+        )
+        outs, _ = kernel.execute_batched(
+            [BatchedOperand.batched(stacked), hs, w, u, b], 3
+        )
+        # the pre-batched operand is consumed as-is: the only stack performed
+        # is for the legacy list-valued hs input, none for the batched view
+        assert len(stack_calls) == 1
+        for i in range(3):
+            ref = kernel.execute_single([xs[i], hs[i], w, u, b])
+            np.testing.assert_allclose(outs[0][i], ref[0], atol=1e-5)
 
     def test_wrong_varying_length_raises(self):
         kernel = BlockKernel(rnn_cell_block())

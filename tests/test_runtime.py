@@ -12,7 +12,6 @@ from repro.runtime import (
     ExecutionOptions,
     FiberScheduler,
     FiberYield,
-    GPUSpec,
     InlineDepthScheduler,
     LazyTensor,
     agenda_schedule,
@@ -80,6 +79,62 @@ class TestDeviceSimulator:
         dev.launch(record(name="a"))
         dev.launch(record(name="b"))
         assert dev.counters.launches_by_kernel == {"a": 2, "b": 1}
+
+    def test_gather_charges_api_and_bytes_per_call(self):
+        dev = DeviceSimulator()
+        dev.gather(1e4)
+        dev.gather(2e4)
+        assert dev.counters.num_gather_launches == 2
+        assert dev.counters.bytes_gathered == pytest.approx(3e4)
+        assert dev.counters.api_time_us == pytest.approx(2 * dev.spec.api_overhead_us)
+
+    def test_ensure_resident_is_idempotent(self):
+        dev = DeviceSimulator()
+        arr = np.zeros((16, 16), dtype=np.float32)
+        first = dev.ensure_resident(arr)
+        assert first > 0.0
+        for _ in range(5):
+            assert dev.ensure_resident(arr) == 0.0
+        assert dev.counters.num_memcpy == 1
+        assert dev.counters.bytes_copied == pytest.approx(float(arr.nbytes))
+
+    def test_reset_residency_forces_retransfer(self):
+        dev = DeviceSimulator()
+        arr = np.zeros((8, 8), dtype=np.float32)
+        dev.ensure_resident(arr)
+        dev.reset_residency()
+        assert not dev.is_resident(arr)
+        assert dev.ensure_resident(arr) > 0.0
+        assert dev.counters.num_memcpy == 2
+
+    def test_unbatched_memcpy_pays_per_call_overhead(self):
+        batched = DeviceSimulator()
+        unbatched = DeviceSimulator()
+        arr = np.zeros((4, 4), dtype=np.float32)
+        t_batched = batched.ensure_resident(arr, batch_transfers=True)
+        t_unbatched = unbatched.ensure_resident(arr, batch_transfers=False)
+        assert t_unbatched == pytest.approx(
+            t_batched + unbatched.spec.memcpy_overhead_us
+        )
+
+    def test_device_reset_keeps_residency(self):
+        dev = DeviceSimulator()
+        arr = np.zeros((8, 8), dtype=np.float32)
+        dev.ensure_resident(arr)
+        dev.reset()  # clears counters only
+        assert dev.is_resident(arr)
+        assert dev.ensure_resident(arr) == 0.0
+
+    def test_residency_not_fooled_by_recycled_ids(self):
+        """The cache holds arrays weakly and verifies identity: a new array
+        allocated at a freed array's address must still be charged."""
+        dev = DeviceSimulator()
+        arr = np.zeros((8, 8), dtype=np.float32)
+        dev.ensure_resident(arr)
+        del arr  # freed: CPython may hand its id() to the next allocation
+        fresh = np.ones((8, 8), dtype=np.float32)
+        assert dev.ensure_resident(fresh) > 0.0
+        assert dev.counters.num_memcpy == 2
 
 
 class TestProfiler:
