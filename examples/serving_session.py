@@ -1,53 +1,79 @@
-"""Cross-request batching with an :class:`InferenceSession`.
+"""Policy-driven serving with ``compile_model(...).serve(...)``.
 
-Simulates a serving scenario: single TreeLSTM requests arrive one at a
-time, a persistent session accumulates them in the lazy DFG, and one flush
-executes the whole backlog as a single batched round.  Compare the kernel
-launches against running each request eagerly on its own — the session's
-cross-request batching is where the serving-path speedup comes from.
+Simulates a serving scenario: single TreeLSTM requests arrive as open-loop
+Poisson traffic, a persistent session accumulates them, and a *flush
+policy* decides when the backlog executes as one cross-request batched
+round.  Compare the kernel launches against per-request execution — the
+amortization is where the serving-path speedup comes from — and note the
+latency/throughput tradeoff each policy picks.
+
+Everything runs on a simulated clock, so deadline semantics are exact and
+the whole sweep takes milliseconds of real time.
 
 Run with: PYTHONPATH=src python examples/serving_session.py
 """
 
 from repro import CompilerOptions, compile_model
 from repro.models import MODEL_MODULES
+from repro.serve import SimulatedClock, poisson_arrivals, replay
 
-NUM_REQUESTS = 8
+NUM_REQUESTS = 24
+ARRIVAL_RATE = 2500.0  # requests/second
+
+POLICIES = (
+    ("per_request", "size", {"n": 1}),
+    ("size(8)", "size", {"n": 8}),
+    ("deadline(5ms)", "deadline", {"ms": 5.0}),
+    ("adaptive", "adaptive", {}),
+)
 
 
 def main() -> None:
     module = MODEL_MODULES["treelstm"]
     mod, params, size = module.build_for("test")
     requests = module.make_batch(mod, size, NUM_REQUESTS, seed=11)
+    arrivals = poisson_arrivals(ARRIVAL_RATE, NUM_REQUESTS, seed=0)
 
     model = compile_model(mod, params, CompilerOptions())
 
-    # per-request execution: every arrival runs alone (no cross-request batching)
-    solo_launches = 0
-    for request in requests:
-        _, stats = model.run([request])
-        solo_launches += stats.kernel_calls
+    print(f"{NUM_REQUESTS} requests, Poisson arrivals at {ARRIVAL_RATE:.0f} req/s\n")
+    print(f"{'policy':<14} {'mean batch':>10} {'launches':>9} {'p50 ms':>7} "
+          f"{'p99 ms':>7} {'req/s':>7}")
+    base_launches = None
+    for label, policy, args in POLICIES:
+        session = model.serve(policy, clock=SimulatedClock(), **args)
+        report = replay(session, requests, arrivals)
+        if label == "per_request":
+            base_launches = report.kernel_launches
+        print(
+            f"{label:<14} {report.mean_batch:>10.1f} {report.kernel_launches:>9} "
+            f"{report.p50_ms:>7.2f} {report.p99_ms:>7.2f} "
+            f"{report.throughput_rps:>7.0f}"
+        )
 
-    # session execution: requests pile up, one flush batches across all of them
-    session = model.session(max_batch=NUM_REQUESTS)
-    handles = [session.submit(request) for request in requests]
-    assert all(h.done for h in handles)  # max_batch reached -> auto-flushed
-    stats = session.last_stats
+    # per-request observability: every handle carries its own stats
+    session = model.serve("deadline", ms=5.0, clock=SimulatedClock())
+    report = replay(session, requests, arrivals)
+    handle = report.handles[0]
+    stats = handle.stats
+    print(f"\nfirst request under deadline(5ms): queued {stats.queue_ms:.2f} ms, "
+          f"executed {stats.execute_ms:.2f} ms in a batch of {stats.batch_size} "
+          f"({stats.launch_share:.1f} launches/request, flushed by "
+          f"{stats.flush_reason!r})")
+    reduction = base_launches / report.kernel_launches
+    print(f"launch reduction vs per-request execution: {reduction:.1f}x")
 
-    print(f"requests                 : {NUM_REQUESTS}")
-    print(f"per-request kernel calls : {solo_launches}")
-    print(f"session kernel calls     : {stats.kernel_calls}")
-    print(f"launch reduction         : {solo_launches / stats.kernel_calls:.1f}x")
-    print(f"session latency (ms)     : {stats.latency_ms:.2f}")
-
-    # host-side time per phase, including the memory layer's buckets
-    # (memory_planning: contiguity classification + arena placement;
-    #  materialize: committing launch outputs into storage arenas)
-    print("host time per phase:")
-    for phase in ("dfg_construction", "scheduling", "memory_planning", "dispatch", "materialize"):
-        print(f"  {phase:<16} : {stats.host_ms.get(phase, 0.0):7.3f} ms")
-    ops = ", ".join(f"{k}={v}" for k, v in sorted(stats.memory.items()) if v)
-    print(f"planned operands         : {ops}")
+    # the plan cache kicks in when structurally identical rounds repeat
+    # (here: the same 8 requests flushed three times)
+    cache_session = model.session(max_batch=8)
+    for _ in range(3):
+        for request in requests[:8]:
+            cache_session.submit(request)
+    memory = cache_session.last_stats.memory
+    planning = [f"{s.host_ms['memory_planning']:.2f}" for s in cache_session.history]
+    print(f"plan cache over 3 identical rounds: {memory['plan_cache_hits']} hits / "
+          f"{memory['plan_cache_misses']} miss; memory_planning ms per flush: "
+          f"{', '.join(planning)}")
 
 
 if __name__ == "__main__":

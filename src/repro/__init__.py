@@ -13,7 +13,10 @@ Package map:
 * :mod:`repro.memory` -- arena-backed batched tensor storage and the
   ahead-of-execution memory planner (contiguity / gather classification).
 * :mod:`repro.engine` -- the execution-engine layer: runtime orchestration,
-  the scheduler-policy registry, cross-request batching sessions.
+  the scheduler-policy registry.
+* :mod:`repro.serve` -- the serving subsystem: flush policies, request
+  futures, policy-driven cross-request batching sessions, multi-model
+  servers, clocks and open-loop traffic generation.
 * :mod:`repro.compiler` -- options, AOT Python codegen, compiled-model driver.
 * :mod:`repro.vm` -- Relay-VM-style interpreter baseline + eager reference.
 * :mod:`repro.baselines` -- DyNet-style dynamic batching, eager (PyTorch-like)
@@ -58,10 +61,33 @@ def open_session(*args, **kwargs):
     return _impl(*args, **kwargs)
 
 
+#: serving-layer names importable from the top level (lazy, so importing
+#: ``repro`` stays cheap): ``repro.Server``, ``repro.SimulatedClock``, ...
+_SERVE_EXPORTS = (
+    "Server",
+    "Endpoint",
+    "FlushPolicy",
+    "SimulatedClock",
+    "WallClock",
+    "available_flush_policies",
+    "make_flush_policy",
+    "register_flush_policy",
+)
+
+
+def __getattr__(name):
+    if name in _SERVE_EXPORTS:
+        from . import serve as _serve
+
+        return getattr(_serve, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "CompilerOptions",
     "compile_model",
     "open_session",
     "reference_run",
     "__version__",
+    *_SERVE_EXPORTS,
 ]

@@ -121,6 +121,7 @@ class CompiledModel:
             or opts.scheduler
             or ("inline_depth" if opts.inline_depth else "dynamic_depth"),
             batch_memcpy=opts.batch_memcpy,
+            plan_cache=opts.plan_cache,
             validate=opts.validate,
         )
 
@@ -131,17 +132,19 @@ class CompiledModel:
     def make_engine(
         self,
         device: Optional[DeviceSimulator] = None,
-        policy: Optional[str] = None,
+        scheduler: Optional[str] = None,
     ) -> ExecutionEngine:
         """Create an execution engine bound to this model.
 
-        ``policy`` overrides the scheduler-policy name (a key of the engine's
-        scheduler registry); the default derives from the compiler options.
+        ``scheduler`` overrides the scheduler-policy name (a key of the
+        engine's scheduler registry — named ``scheduler`` on every model
+        entry point so it cannot be confused with the serving layer's flush
+        policies); the default derives from the compiler options.
         """
         return ExecutionEngine(
             program=CompiledProgramBinding(self),
             kernels=self.kernels,
-            options=self._exec_options(policy),
+            options=self._exec_options(scheduler),
             policy_args=self._policy_args(),
             device=device,
             gpu_spec=self.gpu_spec,
@@ -158,11 +161,47 @@ class CompiledModel:
         self,
         max_batch: Optional[int] = None,
         device: Optional[DeviceSimulator] = None,
-        policy: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        *,
+        flush_policy: Any = None,
+        flush_args: Optional[Dict[str, Any]] = None,
+        clock: Any = None,
     ):
-        """Open a persistent :class:`~repro.engine.session.InferenceSession`
-        that batches across independently submitted requests."""
-        return self.make_engine(device, policy).session(max_batch=max_batch)
+        """Open a persistent :class:`~repro.serve.session.InferenceSession`
+        that batches across independently submitted requests.
+
+        ``scheduler`` selects the *scheduler* policy (registry name — named
+        ``scheduler`` here and in :meth:`serve` so it can never be confused
+        with the flush-policy registry); ``flush_policy``/``flush_args``
+        select the session's *flush* policy (see :mod:`repro.serve.policy`);
+        ``max_batch=n`` is deprecated sugar for ``flush_policy="size",
+        flush_args={"n": n}``.
+        """
+        return self.make_engine(device, scheduler).session(
+            max_batch=max_batch, policy=flush_policy, policy_args=flush_args, clock=clock
+        )
+
+    def serve(
+        self,
+        policy: Any = "adaptive",
+        *,
+        clock: Any = None,
+        device: Optional[DeviceSimulator] = None,
+        scheduler: Optional[str] = None,
+        **policy_args: Any,
+    ):
+        """Open a policy-driven serving session over this model.
+
+        The serving facade: ``compile_model(...).serve("deadline", ms=5)``
+        returns an :class:`~repro.serve.session.InferenceSession` whose
+        flush policy (by registry name or instance, with ``policy_args``)
+        decides when the accumulated requests execute as one batched round.
+        ``scheduler`` optionally overrides the scheduler-policy name and
+        ``clock`` the session's time source.
+        """
+        return self.make_engine(device, scheduler).session(
+            policy=policy, policy_args=policy_args or None, clock=clock
+        )
 
     def run(
         self,

@@ -50,6 +50,17 @@ def compile_model(
         Optional custom simulated-GPU parameters.
     """
     options = options or CompilerOptions()
+    if options.scheduler is not None:
+        # fail fast on unknown policy names: resolving lazily inside engine
+        # construction would surface the error far from the user's typo
+        from ..engine.registry import available_policies
+
+        if options.scheduler not in available_policies():
+            raise ValueError(
+                f"unknown scheduler policy {options.scheduler!r} in "
+                f"CompilerOptions.scheduler; registered policies: "
+                f"{', '.join(available_policies())}"
+            )
     if not options.aot:
         return VMModel(
             module=module,
@@ -66,17 +77,29 @@ def open_session(
     options: Optional[CompilerOptions] = None,
     gpu_spec: Optional[GPUSpec] = None,
     max_batch: Optional[int] = None,
+    *,
+    policy: Any = None,
+    policy_args: Optional[Mapping[str, Any]] = None,
+    clock: Any = None,
 ) -> InferenceSession:
     """Compile ``module`` and open a cross-request batching session.
 
-    Requests enter via :meth:`~repro.engine.session.InferenceSession.submit`
-    and accumulate in the lazy DFG; execution happens when ``max_batch``
-    requests are pending or on an explicit
-    :meth:`~repro.engine.session.InferenceSession.flush`, batching across
-    the independently submitted requests.
+    Requests enter via :meth:`~repro.serve.session.InferenceSession.submit`
+    and accumulate in the lazy DFG; execution happens when the session's
+    flush policy fires or on an explicit
+    :meth:`~repro.serve.session.InferenceSession.flush`, batching across
+    the independently submitted requests.  ``policy``/``policy_args`` name
+    a flush policy from :mod:`repro.serve.policy` (``max_batch=n`` is
+    deprecated sugar for ``policy="size", policy_args={"n": n}``); ``clock``
+    overrides the session's time source.
     """
     model = compile_model(module, params, options, gpu_spec)
-    return model.session(max_batch=max_batch)
+    return model.session(
+        max_batch=max_batch,
+        flush_policy=policy,
+        flush_args=dict(policy_args) if policy_args else None,
+        clock=clock,
+    )
 
 
 def reference_run(

@@ -9,7 +9,9 @@ interpreter, the DyNet baseline) and :mod:`repro.runtime`:
   (``inline_depth``, ``dynamic_depth``, ``agenda``, ``nobatch``,
   ``dynet``), extensible via :func:`register_scheduler`;
 * :class:`InferenceSession` — a persistent session batching across
-  independently submitted requests (the serving path).
+  independently submitted requests.  The session (and everything serving:
+  flush policies, request futures, clocks, multi-model servers) lives in
+  :mod:`repro.serve`; it is re-exported here for compatibility.
 """
 
 from .engine import ExecutionEngine, InstanceArgBinder, ProgramBinding
@@ -19,7 +21,7 @@ from .registry import (
     register_scheduler,
     unregister_scheduler,
 )
-from .session import InferenceRequest, InferenceSession
+from .session import InferenceRequest, InferenceSession, RequestHandle
 
 __all__ = [
     "ExecutionEngine",
@@ -27,6 +29,7 @@ __all__ = [
     "ProgramBinding",
     "InferenceRequest",
     "InferenceSession",
+    "RequestHandle",
     "available_policies",
     "make_scheduler",
     "register_scheduler",

@@ -135,15 +135,19 @@ class ExecutionEngine:
         return self.options.scheduler
 
     # -- batch execution -------------------------------------------------------
-    def run(self, instances: Sequence[Any]) -> Tuple[List[Any], RunStats]:
+    def run(
+        self, instances: Sequence[Any], release_residency: bool = True
+    ) -> Tuple[List[Any], RunStats]:
         """Execute one mini-batch through the engine's runtime.
 
         Returns per-instance outputs (fully materialized) and the host/device
         breakdown of the run.  The runtime is reset first, so engines can be
-        reused across runs.
+        reused across runs; ``release_residency=False`` keeps the device's
+        residency cache (persistent sessions reuse parameters uploaded in
+        earlier rounds instead of re-transferring them).
         """
         rt = self.runtime
-        rt.reset()
+        rt.reset(release_residency=release_residency)
 
         run_start = time.perf_counter()
         fibers = FiberScheduler(rt.trigger) if self.program.uses_fibers else None
@@ -192,9 +196,25 @@ class ExecutionEngine:
         return stats
 
     # -- sessions --------------------------------------------------------------
-    def session(self, max_batch: Optional[int] = None):
-        """Open a persistent :class:`~repro.engine.session.InferenceSession`
-        that batches across independently submitted requests."""
-        from .session import InferenceSession
+    def session(
+        self,
+        max_batch: Optional[int] = None,
+        *,
+        policy: Any = None,
+        policy_args: Optional[Dict[str, Any]] = None,
+        clock: Any = None,
+    ):
+        """Open a persistent :class:`~repro.serve.session.InferenceSession`
+        that batches across independently submitted requests.
 
-        return InferenceSession(self, max_batch=max_batch)
+        ``policy`` selects a flush policy from the registry in
+        :mod:`repro.serve.policy` (with ``policy_args``); ``max_batch=n`` is
+        deprecated sugar for ``policy="size", policy_args={"n": n}``.
+        ``clock`` overrides the session's time source (e.g. a
+        :class:`~repro.serve.clock.SimulatedClock`).
+        """
+        from ..serve.session import InferenceSession
+
+        return InferenceSession(
+            self, max_batch=max_batch, policy=policy, policy_args=policy_args, clock=clock
+        )

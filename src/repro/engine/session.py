@@ -1,161 +1,17 @@
-"""Cross-request batching sessions.
+"""Compatibility shim: the session layer moved to :mod:`repro.serve`.
 
-Classic ``run(instances)`` batches only within one mini-batch: every call
-builds a runtime, executes, and throws everything away.  A serving system
-instead sees single requests arriving independently and wants to batch
-*across* them (Zha et al. 2019, JIT dynamic batching).
-:class:`InferenceSession` is that path: requests enter via :meth:`submit`,
-their DFG nodes accumulate in the session's persistent runtime, and one
-:meth:`flush` schedules and executes everything that piled up as a single
-batched round — so N submitted requests cost far fewer kernel launches than
-N eager runs.
-
-Two accumulation modes, chosen automatically from the program:
-
-* programs without tensor-dependent control flow run their unbatched code at
-  :meth:`submit` time, recording lazy DFG nodes immediately (true
-  cross-request DFG accumulation);
-* programs with tensor-dependent control flow cannot run ahead of
-  synchronization points, so the session defers them: instances queue up and
-  :meth:`flush` executes all of them as one fiber-interleaved batch.
-
-Either way the flushed results are numerically identical to one
-``run(instances)`` over the same requests.
+:class:`~repro.serve.session.InferenceSession` is now part of the serving
+subsystem (flush policies, request futures, clocks, servers, traffic) and
+lives in ``repro.serve.session``; the old ``InferenceRequest`` handle grew
+per-request statistics and became
+:class:`~repro.serve.request.RequestHandle`.  This module keeps the
+historical import path working.
 """
 
-from __future__ import annotations
+from ..serve.request import RequestHandle, RequestStats
+from ..serve.session import InferenceSession
 
-import time
-from typing import Any, List, Optional, Tuple
+#: deprecated alias for :class:`~repro.serve.request.RequestHandle`
+InferenceRequest = RequestHandle
 
-from ..runtime.executor import RunStats
-from ..runtime.tensor import materialize_value
-from .engine import ExecutionEngine
-
-
-class InferenceRequest:
-    """Handle for one submitted request; carries its result after a flush."""
-
-    __slots__ = ("index", "done", "_value")
-
-    def __init__(self, index: int) -> None:
-        #: position of the request within its batching round
-        self.index = index
-        self.done = False
-        self._value: Any = None
-
-    def result(self) -> Any:
-        if not self.done:
-            raise RuntimeError(
-                "request not executed yet: call InferenceSession.flush() "
-                "(or submit until max_batch is reached)"
-            )
-        return self._value
-
-    def _complete(self, value: Any) -> None:
-        self._value = value
-        self.done = True
-
-    def __repr__(self) -> str:
-        return f"InferenceRequest(index={self.index}, done={self.done})"
-
-
-class InferenceSession:
-    """Persistent session batching independently submitted requests."""
-
-    def __init__(self, engine: ExecutionEngine, max_batch: Optional[int] = None) -> None:
-        if max_batch is not None and max_batch < 1:
-            raise ValueError("max_batch must be a positive integer")
-        self.engine = engine
-        #: flush automatically once this many requests are pending
-        self.max_batch = max_batch
-        self._deferred = engine.program.uses_fibers
-        self._pending: List[Tuple[InferenceRequest, Any]] = []
-        self._entry = None
-        self._build_s = 0.0
-        #: statistics of the most recent flush
-        self.last_stats: Optional[RunStats] = None
-        self.num_requests = 0
-        self.num_flushes = 0
-
-    # -- request intake --------------------------------------------------------
-    def submit(self, instance: Any) -> InferenceRequest:
-        """Accept one request; returns a handle resolved at the next flush.
-
-        For programs without tensor-dependent control flow the request's
-        unbatched program runs now, recording its DFG nodes into the shared
-        lazy graph; execution is still deferred to :meth:`flush`.
-        """
-        handle = InferenceRequest(len(self._pending))
-        if self._deferred:
-            self._pending.append((handle, instance))
-        else:
-            entry = self._ensure_round()
-            rt = self.engine.runtime
-            build_start = time.perf_counter()
-            rt.current_instance = handle.index
-            raw = entry(instance)
-            self._build_s += time.perf_counter() - build_start
-            self._pending.append((handle, raw))
-        self.num_requests += 1
-        if self.max_batch is not None and len(self._pending) >= self.max_batch:
-            self.flush()
-        return handle
-
-    @property
-    def pending_requests(self) -> int:
-        return len(self._pending)
-
-    # -- execution -------------------------------------------------------------
-    def flush(self) -> List[Any]:
-        """Schedule and execute everything submitted since the last flush.
-
-        Returns the per-request outputs in submission order (and resolves
-        every pending request handle).
-        """
-        if not self._pending:
-            return []
-        pending, self._pending = self._pending, []
-
-        if self._deferred:
-            outputs, stats = self.engine.run([instance for _, instance in pending])
-        else:
-            rt = self.engine.runtime
-            flush_start = time.perf_counter()
-            rt.trigger()
-            outputs = [materialize_value(raw) for _, raw in pending]
-            wall_s = self._build_s + (time.perf_counter() - flush_start)
-            stats = self.engine.collect_stats(len(pending), wall_s)
-            self._entry = None
-            self._build_s = 0.0
-
-        for (handle, _), output in zip(pending, outputs):
-            handle._complete(output)
-        stats.batch_size = len(pending)
-        self.last_stats = stats
-        self.engine.last_stats = stats
-        self.num_flushes += 1
-        return outputs
-
-    # -- context manager -------------------------------------------------------
-    def __enter__(self) -> "InferenceSession":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is None:
-            self.flush()
-
-    # -- internals -------------------------------------------------------------
-    def _ensure_round(self):
-        """Bind the program for a new batching round (first submit after a
-        flush): reset the runtime and cache the per-instance entry.
-
-        The device's residency cache survives the reset: storage arenas and
-        parameters uploaded in earlier rounds stay device-resident, so
-        cross-request batches in later rounds reuse resident parameters
-        instead of re-transferring them.
-        """
-        if self._entry is None:
-            self.engine.runtime.reset(release_residency=False)
-            self._entry = self.engine.program.bind(self.engine.runtime, None)
-        return self._entry
+__all__ = ["InferenceRequest", "InferenceSession", "RequestHandle", "RequestStats"]

@@ -1,0 +1,38 @@
+"""Regenerate result tables: ``python -m repro.experiments [name ...]``.
+
+With no arguments every experiment runs (all tables/figures plus the
+serving benchmark) and each formatted table is written to
+``benchmarks/results/`` (or ``REPRO_RESULTS_DIR``); pass experiment names
+(``table5``, ``figure6``, ``serving``, ...) to regenerate a subset.  Set
+``REPRO_SCALE=paper`` for the paper's model sizes and ``REPRO_BEST_OF=N``
+for best-of-N latency measurements.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import ALL_EXPERIMENTS
+from .harness import save_result
+
+
+def main(argv) -> int:
+    names = list(argv) or sorted(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"available: {', '.join(sorted(ALL_EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        print(f"== {name} ==")
+        text = ALL_EXPERIMENTS[name].main()
+        path = save_result(name, text)
+        print(f"-> {path}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

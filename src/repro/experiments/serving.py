@@ -1,0 +1,227 @@
+"""Serving benchmark: open-loop traffic through the flush-policy matrix.
+
+The paper's tables measure one mini-batch at a time; a serving system sees
+*traffic*.  This driver replays Poisson arrivals (open-loop: arrival times
+are fixed in advance, so queueing under load is measured honestly) against
+TreeLSTM and BiRNN sessions under every built-in flush policy and reports
+the latency-vs-throughput tradeoff each policy picks:
+
+* ``per_request`` — flush after every submit (no cross-request batching;
+  the baseline every policy is compared against);
+* ``size(8)`` — classic fixed-size batching;
+* ``deadline(5ms)`` — bounded queueing delay;
+* ``adaptive`` — cost-model-driven batching (continuous batching under
+  backlog).
+
+Reported per configuration: throughput, p50/p99 end-to-end latency on the
+simulated clock, mean batch size, total kernel launches and the launch
+reduction vs ``per_request``.  Every policy's outputs are checked against
+the eager reference — batching policy must never change results.
+
+A second table isolates the memory planner's plan cache
+(:mod:`repro.memory.planner`): a session flushing structurally identical
+rounds replays cached plans, and the table compares the ``memory_planning``
+bucket and hit rate against the uncached path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.options import CompilerOptions
+from ..core.api import compile_model, reference_run
+from ..serve.clock import SimulatedClock
+from ..serve.traffic import TrafficReport, poisson_arrivals, replay
+from ..utils import values_allclose
+from .harness import (
+    ExperimentScale,
+    build_model,
+    current_scale,
+    format_table,
+    make_instances,
+    resolve_size_name,
+    save_result,
+)
+
+HEADERS = (
+    "model",
+    "policy",
+    "throughput_rps",
+    "p50_ms",
+    "p99_ms",
+    "mean_batch",
+    "launches",
+    "launch_reduction",
+    "matches_ref",
+)
+
+CACHE_HEADERS = (
+    "config",
+    "flushes",
+    "hits",
+    "hit_rate",
+    "memory_planning_ms",
+)
+
+#: flush-policy matrix: (row label, registry name, policy arguments)
+POLICIES: Tuple[Tuple[str, str, Dict], ...] = (
+    ("per_request", "size", {"n": 1}),
+    ("size(8)", "size", {"n": 8}),
+    ("deadline(5ms)", "deadline", {"ms": 5.0}),
+    ("adaptive", "adaptive", {}),
+)
+
+MODELS = ("treelstm", "birnn")
+
+#: open-loop arrival rate (requests/second on the simulated clock) and
+#: request-trace length per scale; the rate is set well above the
+#: per-request service rate so batching pressure is real (open-loop
+#: saturation), keeping the launch-reduction margins stable across hosts
+ARRIVAL_RATE = {"reduced": 4000.0, "paper": 2000.0}
+NUM_REQUESTS = {"reduced": 32, "paper": 64}
+
+
+def _best_of() -> int:
+    return max(1, int(os.environ.get("REPRO_BEST_OF", "1")))
+
+
+def _replay_policy(
+    compiled, requests, rate: float, seed: int, policy: str, policy_args: Dict
+) -> TrafficReport:
+    arrivals = poisson_arrivals(rate, len(requests), seed=seed)
+    session = compiled.serve(policy, clock=SimulatedClock(), **policy_args)
+    return replay(session, requests, arrivals)
+
+
+def run(scale: Optional[ExperimentScale] = None) -> Tuple[Tuple[str, ...], List[List]]:
+    """The policy-matrix traffic table (one row per model x policy)."""
+    scale = scale or current_scale()
+    n = NUM_REQUESTS.get(scale.name, 32)
+    rate = ARRIVAL_RATE.get(scale.name, 2500.0)
+
+    rows: List[List] = []
+    for model_name in MODELS:
+        size_name = resolve_size_name(scale, scale.size_names[0])
+        mod, params, size = build_model(model_name, size_name, scale.seed)
+        requests = make_instances(model_name, mod, size, n, seed=scale.seed + 1)
+        reference = reference_run(mod, params, requests)
+        compiled = compile_model(mod, params, CompilerOptions())
+
+        base_launches: Optional[int] = None
+        for label, policy, policy_args in POLICIES:
+            # wall-clock host time feeds the simulated latency, so keep the
+            # best-of-N benchmark hygiene the other tables use
+            report = min(
+                (
+                    _replay_policy(compiled, requests, rate, scale.seed, policy, policy_args)
+                    for _ in range(_best_of())
+                ),
+                key=lambda r: r.p99_ms,
+            )
+            ok = all(
+                values_allclose(a, b) for a, b in zip(reference, report.outputs)
+            )
+            if label == "per_request":
+                base_launches = report.kernel_launches
+            rows.append(
+                [
+                    model_name,
+                    label,
+                    report.throughput_rps,
+                    report.p50_ms,
+                    report.p99_ms,
+                    report.mean_batch,
+                    report.kernel_launches,
+                    base_launches / report.kernel_launches,
+                    "yes" if ok else "NO",
+                ]
+            )
+    return HEADERS, rows
+
+
+def run_plan_cache(
+    scale: Optional[ExperimentScale] = None,
+    rounds: int = 4,
+    batch: int = 8,
+) -> Tuple[Tuple[str, ...], List[List]]:
+    """The plan-cache table: ``rounds`` structurally identical session
+    flushes with the cache on vs off."""
+    scale = scale or current_scale()
+    size_name = resolve_size_name(scale, scale.size_names[0])
+    mod, params, size = build_model("treelstm", size_name, scale.seed)
+    requests = make_instances("treelstm", mod, size, batch, seed=scale.seed + 2)
+    reference = reference_run(mod, params, requests)
+
+    rows: List[List] = []
+    for label, cached in (("plan_cache=on", True), ("plan_cache=off", False)):
+        def measure() -> Tuple[float, int, int]:
+            compiled = compile_model(mod, params, CompilerOptions(plan_cache=cached))
+            session = compiled.session(max_batch=batch)
+            for _ in range(rounds):
+                handles = [session.submit(r) for r in requests]
+                assert all(
+                    values_allclose(a, h.result())
+                    for a, h in zip(reference, handles)
+                ), "plan-cached session diverged from the reference"
+            planning = sum(s.host_ms.get("memory_planning", 0.0) for s in session.history)
+            memory = session.last_stats.memory
+            return planning, memory["plan_cache_hits"], memory["plan_cache_misses"]
+
+        # sub-millisecond planning buckets on a noisy host need benchmark
+        # hygiene: one untimed warmup run per config (the first config in a
+        # cold process otherwise eats all code-path warmup), then best-of-N
+        # with a floor of 3
+        measure()
+        planning, hits, misses = min(
+            (measure() for _ in range(max(3, _best_of()))), key=lambda m: m[0]
+        )
+        rows.append(
+            [
+                label,
+                rounds,
+                hits,
+                hits / max(1, hits + misses),
+                planning,
+            ]
+        )
+    return CACHE_HEADERS, rows
+
+
+def format_report(
+    headers: Tuple[str, ...],
+    rows: List[List],
+    cache_headers: Tuple[str, ...],
+    cache_rows: List[List],
+) -> str:
+    """Both tables as one result file."""
+    parts = [
+        format_table(
+            headers,
+            rows,
+            title=(
+                "Serving: open-loop Poisson traffic, flush-policy matrix "
+                "(simulated clock; latencies include queueing + execution)"
+            ),
+        ),
+        "",
+        format_table(
+            cache_headers,
+            cache_rows,
+            title="Plan cache: structurally identical session flushes (TreeLSTM)",
+        ),
+    ]
+    return "\n".join(parts)
+
+
+def main() -> str:
+    headers, rows = run()
+    cache_headers, cache_rows = run_plan_cache()
+    text = format_report(headers, rows, cache_headers, cache_rows)
+    print(text)
+    save_result("serving", text)
+    return text
+
+
+if __name__ == "__main__":
+    main()

@@ -27,6 +27,20 @@ resolves each :class:`OperandPlan` into a :class:`~repro.kernels.batched.Batched
 simulator) and commits outputs into real arenas under the planned ids
 (:meth:`MemoryPlanner.commit`).
 
+Planning is pure classification over the round's *structure* (which blocks,
+batched how, with operands placed where), so structurally identical rounds —
+the common case for a serving session flushing similar request batches over
+and over — replan from scratch needlessly.  The planner therefore keeps a
+**plan cache**: each round is fingerprinted by a canonical signature (block
+ids, batch sizes, and every varying operand's producer expressed relative to
+the round, so concrete arena ids don't leak in), and a hit replays the
+cached classification with fresh output arena ids instead of re-walking
+placements.  Fingerprinting costs about half of planning, so the cache
+stays dormant until a repeat-heavy caller arms it
+(:meth:`MemoryPlanner.expect_repeats` — serving sessions do; one-shot runs
+pay nothing).  Hits and misses are reported as ``plan_cache_hits`` /
+``plan_cache_misses`` in ``RunStats.memory``.
+
 This module is the single authority on storage contiguity: nothing outside
 ``repro.memory`` compares arena placements.
 """
@@ -110,25 +124,127 @@ class BatchPlan:
         return sum(1 for op in self.operands if op.kind is kind)
 
 
+class _PlanTemplate:
+    """Cached classification of one round, relative to the round itself.
+
+    ``entries`` holds one ``(batch_size, num_outputs, operand_specs)``
+    triple per batch; ``operand_specs`` preserves the block-input order the
+    executor relies on.  Each spec is either a ready-to-share
+    :class:`OperandPlan` reused as-is (shared / gather / batch-of-one /
+    external-arena operands — nothing in them names a fresh arena) or a
+    ``(index, kind, producer_batch_idx, out_k, start)`` tuple for a
+    contiguous operand sourced from an output planned earlier in the same
+    round, rebound to that batch's fresh arena id on instantiation.
+    ``counts`` is the round's precomputed per-kind operand tally.
+    """
+
+    __slots__ = ("entries", "counts")
+
+    def __init__(
+        self, entries: List[Tuple], counts: Dict[str, int]
+    ) -> None:
+        self.entries = entries
+        self.counts = counts
+
+
+#: plan-cache size bound: rounds referencing arenas of *earlier* rounds
+#: (fiber programs with many sync rounds) embed concrete arena ids in their
+#: signature and can never hit again, so the cache is cleared wholesale once
+#: it accumulates this many distinct signatures
+_PLAN_CACHE_MAX = 256
+
+
 class MemoryPlanner:
     """Plans arena placement and operand contiguity for scheduled batches."""
 
-    def __init__(self, gather_fusion: bool = True) -> None:
+    def __init__(self, gather_fusion: bool = True, plan_cache: bool = True) -> None:
         self.gather_fusion = gather_fusion
         #: plans of the most recent round (introspection / tests)
         self.last_plans: List[BatchPlan] = []
         #: cumulative per-kind operand counts since the last reset
         self.operand_counts: Dict[str, int] = {k.value: 0 for k in OperandKind}
+        self.plan_cache_enabled = plan_cache
+        self._plan_cache: Dict[Tuple, _PlanTemplate] = {}
+        #: cumulative cache accounting over the planner's lifetime (NOT
+        #: cleared by :meth:`reset`, so a session reports its cache hit rate
+        #: across flush rounds)
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: the cache stays dormant until a repeat-heavy caller *arms* it
+        #: (:meth:`expect_repeats`): fingerprinting a round costs about half
+        #: of planning it, which only pays off when rounds actually repeat —
+        #: serving sessions do, one-shot ``run()`` calls do not and must not
+        #: fund a cache they can never hit
+        self.plan_cache_armed = False
+        #: sync-round ordinal within the current run/flush, and the ordinals
+        #: known to produce uncacheable signatures (rounds referencing
+        #: earlier rounds' concrete arenas — fiber programs — can never hit,
+        #: so after the first observation those ordinals skip fingerprinting
+        #: entirely)
+        self._round_ordinal = 0
+        self._uncacheable_ordinals: set = set()
+
+    def expect_repeats(self) -> None:
+        """Arm the plan cache: the caller expects structurally repeating
+        rounds (serving sessions call this at construction)."""
+        self.plan_cache_armed = True
 
     def reset(self) -> None:
+        """Clear per-run state.  The plan cache (and its hit/miss counters)
+        survives: cached templates are content-addressed by round structure,
+        so they stay valid across runs and across a session's flush rounds —
+        which is exactly when they pay off."""
         self.last_plans = []
         self.operand_counts = {k.value: 0 for k in OperandKind}
+        self._round_ordinal = 0
 
     # -- planning --------------------------------------------------------------
     def plan_round(
         self, batches: List["ScheduledBatch"], kernels: Dict[int, "BlockKernel"]
     ) -> List[BatchPlan]:
-        """Plan memory for one scheduled round, in execution order."""
+        """Plan memory for one scheduled round, in execution order.
+
+        With the cache enabled *and armed* (:meth:`expect_repeats`), a round
+        structurally identical to an earlier one replays the cached
+        classification (fresh output arena ids, operand sources rebound)
+        instead of re-deriving placements; otherwise rounds plan uncached
+        with no fingerprinting overhead.
+        """
+        self._round_ordinal += 1
+        if not (self.plan_cache_enabled and self.plan_cache_armed):
+            plans = self._plan_round_uncached(batches, kernels)
+            self.last_plans = plans
+            return plans
+        if self._round_ordinal in self._uncacheable_ordinals:
+            # this sync-round position referenced earlier rounds' concrete
+            # arenas before — it can never hit, so skip even fingerprinting
+            self.cache_misses += 1
+            plans = self._plan_round_uncached(batches, kernels)
+            self.last_plans = plans
+            return plans
+
+        signature, cacheable = self._round_signature(batches, kernels)
+        template = self._plan_cache.get(signature)
+        plans: Optional[List[BatchPlan]] = None
+        if template is not None:
+            plans = self._instantiate(template, batches)
+        if plans is not None:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+            plans = self._plan_round_uncached(batches, kernels)
+            if cacheable:
+                if len(self._plan_cache) >= _PLAN_CACHE_MAX:
+                    self._plan_cache.clear()
+                self._plan_cache[signature] = self._make_template(plans)
+            else:
+                self._uncacheable_ordinals.add(self._round_ordinal)
+        self.last_plans = plans
+        return plans
+
+    def _plan_round_uncached(
+        self, batches: List["ScheduledBatch"], kernels: Dict[int, "BlockKernel"]
+    ) -> List[BatchPlan]:
         #: symbolic placements of tensors this round will produce: tid ->
         #: (arena_id, offset); tensors from earlier rounds carry real storage
         placements: Dict[int, Tuple[int, int]] = {}
@@ -162,7 +278,146 @@ class MemoryPlanner:
                 )
             )
 
-        self.last_plans = plans
+        return plans
+
+    # -- plan cache ------------------------------------------------------------
+    def _round_signature(
+        self, batches: List["ScheduledBatch"], kernels: Dict[int, "BlockKernel"]
+    ) -> Tuple[Tuple, bool]:
+        """Canonical fingerprint of one scheduled round, plus whether it is
+        worth caching (False when the signature pins concrete earlier-round
+        placements — arena ids are never reused, so such a round cannot
+        recur).
+
+        Per batch: the block, the batch's *membership* — each member node's
+        per-round sequence number
+        (:attr:`~repro.runtime.tensor.DFGNode.round_seq`, assigned in
+        creation order by the runtime, so it is canonical across rounds) —
+        and, for every varying (non-shared) block input, the operand column:
+        in-round producers named by their sequence number, producers
+        materialized in *earlier* rounds pinned by their concrete
+        ``(arena_id, offset)`` placement (arena ids are never recycled, so a
+        stale match is impossible), host arrays by presence only
+        (classification never looks at their values).
+
+        Membership plus columns is what makes sequence-number references
+        sound: membership pins where every producer sits positionally
+        (batch, offset), columns pin which producer each operand names —
+        equal signatures therefore imply identical placements, hence
+        identical plans.  Shared (weight) inputs are skipped exactly as
+        :meth:`_plan_operand` skips them.
+        """
+        lazy = LazyTensor
+        cacheable = True
+        sig: List[Tuple] = []
+        add = sig.append
+        for batch in batches:
+            nodes = batch.nodes
+            members = tuple(node.round_seq for node in nodes)
+            if len(nodes) == 1:
+                # batch of one classifies from the block alone
+                add((batch.block_id, members))
+                continue
+            columns: List[Tuple] = []
+            for inp in kernels[batch.block_id].block.inputs:
+                if inp.shared:
+                    continue  # classified SHARED without looking at operands
+                index = inp.index
+                col: List[Any] = []
+                cadd = col.append
+                for node in nodes:
+                    arg = node.args[index]
+                    if type(arg) is lazy:
+                        producer = arg.node
+                        if producer.executed:
+                            storage = arg.storage
+                            # "?": executed but storage-less cannot occur
+                            # through the runtime; keeps the round uncacheable
+                            cadd(
+                                ("x",) + storage.placement
+                                if storage is not None
+                                else ("?", id(arg))
+                            )
+                            cacheable = False
+                        else:
+                            cadd((producer.round_seq, arg.output_index))
+                    else:
+                        cadd("h")
+                columns.append(tuple(col))
+            add((batch.block_id, members, tuple(columns)))
+        return tuple(sig), cacheable
+
+    def _make_template(self, plans: List[BatchPlan]) -> _PlanTemplate:
+        """Strip freshly made plans down to a reusable, round-relative
+        template.
+
+        Operand plans that name no fresh arena (shared / gather /
+        batch-of-one / external-arena sources) are round-independent and
+        stored as ready-to-share :class:`OperandPlan` objects; only
+        contiguous operands sourced from the round's own outputs need
+        rebinding and are kept as symbolic specs.
+        """
+        arena_origin: Dict[int, Tuple[int, int]] = {}
+        for bi, plan in enumerate(plans):
+            for k, arena_id in enumerate(plan.output_arena_ids):
+                arena_origin[arena_id] = (bi, k)
+
+        counts: Dict[str, int] = {}
+        entries: List[Tuple] = []
+        for plan in plans:
+            specs: List[Any] = []
+            for op in plan.operands:
+                counts[op.kind.value] = counts.get(op.kind.value, 0) + 1
+                origin = arena_origin.get(op.arena_id) if op.arena_id is not None else None
+                if origin is None:
+                    specs.append(op)  # round-independent: reuse as-is
+                else:
+                    specs.append((op.index, op.kind, origin[0], origin[1], op.start))
+            entries.append((plan.batch_size, len(plan.output_arena_ids), specs))
+        return _PlanTemplate(entries, counts)
+
+    def _instantiate(
+        self, template: _PlanTemplate, batches: List["ScheduledBatch"]
+    ) -> Optional[List[BatchPlan]]:
+        """Replay a cached template against this round's batches: allocate
+        fresh output arena ids and rebind round-sourced contiguous operands.
+
+        Returns None when the template's shape does not line up with the
+        scheduled batches (cannot happen for signatures produced by
+        :meth:`_round_signature`, but kept as a cheap invariant so a bad hit
+        degrades to a plain miss rather than a bad plan).
+        """
+        entries = template.entries
+        if len(entries) != len(batches) or any(
+            entry[0] != len(batch.nodes) for entry, batch in zip(entries, batches)
+        ):
+            return None
+        plans: List[BatchPlan] = []
+        round_ids: List[List[int]] = []
+        for (_, num_outputs, specs), batch in zip(entries, batches):
+            output_ids = [next_arena_id() for _ in range(num_outputs)]
+            round_ids.append(output_ids)
+            operands: List[OperandPlan] = [
+                spec
+                if type(spec) is OperandPlan
+                # (index, kind, producer batch, out_k, start): rebind to the
+                # producer's fresh arena id, preserving block-input order
+                else OperandPlan(
+                    spec[0], spec[1], arena_id=round_ids[spec[2]][spec[3]], start=spec[4]
+                )
+                for spec in specs
+            ]
+            plans.append(
+                BatchPlan(
+                    batch=batch,
+                    batch_size=len(batch.nodes),
+                    operands=operands,
+                    output_arena_ids=output_ids,
+                )
+            )
+        counts = self.operand_counts
+        for kind_value, n in template.counts.items():
+            counts[kind_value] += n
         return plans
 
     def _plan_operand(

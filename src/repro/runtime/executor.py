@@ -51,6 +51,10 @@ class ExecutionOptions:
     scheduler_args: Dict[str, Any] = field(default_factory=dict)
     #: coalesce host->device parameter/input transfers
     batch_memcpy: bool = True
+    #: cache memory plans across structurally identical rounds (serving
+    #: sessions flush similar request batches repeatedly; see
+    #: :class:`~repro.memory.planner.MemoryPlanner`)
+    plan_cache: bool = True
     #: extra consistency checks (shared-argument equality, dependency order)
     validate: bool = False
 
@@ -62,12 +66,20 @@ class RunStats:
     host_ms: Dict[str, float] = field(default_factory=dict)
     device: Dict[str, float] = field(default_factory=dict)
     #: memory-planner operand classification counts (contiguous / gather /
-    #: fused_gather / shared)
+    #: fused_gather / shared) plus plan-cache accounting
+    #: (``plan_cache_hits`` / ``plan_cache_misses``, cumulative over the
+    #: runtime's lifetime)
     memory: Dict[str, int] = field(default_factory=dict)
     num_dfg_nodes: int = 0
     num_batches: int = 0
     batch_size: int = 0
     sync_rounds: int = 0
+    #: serving-clock timestamp at which the run's flush started (seconds on
+    #: the session's :class:`~repro.serve.clock.Clock`; 0.0 outside sessions)
+    flushed_at: float = 0.0
+    #: what triggered the flush ("size", "deadline", "adaptive", "manual";
+    #: empty outside sessions)
+    flush_reason: str = ""
 
     @property
     def host_total_ms(self) -> float:
@@ -105,7 +117,12 @@ class RunStats:
             "batches": self.num_batches,
         }
         out.update({f"host_{k}_ms": v for k, v in self.host_ms.items()})
-        out.update({f"mem_{k}_operands": v for k, v in self.memory.items()})
+        out.update(
+            {
+                (f"mem_{k}" if k.startswith("plan_cache") else f"mem_{k}_operands"): v
+                for k, v in self.memory.items()
+            }
+        )
         out.update(self.device)
         return out
 
@@ -125,7 +142,10 @@ class AcrobatRuntime:
         self.options = options or ExecutionOptions()
         self.device = device or DeviceSimulator()
         self.profiler = profiler or ActivityProfiler()
-        self.planner = MemoryPlanner(gather_fusion=self.options.gather_fusion)
+        self.planner = MemoryPlanner(
+            gather_fusion=self.options.gather_fusion,
+            plan_cache=self.options.plan_cache,
+        )
         self._pending: List[DFGNode] = []
         if scheduler is None:
             # resolved through the engine-layer policy registry so that even
@@ -144,6 +164,7 @@ class AcrobatRuntime:
         self.num_nodes_total = 0
         self.num_batches_total = 0
         self.sync_rounds = 0
+        self._round_seq = 0
 
     # -- API called by generated code / VM ------------------------------------
     def invoke(self, block_id: int, depth: int, phase: int, args: Sequence[Any]) -> Any:
@@ -157,6 +178,8 @@ class AcrobatRuntime:
             instance_id=self.current_instance,
             num_outputs=kernel.block.num_outputs,
         )
+        node.round_seq = self._round_seq
+        self._round_seq += 1
         self._pending.append(node)
         self.num_nodes_total += 1
         outs = node.outputs
@@ -192,6 +215,7 @@ class AcrobatRuntime:
             return
         nodes = self._pending
         self._pending = []
+        self._round_seq = 0
         self.sync_rounds += 1
 
         sched_start = time.perf_counter()
@@ -240,10 +264,13 @@ class AcrobatRuntime:
             "dispatch": self.profiler.ms("dispatch"),
             "materialize": self.profiler.ms("materialize"),
         }
+        memory = dict(self.planner.operand_counts)
+        memory["plan_cache_hits"] = self.planner.cache_hits
+        memory["plan_cache_misses"] = self.planner.cache_misses
         return RunStats(
             host_ms=host_ms,
             device=self.device.counters.as_dict(),
-            memory=dict(self.planner.operand_counts),
+            memory=memory,
             num_dfg_nodes=self.num_nodes_total,
             num_batches=self.num_batches_total,
             batch_size=batch_size,
@@ -258,6 +285,7 @@ class AcrobatRuntime:
         they do for a persistent serving session.
         """
         self._pending = []
+        self._round_seq = 0
         self.current_instance = 0
         self.num_nodes_total = 0
         self.num_batches_total = 0

@@ -80,6 +80,7 @@ class DFGNode:
         "instance_id",
         "outputs",
         "executed",
+        "round_seq",
     )
 
     def __init__(
@@ -101,6 +102,12 @@ class DFGNode:
         self.instance_id = instance_id
         self.outputs: List[LazyTensor] = [LazyTensor(self, k) for k in range(num_outputs)]
         self.executed = False
+        #: position within the node's synchronization round (assigned by the
+        #: runtime at invoke time); the memory planner's plan cache uses it
+        #: as the canonical in-round producer reference.  Defaults to the
+        #: globally unique node id so directly constructed nodes can never
+        #: alias in a cache signature.
+        self.round_seq = self.node_id
 
     def producer_nodes(self) -> List["DFGNode"]:
         """DFG nodes whose outputs this node consumes."""

@@ -1,0 +1,74 @@
+"""The serving subsystem: first-class cross-request batching for inference.
+
+ACROBAT's hybrid static+dynamic auto-batching pays off most in a serving
+setting, where independent requests arrive continuously and must be batched
+*across* each other.  This package is that execution-facing API:
+
+* :mod:`repro.serve.clock` — pluggable time (:class:`WallClock` /
+  :class:`SimulatedClock`) so deadline semantics and latency metrics are
+  testable and benchmarkable without real waiting;
+* :mod:`repro.serve.policy` — :class:`FlushPolicy` and its string-keyed
+  registry (``manual``, ``size``, ``deadline``, ``adaptive``): *when* a
+  session's backlog executes as one batched round;
+* :mod:`repro.serve.request` — future-style :class:`RequestHandle` with
+  per-request queueing/latency/launch-share statistics;
+* :mod:`repro.serve.session` — :class:`InferenceSession`, the persistent
+  policy-driven batching session (``submit``/``poll``/``flush``);
+* :mod:`repro.serve.server` — :class:`Server`/:class:`Endpoint`
+  multiplexing multiple compiled models over one shared device simulator;
+* :mod:`repro.serve.traffic` — open-loop arrival processes (Poisson,
+  bursty) and deterministic replay on the simulated clock, feeding the
+  ``experiments.serving`` latency-vs-throughput benchmark.
+
+Entry points: ``compile_model(...).serve(policy="adaptive")`` opens a
+policy-driven session; ``Server().add_endpoint(name, model, policy=...)``
+builds a multi-model deployment.
+"""
+
+from .clock import Clock, SimulatedClock, WallClock
+from .policy import (
+    AdaptivePolicy,
+    DeadlinePolicy,
+    FlushPolicy,
+    ManualPolicy,
+    SizePolicy,
+    available_flush_policies,
+    make_flush_policy,
+    register_flush_policy,
+    unregister_flush_policy,
+)
+from .request import RequestHandle, RequestStats
+from .server import Endpoint, Server
+from .session import InferenceSession
+from .traffic import (
+    TrafficReport,
+    bursty_arrivals,
+    poisson_arrivals,
+    replay,
+    replay_server,
+)
+
+__all__ = [
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
+    "FlushPolicy",
+    "ManualPolicy",
+    "SizePolicy",
+    "DeadlinePolicy",
+    "AdaptivePolicy",
+    "available_flush_policies",
+    "make_flush_policy",
+    "register_flush_policy",
+    "unregister_flush_policy",
+    "RequestHandle",
+    "RequestStats",
+    "InferenceSession",
+    "Endpoint",
+    "Server",
+    "TrafficReport",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "replay",
+    "replay_server",
+]

@@ -1,0 +1,78 @@
+"""Clocks driving flush policies and traffic generation.
+
+Serving decisions ("has this batch waited past its deadline?") and serving
+metrics (queueing delay, end-to-end request latency) are all statements
+about *time*, so the serving layer never reads ``time.perf_counter``
+directly: every :class:`~repro.serve.session.InferenceSession` carries a
+:class:`Clock` and asks it.  Two implementations exist:
+
+* :class:`WallClock` — real time.  The default for interactive use; request
+  latencies are real elapsed wall-clock time.
+* :class:`SimulatedClock` — a manually advanced virtual clock.  Tests and
+  the open-loop traffic benchmark (:mod:`repro.serve.traffic`) script
+  arrival times on it and charge each flush round's execution latency via
+  :meth:`Clock.charge`, so a whole latency-vs-throughput sweep runs in
+  milliseconds of real time and deadline semantics are exactly
+  reproducible.
+
+All timestamps are in seconds (an arbitrary epoch; only differences
+matter).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Time source for flush policies, sessions and traffic drivers."""
+
+    def now(self) -> float:
+        """Current timestamp in seconds."""
+        raise NotImplementedError
+
+    def charge(self, seconds: float) -> None:
+        """Account ``seconds`` of execution time against the clock.
+
+        On a wall clock this is a no-op (real time already passed while the
+        work ran); a simulated clock advances, so completion timestamps of
+        flushed requests include the round's execution latency.
+        """
+
+
+class WallClock(Clock):
+    """Real time (``time.perf_counter``)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class SimulatedClock(Clock):
+    """Manually advanced virtual time, for tests and open-loop benchmarks."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (negative values are an error)."""
+        if seconds < 0:
+            raise ValueError("cannot advance a clock backwards")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to ``timestamp``; clamped — time never goes
+        backwards (an arrival scheduled in the past is simply processed
+        now)."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def charge(self, seconds: float) -> None:
+        self.advance(max(0.0, seconds))
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(t={self._now:.6f}s)"

@@ -1,0 +1,75 @@
+"""Future-style request handles with per-request serving statistics.
+
+:meth:`~repro.serve.session.InferenceSession.submit` returns a
+:class:`RequestHandle` immediately; the handle resolves when the flush
+policy (or an explicit ``flush()``) executes the request's batching round.
+Besides the result value, the handle carries a :class:`RequestStats` — the
+per-request observability a serving system needs: how long the request
+queued waiting for its batch, its end-to-end latency, how large the batch
+it rode in was, and its share of the round's kernel launches (the
+amortization cross-request batching buys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+
+@dataclass
+class RequestStats:
+    """Per-request serving statistics, filled in when the request's round
+    flushes."""
+
+    #: clock timestamp at which the request was submitted (arrival time)
+    submitted_at: float = 0.0
+    #: clock timestamp at which the request's round started executing
+    flushed_at: float = 0.0
+    #: clock timestamp at which the request's result became available
+    completed_at: float = 0.0
+    #: time spent queued waiting for the batch to flush (ms)
+    queue_ms: float = 0.0
+    #: the round's execution latency: host time + simulated device time (ms)
+    execute_ms: float = 0.0
+    #: end-to-end latency: queueing + execution (ms)
+    latency_ms: float = 0.0
+    #: how many requests shared the request's batching round
+    batch_size: int = 0
+    #: kernel launches of the round divided by its batch size — the
+    #: per-request launch cost after cross-request amortization
+    launch_share: float = 0.0
+    #: what triggered the flush ("size", "deadline", "adaptive", "manual")
+    flush_reason: str = ""
+
+
+class RequestHandle:
+    """Handle for one submitted request; resolves at its round's flush."""
+
+    __slots__ = ("index", "submitted_at", "done", "stats", "_value")
+
+    def __init__(self, index: int, submitted_at: float = 0.0) -> None:
+        #: position of the request within its batching round
+        self.index = index
+        #: clock timestamp of submission
+        self.submitted_at = submitted_at
+        self.done = False
+        #: per-request statistics (None until the round flushes)
+        self.stats: Optional[RequestStats] = None
+        self._value: Any = None
+
+    def result(self) -> Any:
+        """The request's output; raises if its round has not flushed yet."""
+        if not self.done:
+            raise RuntimeError(
+                "request not executed yet: call InferenceSession.flush() "
+                "(or wait for the session's flush policy to trigger)"
+            )
+        return self._value
+
+    def _complete(self, value: Any, stats: RequestStats) -> None:
+        self._value = value
+        self.stats = stats
+        self.done = True
+
+    def __repr__(self) -> str:
+        return f"RequestHandle(index={self.index}, done={self.done})"

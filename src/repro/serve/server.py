@@ -1,0 +1,170 @@
+"""Multi-model serving: named endpoints over one shared device.
+
+A production deployment rarely serves a single model.  :class:`Server`
+multiplexes several compiled models behind named :class:`Endpoint`\\ s that
+share one :class:`~repro.runtime.device.DeviceSimulator` (one GPU) and one
+:class:`~repro.serve.clock.Clock`: each endpoint owns a policy-driven
+:class:`~repro.serve.session.InferenceSession` over its model, requests are
+routed by endpoint name, and deadline-driven flushing is coordinated
+server-wide through :meth:`Server.poll` / :meth:`Server.next_deadline`.
+
+Per-flush device counters stay isolated even on the shared device: every
+session resets the device's counters at the flush that executes its round
+(the residency cache — which parameters are already on the GPU — is shared
+and persists, as it would on real hardware).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..runtime.device import DeviceSimulator, GPUSpec
+from .clock import Clock, WallClock
+from .request import RequestHandle
+from .session import InferenceSession
+
+
+class Endpoint:
+    """One named model behind a server: a model plus its serving session."""
+
+    def __init__(self, name: str, model: Any, session: InferenceSession) -> None:
+        self.name = name
+        self.model = model
+        self.session = session
+
+    # -- request path ----------------------------------------------------------
+    def submit(self, instance: Any, at: Optional[float] = None) -> RequestHandle:
+        return self.session.submit(instance, at=at)
+
+    def poll(self) -> Optional[List[Any]]:
+        return self.session.poll()
+
+    def flush(self) -> Optional[List[Any]]:
+        return self.session.flush()
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def pending_requests(self) -> int:
+        return self.session.pending_requests
+
+    def next_deadline(self) -> Optional[float]:
+        return self.session.next_deadline()
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate serving statistics across the endpoint's lifetime
+        (running totals — O(1) regardless of how long the endpoint has
+        served)."""
+        session = self.session
+        flushes = session.num_flushes
+        return {
+            "requests": session.num_requests,
+            "flushes": flushes,
+            "pending": self.pending_requests,
+            "kernel_launches": session.total_kernel_calls,
+            "mean_batch": (session.requests_flushed / flushes) if flushes else 0.0,
+            "device_ms": session.total_device_ms,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Endpoint({self.name!r}, policy={self.session.policy!r}, "
+            f"pending={self.pending_requests})"
+        )
+
+
+class Server:
+    """Routes requests to named endpoints sharing one device and clock."""
+
+    def __init__(
+        self,
+        device: Optional[DeviceSimulator] = None,
+        clock: Optional[Clock] = None,
+        gpu_spec: Optional[GPUSpec] = None,
+    ) -> None:
+        self.device = device or DeviceSimulator(spec=gpu_spec)
+        self.clock = clock or WallClock()
+        self._endpoints: Dict[str, Endpoint] = {}
+
+    # -- endpoint management ---------------------------------------------------
+    def add_endpoint(
+        self,
+        name: str,
+        model: Any,
+        policy: Any = "size",
+        *,
+        scheduler: Optional[str] = None,
+        **policy_args: Any,
+    ) -> Endpoint:
+        """Register ``model`` under ``name``.
+
+        ``model`` is any executable model exposing ``make_engine(device,
+        policy)`` (:class:`~repro.compiler.driver.CompiledModel` or
+        :class:`~repro.vm.interpreter.VMModel`); ``policy`` selects the
+        endpoint's flush policy by name (with ``policy_args``) or instance,
+        and ``scheduler`` optionally overrides the model's scheduler-policy
+        name.  The endpoint's session runs on the server's shared device and
+        clock.
+        """
+        if name in self._endpoints:
+            raise ValueError(f"endpoint {name!r} already exists")
+        engine = model.make_engine(device=self.device, scheduler=scheduler)
+        session = InferenceSession(
+            engine, policy=policy, policy_args=policy_args or None, clock=self.clock
+        )
+        endpoint = Endpoint(name, model, session)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def endpoint(self, name: str) -> Endpoint:
+        try:
+            return self._endpoints[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown endpoint {name!r}; registered endpoints: "
+                f"{', '.join(sorted(self._endpoints)) or '(none)'}"
+            ) from None
+
+    @property
+    def endpoints(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._endpoints))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._endpoints
+
+    # -- request path ----------------------------------------------------------
+    def submit(
+        self, name: str, instance: Any, at: Optional[float] = None
+    ) -> RequestHandle:
+        """Route one request to endpoint ``name``."""
+        return self.endpoint(name).submit(instance, at=at)
+
+    def poll(self) -> int:
+        """Fire every endpoint flush whose deadline has passed; returns the
+        number of rounds flushed."""
+        flushed = 0
+        for endpoint in self._endpoints.values():
+            if endpoint.poll() is not None:
+                flushed += 1
+        return flushed
+
+    def flush_all(self) -> Dict[str, Optional[List[Any]]]:
+        """Flush every endpoint's backlog (drain); returns outputs by
+        endpoint name (None for endpoints that were empty)."""
+        return {name: ep.flush() for name, ep in self._endpoints.items()}
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest pending flush deadline across all endpoints."""
+        deadlines = [
+            d
+            for d in (ep.next_deadline() for ep in self._endpoints.values())
+            if d is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    # -- introspection ---------------------------------------------------------
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-endpoint aggregate serving statistics."""
+        return {name: ep.summary() for name, ep in sorted(self._endpoints.items())}
+
+    def __repr__(self) -> str:
+        return f"Server(endpoints={list(self.endpoints)!r})"

@@ -1,0 +1,316 @@
+"""Policy-driven cross-request batching sessions.
+
+Classic ``run(instances)`` batches only within one mini-batch: every call
+builds a runtime, executes, and throws everything away.  A serving system
+instead sees single requests arriving independently and wants to batch
+*across* them (Zha et al. 2019, JIT dynamic batching).
+:class:`InferenceSession` is that path: requests enter via :meth:`submit`
+and return a future-style :class:`~repro.serve.request.RequestHandle`;
+their DFG nodes accumulate in the session's persistent runtime, and a
+:class:`~repro.serve.policy.FlushPolicy` decides when the backlog executes
+as one batched round — so N submitted requests cost far fewer kernel
+launches than N eager runs.
+
+Two accumulation modes, chosen automatically from the program:
+
+* programs without tensor-dependent control flow run their unbatched code at
+  :meth:`submit` time, recording lazy DFG nodes immediately (true
+  cross-request DFG accumulation);
+* programs with tensor-dependent control flow cannot run ahead of
+  synchronization points, so the session defers them: instances queue up and
+  :meth:`flush` executes all of them as one fiber-interleaved batch.
+
+Either way the flushed results are numerically identical to one
+``run(instances)`` over the same requests.
+
+Flushing is driven three ways: explicitly (:meth:`flush`), by the policy at
+submit time (e.g. ``size(n)`` reached), or by deadline polling
+(:meth:`poll`, for ``deadline``/``adaptive`` policies whose flush point is
+a clock timestamp rather than a submit event).  All timing runs on the
+session's pluggable :class:`~repro.serve.clock.Clock`, so tests and the
+open-loop traffic benchmark use a simulated clock.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional, Tuple
+
+from ..runtime.executor import RunStats
+from ..runtime.tensor import materialize_value
+from .clock import Clock, WallClock
+from .policy import FlushPolicy, ManualPolicy, SizePolicy, make_flush_policy
+from .request import RequestHandle, RequestStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.engine import ExecutionEngine
+
+
+class InferenceSession:
+    """Persistent session batching independently submitted requests.
+
+    Parameters
+    ----------
+    engine:
+        The execution engine the session batches through.
+    max_batch:
+        Deprecated sugar for ``policy="size", policy_args={"n": max_batch}``
+        (kept for backward compatibility; prefer the ``policy`` argument).
+    policy:
+        Flush policy: a registry name (``"manual"``, ``"size"``,
+        ``"deadline"``, ``"adaptive"``), or an already constructed
+        :class:`~repro.serve.policy.FlushPolicy` instance (which must not be
+        shared across sessions).  Defaults to manual flushing.
+    policy_args:
+        Keyword arguments for the policy factory when ``policy`` is a name
+        (e.g. ``{"ms": 5.0}`` for ``"deadline"``).
+    clock:
+        Time source for deadlines and per-request statistics; defaults to
+        the wall clock.  Pass a
+        :class:`~repro.serve.clock.SimulatedClock` for reproducible
+        deadline semantics.
+    """
+
+    def __init__(
+        self,
+        engine: "ExecutionEngine",
+        max_batch: Optional[int] = None,
+        *,
+        policy: Any = None,
+        policy_args: Optional[Dict[str, Any]] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.engine = engine
+        self.clock = clock or WallClock()
+        if max_batch is not None:
+            if max_batch < 1:
+                raise ValueError("max_batch must be a positive integer")
+            if policy is not None:
+                raise ValueError(
+                    "max_batch is sugar for the 'size' flush policy and cannot "
+                    "be combined with an explicit policy; pass one or the other"
+                )
+        if policy is None:
+            if max_batch is not None:
+                policy = SizePolicy(max_batch)
+            else:
+                policy = ManualPolicy()
+        elif isinstance(policy, str):
+            policy = make_flush_policy(policy, **(policy_args or {}))
+        elif isinstance(policy, FlushPolicy):
+            if policy_args:
+                raise ValueError(
+                    "policy_args only apply when policy is given by name"
+                )
+        else:
+            raise TypeError(
+                f"policy must be a registry name or FlushPolicy, "
+                f"got {type(policy).__name__}"
+            )
+        self.policy: FlushPolicy = policy
+        # serving sessions flush structurally similar rounds over and over —
+        # exactly the workload the memory planner's plan cache pays off for
+        # — so arm it here; one-shot runs leave it dormant and pay zero
+        # fingerprinting overhead
+        engine.runtime.planner.expect_repeats()
+        self._deferred = engine.program.uses_fibers
+        self._pending: List[Tuple[RequestHandle, Any]] = []
+        self._entry = None
+        self._build_s = 0.0
+        self._round_started_at: Optional[float] = None
+        self._last_submit_backdated = False
+        #: statistics of the most recent flush
+        self.last_stats: Optional[RunStats] = None
+        #: statistics of recent flushes (bounded — long-lived sessions use
+        #: the running totals below for lifetime aggregates)
+        self.history: Deque[RunStats] = deque(maxlen=1024)
+        self.num_requests = 0
+        self.num_flushes = 0
+        #: requests executed across all flushes (mean batch size =
+        #: ``requests_flushed / num_flushes``)
+        self.requests_flushed = 0
+        #: kernel launches (batched + gather) across all flushes
+        self.total_kernel_calls = 0
+        #: simulated device time across all flushes (ms)
+        self.total_device_ms = 0.0
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def max_batch(self) -> Optional[int]:
+        """Size threshold when running a ``size`` policy (compatibility)."""
+        return self.policy.n if isinstance(self.policy, SizePolicy) else None
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._pending)
+
+    @property
+    def round_started_at(self) -> Optional[float]:
+        """Arrival timestamp of the oldest pending request (None when the
+        session is empty); the anchor for deadline policies."""
+        return self._round_started_at
+
+    @property
+    def last_submit_backdated(self) -> bool:
+        """Whether the most recent submit carried an explicit arrival
+        timestamp behind the clock — i.e. the request queued while the
+        session was busy (open-loop backlog).  Adaptive policies treat such
+        submits as free to batch."""
+        return self._last_submit_backdated
+
+    def next_deadline(self) -> Optional[float]:
+        """Clock timestamp by which the pending round must flush, or None
+        (no pending requests, or the policy imposes no deadline)."""
+        if not self._pending:
+            return None
+        return self.policy.next_deadline(self)
+
+    # -- request intake --------------------------------------------------------
+    def submit(self, instance: Any, at: Optional[float] = None) -> RequestHandle:
+        """Accept one request; returns a handle resolved at the next flush.
+
+        ``at`` overrides the request's arrival timestamp (open-loop traffic
+        drivers pass the scheduled arrival time, which may lie behind the
+        clock when the session was busy executing); it defaults to
+        ``clock.now()``.
+
+        For programs without tensor-dependent control flow the request's
+        unbatched program runs now, recording its DFG nodes into the shared
+        lazy graph; execution is still deferred to the flush.
+        """
+        if at is None:
+            now = self.clock.now()
+            self._last_submit_backdated = False
+        else:
+            now = at
+            self._last_submit_backdated = self.clock.now() > now
+        handle = RequestHandle(len(self._pending), submitted_at=now)
+        if self._deferred:
+            self._pending.append((handle, instance))
+        else:
+            entry = self._ensure_round()
+            rt = self.engine.runtime
+            build_start = time.perf_counter()
+            rt.current_instance = handle.index
+            raw = entry(instance)
+            self._build_s += time.perf_counter() - build_start
+            self._pending.append((handle, raw))
+        self.num_requests += 1
+        if self._round_started_at is None:
+            self._round_started_at = now
+        if self.policy.on_submit(self, now):
+            self.flush(reason=self.policy.name)
+        return handle
+
+    # -- execution -------------------------------------------------------------
+    def poll(self) -> Optional[List[Any]]:
+        """Flush if the policy's deadline has passed; otherwise do nothing.
+
+        Deadline-style policies flush on a clock timestamp rather than a
+        submit event, so something must ask the session when time has moved
+        on — serving loops call ``poll()`` periodically (or whenever the
+        clock reaches :meth:`next_deadline`).  Returns the flushed outputs,
+        or None when no flush was due.
+        """
+        deadline = self.next_deadline()
+        if deadline is not None and self.clock.now() >= deadline:
+            # attribute the flush to the policy that set the deadline (an
+            # adaptive round aged out by max_wait_ms reports "adaptive",
+            # not "deadline")
+            return self.flush(reason=self.policy.name)
+        return None
+
+    def flush(self, reason: str = "manual") -> Optional[List[Any]]:
+        """Schedule and execute everything submitted since the last flush.
+
+        Returns the per-request outputs in submission order (and resolves
+        every pending request handle).  Flushing an empty session is a
+        cheap no-op returning None — it does not count as a flush, so
+        periodic policy-driven flushing is safe.
+        """
+        if not self._pending:
+            return None
+        pending, self._pending = self._pending, []
+        self._round_started_at = None
+        flush_start = self.clock.now()
+        # per-flush device accounting: sessions may share one device
+        # simulator (multi-endpoint servers), so each round's counters start
+        # from zero at the flush that executes it
+        self.engine.device.reset()
+
+        if self._deferred:
+            # keep the device residency cache across fiber-program rounds,
+            # exactly as _ensure_round does for the DFG-accumulation path
+            outputs, stats = self.engine.run(
+                [instance for _, instance in pending], release_residency=False
+            )
+        else:
+            rt = self.engine.runtime
+            exec_start = time.perf_counter()
+            rt.trigger()
+            outputs = [materialize_value(raw) for _, raw in pending]
+            wall_s = self._build_s + (time.perf_counter() - exec_start)
+            stats = self.engine.collect_stats(len(pending), wall_s)
+            self._entry = None
+            self._build_s = 0.0
+
+        stats.batch_size = len(pending)
+        stats.flushed_at = flush_start
+        stats.flush_reason = reason
+        # charge the round's execution latency to the clock (simulated
+        # clocks advance; the wall clock already moved on its own)
+        self.clock.charge(stats.latency_ms / 1e3)
+        completed_at = self.clock.now()
+        launch_share = stats.kernel_calls / max(1, len(pending))
+        for (handle, _), output in zip(pending, outputs):
+            handle._complete(
+                output,
+                RequestStats(
+                    submitted_at=handle.submitted_at,
+                    flushed_at=flush_start,
+                    completed_at=completed_at,
+                    queue_ms=max(0.0, flush_start - handle.submitted_at) * 1e3,
+                    execute_ms=stats.latency_ms,
+                    # queueing + execution by construction on every clock: a
+                    # wall clock cannot charge() simulated device time, so
+                    # completed_at - submitted_at would undercount there
+                    latency_ms=max(0.0, flush_start - handle.submitted_at) * 1e3
+                    + stats.latency_ms,
+                    batch_size=len(pending),
+                    launch_share=launch_share,
+                    flush_reason=reason,
+                ),
+            )
+        self.last_stats = stats
+        self.engine.last_stats = stats
+        self.history.append(stats)
+        self.num_flushes += 1
+        self.requests_flushed += len(pending)
+        self.total_kernel_calls += stats.kernel_calls
+        self.total_device_ms += stats.device_total_ms
+        self.policy.note_flush(self, stats)
+        return outputs
+
+    # -- context manager -------------------------------------------------------
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.flush()
+
+    # -- internals -------------------------------------------------------------
+    def _ensure_round(self):
+        """Bind the program for a new batching round (first submit after a
+        flush): reset the runtime and cache the per-instance entry.
+
+        The device's residency cache survives the reset: storage arenas and
+        parameters uploaded in earlier rounds stay device-resident, so
+        cross-request batches in later rounds reuse resident parameters
+        instead of re-transferring them.
+        """
+        if self._entry is None:
+            self.engine.runtime.reset(release_residency=False)
+            self._entry = self.engine.program.bind(self.engine.runtime, None)
+        return self._entry

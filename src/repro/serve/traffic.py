@@ -1,0 +1,260 @@
+"""Open-loop traffic generation and replay on the simulated clock.
+
+Serving benchmarks need *open-loop* load: arrivals follow a stochastic
+process with fixed timestamps, independent of how fast the server drains
+them (closed-loop drivers that wait for completions hide queueing collapse
+— the classic coordinated-omission trap).  This module generates arrival
+processes and replays them against a session or endpoint whose
+:class:`~repro.serve.clock.SimulatedClock` makes the experiment
+deterministic and fast: the driver advances the clock to each arrival (or
+to the next flush deadline, whichever comes first), and every flush charges
+its measured round latency to the clock, so queueing delay, deadline
+semantics and end-to-end latency all compose correctly without real waiting.
+
+Arrival processes:
+
+* :func:`poisson_arrivals` — exponential inter-arrival gaps (memoryless
+  traffic at a given request rate);
+* :func:`bursty_arrivals` — bursts of near-simultaneous requests with
+  exponential gaps between bursts (flash-crowd traffic at the same average
+  rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .clock import SimulatedClock
+from .request import RequestHandle
+from .server import Endpoint
+
+
+# -- arrival processes ---------------------------------------------------------
+
+
+def poisson_arrivals(
+    rate_rps: float, n: int, *, seed: int = 0, start: float = 0.0
+) -> List[float]:
+    """``n`` Poisson arrival timestamps at ``rate_rps`` requests/second."""
+    if rate_rps <= 0:
+        raise ValueError("arrival rate must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=n)
+    return list(start + np.cumsum(gaps))
+
+
+def bursty_arrivals(
+    rate_rps: float,
+    n: int,
+    *,
+    burst: int = 8,
+    seed: int = 0,
+    start: float = 0.0,
+) -> List[float]:
+    """``n`` arrivals in bursts of ``burst`` simultaneous requests.
+
+    Burst start times follow a Poisson process at ``rate_rps / burst``, so
+    the *average* request rate matches :func:`poisson_arrivals` at the same
+    ``rate_rps`` — only the variance differs.
+    """
+    if rate_rps <= 0:
+        raise ValueError("arrival rate must be positive")
+    if burst < 1:
+        raise ValueError("burst size must be >= 1")
+    rng = np.random.default_rng(seed)
+    times: List[float] = []
+    t = start
+    while len(times) < n:
+        t += rng.exponential(burst / rate_rps)
+        times.extend([t] * min(burst, n - len(times)))
+    return times
+
+
+# -- replay --------------------------------------------------------------------
+
+
+@dataclass
+class TrafficReport:
+    """Outcome of replaying one arrival trace against a session."""
+
+    num_requests: int
+    #: first arrival to last completion, seconds (simulated)
+    duration_s: float
+    throughput_rps: float
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    #: mean batch size across the replay's flush rounds
+    mean_batch: float
+    num_flushes: int
+    #: total kernel launches (batched + gather) across the replay's rounds
+    kernel_launches: int
+    #: per-request end-to-end latencies (ms), in submission order
+    latencies_ms: List[float] = field(default_factory=list)
+    #: per-request outputs, in submission order
+    outputs: List[Any] = field(default_factory=list)
+    #: resolved request handles, in submission order
+    handles: List[RequestHandle] = field(default_factory=list)
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "requests": self.num_requests,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "mean_batch": self.mean_batch,
+            "flushes": self.num_flushes,
+            "kernel_launches": self.kernel_launches,
+        }
+
+
+def _drain_due_deadlines(session, clock: SimulatedClock, until: float) -> None:
+    """Fire every policy deadline scheduled before ``until``."""
+    while session.pending_requests:
+        deadline = session.next_deadline()
+        if deadline is None or deadline > until:
+            return
+        clock.advance_to(deadline)
+        session.poll()
+
+
+def _drain_all(session, clock: SimulatedClock) -> None:
+    """Flush the tail of the backlog after the last arrival."""
+    while session.pending_requests:
+        deadline = session.next_deadline()
+        if deadline is not None:
+            clock.advance_to(deadline)
+            session.poll()
+        else:
+            session.flush()
+
+
+def _snapshot(session) -> Tuple[int, int, int]:
+    """Running totals at replay start; the report uses the deltas, so it
+    stays correct however long the session has already been serving."""
+    return (session.num_flushes, session.requests_flushed, session.total_kernel_calls)
+
+
+def _report(
+    session,
+    handles: List[RequestHandle],
+    first_arrival: float,
+    start: Tuple[int, int, int],
+) -> TrafficReport:
+    if not handles:
+        return TrafficReport(
+            num_requests=0,
+            duration_s=0.0,
+            throughput_rps=0.0,
+            mean_ms=0.0,
+            p50_ms=0.0,
+            p99_ms=0.0,
+            mean_batch=0.0,
+            num_flushes=0,
+            kernel_launches=0,
+        )
+    flushes = session.num_flushes - start[0]
+    batched = session.requests_flushed - start[1]
+    launches = session.total_kernel_calls - start[2]
+    latencies = [h.stats.latency_ms for h in handles]
+    completed = max(h.stats.completed_at for h in handles)
+    duration = max(completed - first_arrival, 1e-12)
+    return TrafficReport(
+        num_requests=len(handles),
+        duration_s=duration,
+        throughput_rps=len(handles) / duration,
+        mean_ms=float(np.mean(latencies)),
+        p50_ms=float(np.percentile(latencies, 50)),
+        p99_ms=float(np.percentile(latencies, 99)),
+        mean_batch=(batched / flushes) if flushes else 0.0,
+        num_flushes=flushes,
+        kernel_launches=launches,
+        latencies_ms=latencies,
+        outputs=[h.result() for h in handles],
+        handles=handles,
+    )
+
+
+def replay(
+    session,
+    requests: Sequence[Any],
+    arrivals: Sequence[float],
+) -> TrafficReport:
+    """Replay an open-loop arrival trace against one session (or endpoint).
+
+    ``session`` must run on a :class:`~repro.serve.clock.SimulatedClock`.
+    Each request is submitted at its scheduled arrival time; flush deadlines
+    falling between arrivals fire in order, and after the last arrival the
+    backlog drains.  Arrivals that land while the session is executing are
+    submitted as soon as it frees up but keep their true arrival timestamp,
+    so queueing delay is measured without coordinated omission.
+    """
+    if len(requests) != len(arrivals):
+        raise ValueError("need exactly one arrival time per request")
+    if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+        raise ValueError("arrival trace must be sorted by time")
+    if isinstance(session, Endpoint):
+        session = session.session
+    clock = session.clock
+    if not isinstance(clock, SimulatedClock):
+        raise TypeError("replay needs a session driven by a SimulatedClock")
+    start = _snapshot(session)
+    handles: List[RequestHandle] = []
+    first_arrival = arrivals[0] if len(arrivals) else clock.now()
+    for t, request in zip(arrivals, requests):
+        _drain_due_deadlines(session, clock, until=t)
+        clock.advance_to(t)
+        handles.append(session.submit(request, at=t))
+    _drain_all(session, clock)
+    return _report(session, handles, first_arrival, start)
+
+
+def replay_server(
+    server,
+    workload: Iterable[Tuple[float, str, Any]],
+) -> Dict[str, TrafficReport]:
+    """Replay a tagged open-loop trace against a multi-endpoint server.
+
+    ``workload`` yields ``(arrival_time, endpoint_name, request)`` sorted by
+    arrival time.  Deadline flushes of *any* endpoint fire in timestamp
+    order between arrivals; returns one :class:`TrafficReport` per endpoint
+    that received traffic.
+    """
+    clock = server.clock
+    if not isinstance(clock, SimulatedClock):
+        raise TypeError("replay_server needs a server driven by a SimulatedClock")
+    items = sorted(workload, key=lambda item: item[0])
+    starts = {name: _snapshot(server.endpoint(name).session) for name in server.endpoints}
+    handles: Dict[str, List[RequestHandle]] = {}
+    first_arrival: Dict[str, float] = {}
+    for t, name, request in items:
+        while True:
+            deadline = server.next_deadline()
+            if deadline is None or deadline > t:
+                break
+            clock.advance_to(deadline)
+            server.poll()
+        clock.advance_to(t)
+        handles.setdefault(name, []).append(server.submit(name, request, at=t))
+        first_arrival.setdefault(name, t)
+    while any(server.endpoint(n).pending_requests for n in server.endpoints):
+        deadline = server.next_deadline()
+        if deadline is not None:
+            clock.advance_to(deadline)
+            server.poll()
+        else:
+            server.flush_all()
+    return {
+        name: _report(
+            server.endpoint(name).session,
+            eps_handles,
+            first_arrival[name],
+            starts[name],
+        )
+        for name, eps_handles in handles.items()
+    }

@@ -242,7 +242,7 @@ class VMModel:
     def make_engine(
         self,
         device: Optional[DeviceSimulator] = None,
-        policy: Optional[str] = None,
+        scheduler: Optional[str] = None,
     ) -> ExecutionEngine:
         """Engine interpreting the program with runtime-only batching.
 
@@ -254,7 +254,8 @@ class VMModel:
             kernels={},
             options=ExecutionOptions(
                 gather_fusion=self.gather_fusion,
-                scheduler=policy or ("dynamic_depth" if self.batching else "nobatch"),
+                scheduler=scheduler
+                or ("dynamic_depth" if self.batching else "nobatch"),
             ),
             device=device,
             gpu_spec=self.gpu_spec,
@@ -264,10 +265,32 @@ class VMModel:
         self,
         max_batch: Optional[int] = None,
         device: Optional[DeviceSimulator] = None,
-        policy: Optional[str] = None,
+        scheduler: Optional[str] = None,
+        *,
+        flush_policy: Any = None,
+        flush_args: Optional[Dict[str, Any]] = None,
+        clock: Any = None,
     ):
-        """Open a cross-request batching session over the interpreter."""
-        return self.make_engine(device, policy).session(max_batch=max_batch)
+        """Open a cross-request batching session over the interpreter
+        (same surface as :meth:`CompiledModel.session`)."""
+        return self.make_engine(device, scheduler).session(
+            max_batch=max_batch, policy=flush_policy, policy_args=flush_args, clock=clock
+        )
+
+    def serve(
+        self,
+        policy: Any = "adaptive",
+        *,
+        clock: Any = None,
+        device: Optional[DeviceSimulator] = None,
+        scheduler: Optional[str] = None,
+        **policy_args: Any,
+    ):
+        """Open a policy-driven serving session over the interpreter (same
+        surface as :meth:`CompiledModel.serve`)."""
+        return self.make_engine(device, scheduler).session(
+            policy=policy, policy_args=policy_args or None, clock=clock
+        )
 
     def run(
         self, instances: Sequence[Any], device: Optional[DeviceSimulator] = None

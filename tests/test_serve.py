@@ -1,0 +1,647 @@
+"""Tests for the serving subsystem: clocks, flush policies and their
+registry, request futures, policy-driven sessions, multi-model servers,
+open-loop traffic, and the memory planner's plan cache."""
+
+import pytest
+
+from repro import CompilerOptions, compile_model, reference_run
+from repro.serve import (
+    AdaptivePolicy,
+    DeadlinePolicy,
+    FlushPolicy,
+    ManualPolicy,
+    Server,
+    SimulatedClock,
+    SizePolicy,
+    available_flush_policies,
+    bursty_arrivals,
+    make_flush_policy,
+    poisson_arrivals,
+    register_flush_policy,
+    replay,
+    replay_server,
+    unregister_flush_policy,
+)
+from repro.models import MODEL_MODULES
+from repro.utils import values_allclose
+
+BATCH = 6
+
+BUILTIN_POLICIES = ("manual", "size", "deadline", "adaptive")
+
+
+@pytest.fixture(scope="module")
+def treelstm_setup():
+    module = MODEL_MODULES["treelstm"]
+    mod, params, size = module.build_for("test")
+    instances = module.make_batch(mod, size, BATCH, seed=5)
+    reference = reference_run(mod, params, instances)
+    return mod, params, instances, reference
+
+
+@pytest.fixture(scope="module")
+def birnn_setup():
+    module = MODEL_MODULES["birnn"]
+    mod, params, size = module.build_for("test")
+    instances = module.make_batch(mod, size, 3, seed=6)
+    reference = reference_run(mod, params, instances)
+    return mod, params, instances, reference
+
+
+class TestClock:
+    def test_simulated_clock_advances(self):
+        clock = SimulatedClock(start=1.0)
+        assert clock.now() == 1.0
+        clock.advance(0.5)
+        assert clock.now() == 1.5
+        clock.charge(0.25)
+        assert clock.now() == 1.75
+
+    def test_advance_to_clamps(self):
+        clock = SimulatedClock()
+        clock.advance_to(2.0)
+        assert clock.now() == 2.0
+        clock.advance_to(1.0)  # never backwards
+        assert clock.now() == 2.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1.0)
+
+
+class TestPolicyRegistry:
+    def test_builtins_listed(self):
+        names = available_flush_policies()
+        for name in BUILTIN_POLICIES:
+            assert name in names
+
+    def test_lookup_builds_policies(self):
+        assert isinstance(make_flush_policy("manual"), ManualPolicy)
+        assert isinstance(make_flush_policy("size", n=4), SizePolicy)
+        assert isinstance(make_flush_policy("deadline", ms=3.0), DeadlinePolicy)
+        assert isinstance(make_flush_policy("adaptive"), AdaptivePolicy)
+
+    def test_unknown_name_lists_policies(self):
+        with pytest.raises(ValueError, match="deadline"):
+            make_flush_policy("does_not_exist")
+
+    def test_register_and_unregister(self):
+        class CustomPolicy(SizePolicy):
+            name = "custom_flush_test"
+
+        register_flush_policy("custom_flush_test", lambda **kw: CustomPolicy(**kw))
+        try:
+            assert "custom_flush_test" in available_flush_policies()
+            assert isinstance(make_flush_policy("custom_flush_test", n=2), CustomPolicy)
+            with pytest.raises(ValueError, match="already registered"):
+                register_flush_policy("custom_flush_test", lambda **kw: CustomPolicy(**kw))
+        finally:
+            unregister_flush_policy("custom_flush_test")
+        assert "custom_flush_test" not in available_flush_policies()
+
+    def test_invalid_policy_args(self):
+        with pytest.raises(ValueError):
+            make_flush_policy("size", n=0)
+        with pytest.raises(ValueError):
+            make_flush_policy("deadline", ms=-1.0)
+
+
+class TestPolicyMatrix:
+    """Every flush policy produces the reference outputs: policies decide
+    *when* rounds execute, never *what* they compute."""
+
+    @pytest.mark.parametrize(
+        "policy,policy_args",
+        [
+            ("manual", {}),
+            ("size", {"n": 2}),
+            ("deadline", {"ms": 2.0}),
+            ("adaptive", {}),
+        ],
+    )
+    def test_policy_matches_reference(self, treelstm_setup, policy, policy_args):
+        mod, params, instances, reference = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve(policy, clock=SimulatedClock(), **policy_args)
+        arrivals = poisson_arrivals(2000.0, len(instances), seed=3)
+        report = replay(session, instances, arrivals)
+        assert all(
+            values_allclose(a, b) for a, b in zip(reference, report.outputs)
+        )
+        assert report.num_requests == len(instances)
+
+    def test_policy_instance_accepted(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve(SizePolicy(n=len(instances)))
+        handles = [session.submit(i) for i in instances]
+        assert all(h.done for h in handles)
+        assert all(
+            values_allclose(a, h.result()) for a, h in zip(reference, handles)
+        )
+
+    def test_policy_args_with_instance_rejected(self, treelstm_setup):
+        mod, params, _, _ = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        with pytest.raises(ValueError, match="policy_args"):
+            model.make_engine().session(policy=SizePolicy(2), policy_args={"n": 3})
+
+    def test_max_batch_is_size_sugar(self, treelstm_setup):
+        mod, params, _, _ = treelstm_setup
+        session = compile_model(mod, params, CompilerOptions()).session(max_batch=3)
+        assert isinstance(session.policy, SizePolicy)
+        assert session.policy.n == 3
+        assert session.max_batch == 3
+
+
+class TestDeadlineSemantics:
+    def test_deadline_flushes_on_poll(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        clock = SimulatedClock()
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("deadline", ms=10.0, clock=clock)
+
+        handle = session.submit(instances[0])
+        assert session.next_deadline() == pytest.approx(0.010)
+        clock.advance(0.005)
+        assert session.poll() is None  # deadline not reached
+        assert not handle.done
+        clock.advance(0.005)
+        outputs = session.poll()  # deadline reached: round flushes
+        assert outputs is not None and handle.done
+        assert values_allclose(reference[0], handle.result())
+        assert session.last_stats.flush_reason == "deadline"
+
+    def test_deadline_anchors_on_oldest_request(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock()
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("deadline", ms=10.0, clock=clock)
+        session.submit(instances[0])
+        clock.advance(0.004)
+        session.submit(instances[1])
+        # later submits do not push the deadline out
+        assert session.next_deadline() == pytest.approx(0.010)
+
+    def test_deadline_resets_per_round(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock()
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("deadline", ms=10.0, clock=clock)
+        session.submit(instances[0])
+        clock.advance(0.010)
+        session.poll()
+        assert session.next_deadline() is None  # empty session: no deadline
+        start = clock.now()
+        session.submit(instances[1])
+        assert session.next_deadline() == pytest.approx(start + 0.010)
+
+    def test_late_submit_flushes_immediately(self, treelstm_setup):
+        """A submit arriving after the round's deadline has passed flushes
+        the round at once (wall-clock serving without a poller)."""
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock()
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("deadline", ms=10.0, clock=clock)
+        first = session.submit(instances[0])
+        clock.advance(0.020)
+        session.submit(instances[1])
+        assert first.done
+        assert session.num_flushes == 1
+
+
+class TestAdaptivePolicy:
+    def test_sparse_traffic_flushes_small_batches(self, treelstm_setup):
+        """When arrivals are far apart relative to the launch overhead the
+        policy stops waiting almost immediately."""
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock()
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("adaptive", clock=clock)
+        arrivals = [i * 10.0 for i in range(len(instances))]  # one per 10s
+        report = replay(session, instances, arrivals)
+        assert report.mean_batch < 2.0
+
+    def test_backlog_batches_together(self, treelstm_setup):
+        """Requests stamped in the past (piled up during execution) batch
+        without waiting cost — continuous batching."""
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock(start=100.0)
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("adaptive", clock=clock)
+        # all arrivals lie 1s in the past relative to the clock
+        for i, inst in enumerate(instances):
+            session.submit(inst, at=99.0 + i * 1e-4)
+        assert session.pending_requests == len(instances)  # nothing flushed
+        session.flush()
+        assert session.last_stats.batch_size == len(instances)
+
+    def test_wall_clock_submits_are_not_backlog(self, treelstm_setup):
+        """Only explicitly backdated arrivals count as backlog: plain
+        submits (no ``at=``) always run the cost/benefit rule, however long
+        DFG construction takes inside submit()."""
+        mod, params, instances, _ = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("adaptive")  # default WallClock
+        session.submit(instances[0])
+        assert not session.last_submit_backdated
+        # backdated only when the caller passes a timestamp behind the clock
+        clock = SimulatedClock(start=10.0)
+        session2 = model.serve("adaptive", clock=clock)
+        session2.submit(instances[0], at=9.0)
+        assert session2.last_submit_backdated
+        session2.submit(instances[1], at=clock.now())
+        assert not session2.last_submit_backdated
+
+    def test_estimates_update_on_flush(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("adaptive", clock=SimulatedClock())
+        policy = session.policy
+        prior = policy.round_launches
+        for inst in instances:
+            session.submit(inst)
+        session.flush()
+        assert policy.round_launches != prior
+        assert policy.marginal_benefit_us(session) > 0
+
+
+class TestRequestStats:
+    def test_per_request_stats(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock()
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.session(flush_policy="manual", clock=clock)
+        handles = []
+        for inst in instances:
+            handles.append(session.submit(inst))
+            clock.advance(0.001)
+        session.flush()
+        stats = session.last_stats
+
+        for handle in handles:
+            rs = handle.stats
+            assert rs.batch_size == len(instances)
+            assert rs.flush_reason == "manual"
+            assert rs.launch_share == pytest.approx(
+                stats.kernel_calls / len(instances)
+            )
+            assert rs.latency_ms == pytest.approx(rs.queue_ms + rs.execute_ms)
+            assert rs.completed_at > rs.submitted_at
+        # the first request queued longer than the last; the loop advances
+        # 1ms after every submit, so the first waited len(instances) ms
+        assert handles[0].stats.queue_ms > handles[-1].stats.queue_ms
+        assert handles[0].stats.queue_ms == pytest.approx(
+            len(instances) * 1.0, rel=0.01
+        )
+
+    def test_run_stats_carry_flush_clock(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock(start=5.0)
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.session(max_batch=len(instances), clock=clock)
+        for inst in instances:
+            session.submit(inst)
+        assert session.last_stats.flushed_at == pytest.approx(5.0)
+        assert session.last_stats.flush_reason == "size"
+
+    def test_result_before_flush_raises(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        session = compile_model(mod, params, CompilerOptions()).serve("manual")
+        handle = session.submit(instances[0])
+        with pytest.raises(RuntimeError, match="flush"):
+            handle.result()
+
+
+class TestServer:
+    def test_multi_endpoint_isolation(self, treelstm_setup, birnn_setup):
+        """Two models behind one server (shared device) return each their
+        own reference outputs, with per-flush stats accounted separately."""
+        t_mod, t_params, t_instances, t_reference = treelstm_setup
+        b_mod, b_params, b_instances, b_reference = birnn_setup
+        server = Server(clock=SimulatedClock())
+        server.add_endpoint(
+            "trees", compile_model(t_mod, t_params, CompilerOptions()), policy="manual"
+        )
+        server.add_endpoint(
+            "seqs", compile_model(b_mod, b_params, CompilerOptions()), policy="manual"
+        )
+
+        # interleaved traffic
+        t_handles = []
+        b_handles = []
+        for i in range(max(len(t_instances), len(b_instances))):
+            if i < len(t_instances):
+                t_handles.append(server.submit("trees", t_instances[i]))
+            if i < len(b_instances):
+                b_handles.append(server.submit("seqs", b_instances[i]))
+        server.flush_all()
+
+        assert all(
+            values_allclose(a, h.result()) for a, h in zip(t_reference, t_handles)
+        )
+        assert all(
+            values_allclose(a, h.result()) for a, h in zip(b_reference, b_handles)
+        )
+
+        summary = server.summary()
+        assert summary["trees"]["requests"] == len(t_instances)
+        assert summary["seqs"]["requests"] == len(b_instances)
+        # per-flush device counters are isolated despite the shared device
+        solo = compile_model(t_mod, t_params, CompilerOptions()).session()
+        for inst in t_instances:
+            solo.submit(inst)
+        solo.flush()
+        assert summary["trees"]["kernel_launches"] == solo.last_stats.kernel_calls
+
+    def test_endpoint_errors(self, treelstm_setup):
+        mod, params, _, _ = treelstm_setup
+        server = Server()
+        model = compile_model(mod, params, CompilerOptions())
+        server.add_endpoint("a", model)
+        with pytest.raises(ValueError, match="already exists"):
+            server.add_endpoint("a", model)
+        with pytest.raises(KeyError, match="registered endpoints"):
+            server.endpoint("missing")
+        assert "a" in server and "missing" not in server
+
+    def test_server_poll_fires_deadlines(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock()
+        server = Server(clock=clock)
+        model = compile_model(mod, params, CompilerOptions())
+        server.add_endpoint("a", model, policy="deadline", ms=5.0)
+        server.add_endpoint("b", model, policy="deadline", ms=15.0)
+        ha = server.submit("a", instances[0])
+        hb = server.submit("b", instances[1])
+        assert server.next_deadline() == pytest.approx(0.005)
+        clock.advance(0.006)
+        assert server.poll() == 1  # only "a" was due
+        assert ha.done and not hb.done
+
+    def test_replay_server(self, treelstm_setup, birnn_setup):
+        t_mod, t_params, t_instances, t_reference = treelstm_setup
+        b_mod, b_params, b_instances, b_reference = birnn_setup
+        server = Server(clock=SimulatedClock())
+        server.add_endpoint(
+            "trees", compile_model(t_mod, t_params, CompilerOptions()),
+            policy="deadline", ms=5.0,
+        )
+        server.add_endpoint(
+            "seqs", compile_model(b_mod, b_params, CompilerOptions()),
+            policy="deadline", ms=5.0,
+        )
+        workload = [
+            (t, "trees", inst)
+            for t, inst in zip(poisson_arrivals(2000.0, len(t_instances), seed=1), t_instances)
+        ] + [
+            (t, "seqs", inst)
+            for t, inst in zip(poisson_arrivals(2000.0, len(b_instances), seed=2), b_instances)
+        ]
+        reports = replay_server(server, workload)
+        assert all(
+            values_allclose(a, b)
+            for a, b in zip(t_reference, reports["trees"].outputs)
+        )
+        assert all(
+            values_allclose(a, b)
+            for a, b in zip(b_reference, reports["seqs"].outputs)
+        )
+
+
+class TestTraffic:
+    def test_poisson_arrivals_shape(self):
+        arr = poisson_arrivals(100.0, 50, seed=1)
+        assert len(arr) == 50
+        assert all(b > a for a, b in zip(arr, arr[1:]))
+        assert arr == poisson_arrivals(100.0, 50, seed=1)  # seeded
+        assert arr != poisson_arrivals(100.0, 50, seed=2)
+
+    def test_bursty_arrivals_group(self):
+        arr = bursty_arrivals(100.0, 20, burst=5, seed=1)
+        assert len(arr) == 20
+        # bursts are simultaneous: only ceil(20/5) distinct timestamps
+        assert len(set(arr)) == 4
+
+    def test_replay_requires_simulated_clock(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        session = compile_model(mod, params, CompilerOptions()).serve("manual")
+        with pytest.raises(TypeError, match="SimulatedClock"):
+            replay(session, instances, [0.0] * len(instances))
+
+    def test_replay_report_sanity(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("size", n=2, clock=SimulatedClock())
+        report = replay(session, instances, poisson_arrivals(1000.0, len(instances), seed=4))
+        assert report.num_requests == len(instances)
+        assert report.throughput_rps > 0
+        assert report.p99_ms >= report.p50_ms > 0
+        assert report.mean_batch >= 1.0
+        assert report.kernel_launches > 0
+        assert len(report.latencies_ms) == len(instances)
+        assert all(
+            values_allclose(a, b) for a, b in zip(reference, report.outputs)
+        )
+
+    def test_bursty_traffic_batches_bursts(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("deadline", ms=2.0, clock=SimulatedClock())
+        arrivals = bursty_arrivals(5000.0, len(instances), burst=3, seed=7)
+        report = replay(session, instances, arrivals)
+        assert report.mean_batch >= 2.0  # whole bursts flush together
+        assert all(
+            values_allclose(a, b) for a, b in zip(reference, report.outputs)
+        )
+
+
+class TestPlanCache:
+    def test_hits_on_identical_rounds(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.session(max_batch=len(instances))
+        for round_no in range(4):
+            handles = [session.submit(i) for i in instances]
+            assert all(
+                values_allclose(a, h.result())
+                for a, h in zip(reference, handles)
+            ), f"round {round_no} diverged"
+        memory = session.last_stats.memory
+        assert memory["plan_cache_hits"] == 3
+        assert memory["plan_cache_misses"] == 1
+
+    def test_structural_change_misses_then_rehits(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        module = MODEL_MODULES["treelstm"]
+        _, _, size = module.build_for("test")
+        other = module.make_batch(mod, size, 4, seed=77)
+        other_reference = reference_run(mod, params, other)
+
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.session()
+        for batch, ref in ((instances, reference), (other, other_reference), (instances, reference)):
+            handles = [session.submit(i) for i in batch]
+            session.flush()
+            assert all(
+                values_allclose(a, h.result()) for a, h in zip(ref, handles)
+            )
+        memory = session.last_stats.memory
+        # round 1 and 2 are distinct structures (two misses); round 3
+        # replays round 1's plans
+        assert memory["plan_cache_misses"] == 2
+        assert memory["plan_cache_hits"] == 1
+
+    def test_disabled_cache_never_hits(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions(plan_cache=False))
+        session = model.session(max_batch=len(instances))
+        for _ in range(3):
+            for i in instances:
+                session.submit(i)
+        memory = session.last_stats.memory
+        assert memory["plan_cache_hits"] == 0
+        assert memory["plan_cache_misses"] == 0
+
+    def test_one_shot_runs_leave_cache_dormant(self, treelstm_setup):
+        """Only sessions arm the cache: plain run() calls pay no
+        fingerprinting overhead and never count hits or misses."""
+        mod, params, instances, _ = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        engine = model.make_engine()
+        engine.run(instances)
+        _, stats = engine.run(instances)
+        assert stats.memory["plan_cache_hits"] == 0
+        assert stats.memory["plan_cache_misses"] == 0
+
+    def test_cached_plans_identical_operand_counts(self, treelstm_setup):
+        """A cache hit reports the same operand classification the uncached
+        planner derives."""
+        mod, params, instances, _ = treelstm_setup
+        counts = []
+        for cached in (True, False):
+            model = compile_model(mod, params, CompilerOptions(plan_cache=cached))
+            session = model.session(max_batch=len(instances))
+            for _ in range(2):
+                for i in instances:
+                    session.submit(i)
+            memory = dict(session.last_stats.memory)
+            memory.pop("plan_cache_hits"), memory.pop("plan_cache_misses")
+            counts.append(memory)
+        assert counts[0] == counts[1]
+
+    def test_deferred_sessions_keep_residency(self):
+        """Fiber-program session flushes preserve the device residency
+        cache: round two reuses resident parameters instead of re-uploading
+        them."""
+        module = MODEL_MODULES["drnn"]
+        mod, params, size = module.build_for("test")
+        instances = module.make_batch(mod, size, 2, seed=3)
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.session()
+        assert model.uses_tdc
+        per_round_bytes = []
+        for _ in range(2):
+            for i in instances:
+                session.submit(i)
+            session.flush()
+            per_round_bytes.append(session.last_stats.device.get("num_memcpy", 0))
+        assert per_round_bytes[1] < per_round_bytes[0]
+
+    def test_cache_works_for_deferred_sessions(self):
+        """Fiber (tensor-dependent control flow) sessions flush through
+        engine.run; identical resubmissions still hit the cache."""
+        module = MODEL_MODULES["drnn"]
+        mod, params, size = module.build_for("test")
+        instances = module.make_batch(mod, size, 2, seed=3)
+        reference = reference_run(mod, params, instances)
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.session()
+        planner = session.engine.runtime.planner
+        sizes = []
+        for _ in range(3):
+            handles = [session.submit(i) for i in instances]
+            session.flush()
+            assert all(
+                values_allclose(a, h.result())
+                for a, h in zip(reference, handles)
+            )
+            sizes.append(len(planner._plan_cache))
+        memory = session.last_stats.memory
+        assert memory["plan_cache_hits"] > 0
+        # repeated identical flushes must not keep inserting templates:
+        # every recurring round hits, and rounds pinned to earlier rounds'
+        # concrete arenas (can never recur) are never inserted at all
+        assert sizes[1] == sizes[2]
+
+
+class TestSchedulerValidation:
+    def test_unknown_scheduler_fails_at_compile(self, treelstm_setup):
+        mod, params, _, _ = treelstm_setup
+        with pytest.raises(ValueError, match="inline_depth"):
+            compile_model(mod, params, CompilerOptions(scheduler="not_a_policy"))
+
+    def test_unknown_scheduler_fails_for_vm_path(self, treelstm_setup):
+        mod, params, _, _ = treelstm_setup
+        with pytest.raises(ValueError, match="registered policies"):
+            compile_model(
+                mod, params, CompilerOptions(aot=False, scheduler="not_a_policy")
+            )
+
+    def test_known_scheduler_still_compiles(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions(scheduler="agenda"))
+        outs, _ = model.run(instances)
+        assert all(values_allclose(a, b) for a, b in zip(reference, outs))
+
+
+class TestServeFacade:
+    def test_serve_builds_policy_session(self, treelstm_setup):
+        mod, params, _, _ = treelstm_setup
+        clock = SimulatedClock()
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("deadline", ms=7.0, clock=clock)
+        assert isinstance(session.policy, DeadlinePolicy)
+        assert session.policy.ms == 7.0
+        assert session.clock is clock
+
+    def test_serve_default_is_adaptive(self, treelstm_setup):
+        mod, params, _, _ = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        assert isinstance(model.serve().policy, AdaptivePolicy)
+
+    def test_vm_model_serve(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        vm = compile_model(mod, params, CompilerOptions(aot=False))
+        session = vm.serve("size", n=len(instances))
+        handles = [session.submit(i) for i in instances]
+        assert all(h.done for h in handles)
+        assert all(
+            values_allclose(a, h.result()) for a, h in zip(reference, handles)
+        )
+
+    def test_top_level_exports(self):
+        import repro
+
+        assert repro.Server is Server
+        assert isinstance(repro.make_flush_policy("size", n=2), SizePolicy)
+        assert "deadline" in repro.available_flush_policies()
+
+    def test_custom_policy_subclass(self, treelstm_setup):
+        """Third-party policies plug in through FlushPolicy."""
+        mod, params, instances, reference = treelstm_setup
+
+        class EveryOther(FlushPolicy):
+            name = "every_other"
+
+            def on_submit(self, session, now):
+                return session.pending_requests % 2 == 0
+
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve(EveryOther())
+        handles = [session.submit(i) for i in instances]
+        session.flush()
+        assert all(
+            values_allclose(a, h.result()) for a, h in zip(reference, handles)
+        )
+        assert session.num_flushes >= len(instances) // 2
