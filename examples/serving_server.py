@@ -60,7 +60,9 @@ def main() -> None:
         )
 
     print("\nper-endpoint summary:")
-    for name, summary in server.summary().items():
+    full_summary = server.summary()
+    for name in server.endpoints:
+        summary = full_summary[name]
         print(
             f"  {name:<6} requests={summary['requests']:>3.0f} "
             f"flushes={summary['flushes']:>2.0f} "
@@ -68,6 +70,8 @@ def main() -> None:
             f"launches={summary['kernel_launches']:.0f} "
             f"device_ms={summary['device_ms']:.2f}"
         )
+    devices = full_summary["devices"]
+    print(f"  devices: count={devices['count']} balance={devices['balance']:.2f}")
 
 
 if __name__ == "__main__":

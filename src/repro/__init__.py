@@ -12,6 +12,9 @@ Package map:
   GPU simulator, profiler.
 * :mod:`repro.memory` -- arena-backed batched tensor storage and the
   ahead-of-execution memory planner (contiguity / gather classification).
+* :mod:`repro.devices` -- multi-device execution: the Device protocol,
+  device groups with interconnect cost models, and the placement-policy
+  registry (single / round_robin / data_parallel).
 * :mod:`repro.engine` -- the execution-engine layer: runtime orchestration,
   the scheduler-policy registry.
 * :mod:`repro.serve` -- the serving subsystem: flush policies, request
@@ -74,12 +77,31 @@ _SERVE_EXPORTS = (
     "register_flush_policy",
 )
 
+#: multi-device names importable from the top level (lazy):
+#: ``repro.DeviceGroup``, ``repro.Interconnect``, ``repro.make_placement``...
+_DEVICES_EXPORTS = (
+    "DeviceGroup",
+    "Interconnect",
+    "PlacementPolicy",
+    "available_placements",
+    "make_placement",
+    "register_placement",
+)
+
 
 def __getattr__(name):
     if name in _SERVE_EXPORTS:
         from . import serve as _serve
 
         return getattr(_serve, name)
+    if name in _DEVICES_EXPORTS:
+        from . import devices as _devices
+
+        return getattr(_devices, name)
+    if name == "GPUSpec":
+        from .runtime.device import GPUSpec
+
+        return GPUSpec
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -88,6 +110,8 @@ __all__ = [
     "compile_model",
     "open_session",
     "reference_run",
+    "GPUSpec",
     "__version__",
     *_SERVE_EXPORTS,
+    *_DEVICES_EXPORTS,
 ]

@@ -133,6 +133,11 @@ class CompiledModel:
         self,
         device: Optional[DeviceSimulator] = None,
         scheduler: Optional[str] = None,
+        *,
+        devices: Any = None,
+        placement: Any = None,
+        placement_args: Optional[Dict[str, Any]] = None,
+        interconnect: Any = None,
     ) -> ExecutionEngine:
         """Create an execution engine bound to this model.
 
@@ -140,6 +145,15 @@ class CompiledModel:
         engine's scheduler registry — named ``scheduler`` on every model
         entry point so it cannot be confused with the serving layer's flush
         policies); the default derives from the compiler options.
+
+        ``devices`` turns on multi-device execution: an integer count, a
+        list of :class:`~repro.runtime.device.GPUSpec`/preset names
+        (heterogeneous groups), or a ready
+        :class:`~repro.devices.group.DeviceGroup`.  ``placement`` selects
+        the placement policy by registry name or instance (default
+        ``round_robin`` for multi-device groups); ``interconnect`` prices
+        cross-device transfers (preset name or
+        :class:`~repro.devices.interconnect.Interconnect`).
         """
         return ExecutionEngine(
             program=CompiledProgramBinding(self),
@@ -150,6 +164,10 @@ class CompiledModel:
             gpu_spec=self.gpu_spec,
             schedule_table=self.schedule_table,
             default_schedule_quality=self.options.default_schedule_quality,
+            devices=devices,
+            placement=placement,
+            placement_args=placement_args,
+            interconnect=interconnect,
         )
 
     def make_runtime(self, device: Optional[DeviceSimulator] = None) -> AcrobatRuntime:
@@ -166,6 +184,10 @@ class CompiledModel:
         flush_policy: Any = None,
         flush_args: Optional[Dict[str, Any]] = None,
         clock: Any = None,
+        devices: Any = None,
+        placement: Any = None,
+        placement_args: Optional[Dict[str, Any]] = None,
+        interconnect: Any = None,
     ):
         """Open a persistent :class:`~repro.serve.session.InferenceSession`
         that batches across independently submitted requests.
@@ -175,9 +197,18 @@ class CompiledModel:
         with the flush-policy registry); ``flush_policy``/``flush_args``
         select the session's *flush* policy (see :mod:`repro.serve.policy`);
         ``max_batch=n`` is deprecated sugar for ``flush_policy="size",
-        flush_args={"n": n}``.
+        flush_args={"n": n}``.  ``devices``/``placement``/``placement_args``/
+        ``interconnect`` shard the session over a device group (see
+        :meth:`make_engine`).
         """
-        return self.make_engine(device, scheduler).session(
+        return self.make_engine(
+            device,
+            scheduler,
+            devices=devices,
+            placement=placement,
+            placement_args=placement_args,
+            interconnect=interconnect,
+        ).session(
             max_batch=max_batch, policy=flush_policy, policy_args=flush_args, clock=clock
         )
 
@@ -188,6 +219,10 @@ class CompiledModel:
         clock: Any = None,
         device: Optional[DeviceSimulator] = None,
         scheduler: Optional[str] = None,
+        devices: Any = None,
+        placement: Any = None,
+        placement_args: Optional[Dict[str, Any]] = None,
+        interconnect: Any = None,
         **policy_args: Any,
     ):
         """Open a policy-driven serving session over this model.
@@ -197,11 +232,20 @@ class CompiledModel:
         flush policy (by registry name or instance, with ``policy_args``)
         decides when the accumulated requests execute as one batched round.
         ``scheduler`` optionally overrides the scheduler-policy name and
-        ``clock`` the session's time source.
+        ``clock`` the session's time source; ``devices``/``placement``/
+        ``placement_args``/``interconnect`` shard the session over a device
+        group (see :meth:`make_engine`) — ``serve("adaptive", devices=4,
+        placement="round_robin")`` serves one model across four simulated
+        GPUs.
         """
-        return self.make_engine(device, scheduler).session(
-            policy=policy, policy_args=policy_args or None, clock=clock
-        )
+        return self.make_engine(
+            device,
+            scheduler,
+            devices=devices,
+            placement=placement,
+            placement_args=placement_args,
+            interconnect=interconnect,
+        ).session(policy=policy, policy_args=policy_args or None, clock=clock)
 
     def run(
         self,

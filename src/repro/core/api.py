@@ -5,7 +5,7 @@
   through the Relay-VM-style interpreter instead of AOT-generated code
   (Table 4's baseline); the ``run`` interface is identical.
 * :func:`open_session` — compile a model and open a persistent
-  :class:`~repro.engine.session.InferenceSession` that batches across
+  :class:`~repro.serve.session.InferenceSession` that batches across
   independently submitted requests (the serving path).
 * :func:`reference_run` — unbatched eager execution used as numerical ground
   truth.
@@ -19,7 +19,7 @@ import numpy as np
 
 from ..compiler.driver import CompiledModel, compile_module
 from ..compiler.options import CompilerOptions
-from ..engine.session import InferenceSession
+from ..serve.session import InferenceSession
 from ..ir.module import IRModule
 from ..runtime.device import GPUSpec
 from ..vm.interpreter import VMModel, run_reference

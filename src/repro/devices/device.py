@@ -1,0 +1,77 @@
+"""The ``Device`` protocol: what the runtime requires of an accelerator.
+
+Until PR 4 every layer assumed *the* :class:`~repro.runtime.device.DeviceSimulator`;
+the protocol below is the contract that assumption has been narrowed to.
+Anything satisfying it can back an :class:`~repro.runtime.executor.AcrobatRuntime`:
+
+* the analytical single-GPU simulator (the degenerate one-member group);
+* a :class:`~repro.devices.group.DeviceGroup` of N simulators plus an
+  interconnect cost model.
+
+The key shift is that charging is *indexed*: batches carry a device index
+assigned by a placement policy, and the runtime resolves the member device
+with :meth:`Device.device_for` before charging launches, gathers and
+transfers.  Cross-device operand movement goes through
+:meth:`Device.peer_transfer`, which a standalone simulator rejects (it has
+no peers) and a group prices through its interconnect.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, runtime_checkable
+
+from ..runtime.device import DeviceCounters, GPUSpec
+
+
+@runtime_checkable
+class Device(Protocol):
+    """Structural interface shared by ``DeviceSimulator`` and ``DeviceGroup``.
+
+    Only the surface the runtime, memory planner and serving layer touch is
+    part of the contract; the cost-model internals stay implementation
+    details of the member simulators.
+    """
+
+    #: cost-model parameters of the (primary) accelerator
+    spec: GPUSpec
+
+    @property
+    def num_devices(self) -> int:
+        """How many member devices placement policies may target."""
+        ...
+
+    def device_for(self, index: int) -> object:
+        """The member device a batch placed on ``index`` executes on."""
+        ...
+
+    def peer_transfer(self, src: int, dst: int, nbytes: float) -> float:
+        """Charge a device-to-device transfer; returns its simulated
+        duration in microseconds (0 when ``src == dst``)."""
+        ...
+
+    def counters_dict(self) -> Dict[str, float]:
+        """Aggregate device counters (``RunStats.device``)."""
+        ...
+
+    def per_device_dicts(self) -> List[Dict[str, float]]:
+        """Per-member counter breakdown (empty for a standalone device)."""
+        ...
+
+    def device_summary(self) -> Dict[str, object]:
+        """Busy-time / utilization / balance summary."""
+        ...
+
+    def reset(self) -> None:
+        """Clear accumulated counters on every member."""
+        ...
+
+    def reset_residency(self) -> None:
+        """Forget uploaded host arrays on every member."""
+        ...
+
+    def set_schedule_quality(self, kernel_name: str, quality: float) -> None:
+        """Record an auto-scheduler result on every member."""
+        ...
+
+
+__all__ = ["Device", "DeviceCounters", "GPUSpec"]

@@ -1,0 +1,275 @@
+"""A group of simulated devices behind one runtime.
+
+:class:`DeviceGroup` owns N :class:`~repro.runtime.device.DeviceSimulator`\\ s
+plus an :class:`~repro.devices.interconnect.Interconnect` cost model, and
+implements the same :class:`~repro.devices.device.Device` surface a single
+simulator does — so the runtime, memory planner and serving layer are
+indifferent to whether they charge one accelerator or a sharded group.
+
+Semantics the group pins down:
+
+* **per-device counters, group aggregation** — every member keeps its own
+  :class:`~repro.runtime.device.DeviceCounters`; :attr:`counters` /
+  :meth:`counters_dict` report the element-wise sum, and
+  :meth:`per_device_dicts` the per-member breakdown, so per-device counter
+  sums always equal the group totals.
+* **elapsed vs total device time** — members execute a round concurrently,
+  so the group's *elapsed* device time is the busiest member's total
+  (``elapsed_device_us``), while ``total_device_us`` stays the sum of work
+  performed.  Latency accounting uses the elapsed figure; throughput gains
+  from sharding come exactly from that max-vs-sum gap.
+* **priced peer transfers** — operand movement between members goes through
+  :meth:`peer_transfer`, charged on the *destination* device via the
+  interconnect model (a cross-device gather is never free).
+* **per-device residency** — each member has its own residency cache, so
+  parameters replicated across the group are uploaded (and charged) once
+  per device, as they would be on real hardware.
+
+Heterogeneous groups are supported: pass one spec per device
+(``DeviceGroup([GPUSpec.preset("a100"), GPUSpec.preset("laptop")])``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from ..runtime.device import DeviceCounters, DeviceSimulator, GPUSpec
+from .interconnect import Interconnect
+
+SpecLike = Union[GPUSpec, str]
+
+
+def _resolve_spec(spec: Optional[SpecLike]) -> Optional[GPUSpec]:
+    if isinstance(spec, str):
+        return GPUSpec.preset(spec)
+    return spec
+
+
+class DeviceGroup:
+    """N simulated devices plus an interconnect, behind one Device surface.
+
+    Parameters
+    ----------
+    devices:
+        The group's members: an integer count (devices built from ``spec``),
+        a sequence of :class:`GPUSpec`/preset names (one device per spec —
+        heterogeneous groups), or a sequence of already constructed
+        :class:`DeviceSimulator`\\ s to adopt.
+    spec:
+        Spec for integer ``devices``: a :class:`GPUSpec`, a preset name, or
+        a sequence of either (length must match ``devices``).
+    interconnect:
+        Peer-transfer cost model: an :class:`Interconnect` or a preset name
+        (``"pcie"``, ``"nvlink"``).
+    schedule_table / default_schedule_quality:
+        Shared auto-scheduler results, applied to every member.
+    """
+
+    def __init__(
+        self,
+        devices: Union[int, Sequence[SpecLike], Sequence[DeviceSimulator]] = 1,
+        *,
+        spec: Union[SpecLike, Sequence[SpecLike], None] = None,
+        interconnect: Union[Interconnect, str] = "pcie",
+        schedule_table: Optional[Dict[str, float]] = None,
+        default_schedule_quality: float = 0.9,
+    ) -> None:
+        if isinstance(interconnect, str):
+            interconnect = Interconnect.preset(interconnect)
+        self.interconnect = interconnect
+
+        members: List[DeviceSimulator]
+        if isinstance(devices, int):
+            if devices < 1:
+                raise ValueError("a device group needs at least one device")
+            if isinstance(spec, (list, tuple)):
+                if len(spec) != devices:
+                    raise ValueError(
+                        f"got {len(spec)} specs for {devices} devices; "
+                        f"heterogeneous groups need exactly one spec per device"
+                    )
+                specs = [_resolve_spec(s) for s in spec]
+            else:
+                specs = [_resolve_spec(spec)] * devices
+            members = [
+                DeviceSimulator(
+                    spec=s,
+                    schedule_table=schedule_table,
+                    default_schedule_quality=default_schedule_quality,
+                    device_id=i,
+                )
+                for i, s in enumerate(specs)
+            ]
+        else:
+            items = list(devices)
+            if not items:
+                raise ValueError("a device group needs at least one device")
+            if any(isinstance(d, DeviceSimulator) for d in items):
+                if not all(isinstance(d, DeviceSimulator) for d in items):
+                    raise TypeError(
+                        "a device group takes either DeviceSimulators or "
+                        "specs/preset names, not a mixture"
+                    )
+                # adopted simulators are NOT mutated (they may still back a
+                # standalone runtime elsewhere); the group addresses members
+                # by position, so their own device_id is irrelevant here
+                members = items
+            else:
+                members = [
+                    DeviceSimulator(
+                        spec=_resolve_spec(s),
+                        schedule_table=schedule_table,
+                        default_schedule_quality=default_schedule_quality,
+                        device_id=i,
+                    )
+                    for i, s in enumerate(items)
+                ]
+        self.devices: List[DeviceSimulator] = members
+
+    @classmethod
+    def coerce(
+        cls,
+        devices: Union[int, Sequence[SpecLike], Sequence[DeviceSimulator], "DeviceGroup"],
+        *,
+        spec: Union[SpecLike, Sequence[SpecLike], None] = None,
+        interconnect: Union[Interconnect, str, None] = None,
+        schedule_table: Optional[Dict[str, float]] = None,
+        default_schedule_quality: float = 0.9,
+    ) -> "DeviceGroup":
+        """Normalize a ``devices=`` argument into a group: an existing group
+        is adopted as-is, anything else goes through the constructor.  The
+        single coercion point for every layer accepting ``devices=``.
+
+        ``interconnect=None`` means "the pcie default" when building a new
+        group; an *explicit* interconnect combined with an already built
+        group is rejected rather than silently ignored (the group keeps its
+        own interconnect)."""
+        if isinstance(devices, cls):
+            if interconnect is not None:
+                raise ValueError(
+                    "interconnect= cannot be combined with an already built "
+                    "DeviceGroup (the group keeps its own interconnect, "
+                    f"{devices.interconnect.name!r}); construct the group "
+                    "with the desired interconnect instead"
+                )
+            return devices
+        return cls(
+            devices,
+            spec=spec,
+            interconnect="pcie" if interconnect is None else interconnect,
+            schedule_table=schedule_table,
+            default_schedule_quality=default_schedule_quality,
+        )
+
+    # -- container surface -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, index: int) -> DeviceSimulator:
+        return self.devices[index]
+
+    def __iter__(self) -> Iterator[DeviceSimulator]:
+        return iter(self.devices)
+
+    # -- Device protocol -------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def spec(self) -> GPUSpec:
+        """The primary (device-0) spec; placement heuristics read cost-model
+        parameters here."""
+        return self.devices[0].spec
+
+    @property
+    def schedule_table(self) -> Dict[str, float]:
+        return self.devices[0].schedule_table
+
+    def device_for(self, index: int) -> DeviceSimulator:
+        try:
+            return self.devices[index]
+        except IndexError:
+            raise IndexError(
+                f"batch placed on device {index}, but the group owns "
+                f"{len(self.devices)} devices"
+            ) from None
+
+    def peer_transfer(self, src: int, dst: int, nbytes: float) -> float:
+        """Charge one device-to-device transfer over the interconnect.
+
+        The cost lands on the *destination* device (the consumer stalls on
+        the incoming copy); same-device transfers are free.  Returns the
+        simulated duration in microseconds.
+        """
+        if src == dst:
+            return 0.0
+        self.device_for(src)  # validate the source index too
+        dst_dev = self.device_for(dst)
+        t = self.interconnect.transfer_time_us(nbytes)
+        counters = dst_dev.counters
+        counters.peer_time_us += t
+        counters.num_peer_transfers += 1
+        counters.bytes_peer += float(nbytes)
+        counters.api_time_us += dst_dev.spec.api_overhead_us
+        return t
+
+    @property
+    def counters(self) -> DeviceCounters:
+        """Element-wise sum of every member's counters."""
+        return DeviceCounters.merge([d.counters for d in self.devices])
+
+    def counters_dict(self) -> Dict[str, float]:
+        """Aggregate counters plus the group-only ``elapsed_device_us`` (the
+        busiest member — members run a round concurrently)."""
+        merged = self.counters.as_dict()
+        merged["elapsed_device_us"] = max(
+            d.counters.total_device_us for d in self.devices
+        )
+        return merged
+
+    def per_device_dicts(self) -> List[Dict[str, float]]:
+        # keyed by position in the group: adopted simulators keep their own
+        # device_id untouched, and placement indices are positional anyway
+        return [
+            {"device": float(i), **d.counters.as_dict()}
+            for i, d in enumerate(self.devices)
+        ]
+
+    def device_summary(self) -> Dict[str, object]:
+        """Busy time, utilization and balance across the group.
+
+        ``utilization`` is each member's busy time relative to the busiest
+        member; ``balance`` is the least-busy / busiest ratio (1.0 = perfect
+        balance, 0.0 = at least one member idle).  Reflects counters since
+        the last reset.
+        """
+        busy = [d.counters.total_device_us for d in self.devices]
+        top = max(busy)
+        return {
+            "count": len(self.devices),
+            "interconnect": self.interconnect.name,
+            "busy_us": busy,
+            "utilization": [b / top if top > 0 else 0.0 for b in busy],
+            "balance": (min(busy) / top) if top > 0 else 1.0,
+        }
+
+    def reset(self) -> None:
+        for d in self.devices:
+            d.reset()
+
+    def reset_residency(self) -> None:
+        for d in self.devices:
+            d.reset_residency()
+
+    def set_schedule_quality(self, kernel_name: str, quality: float) -> None:
+        for d in self.devices:
+            d.set_schedule_quality(kernel_name, quality)
+
+    def __repr__(self) -> str:
+        names = {d.spec.name for d in self.devices}
+        kind = names.pop() if len(names) == 1 else "heterogeneous"
+        return (
+            f"DeviceGroup(n={len(self.devices)}, spec={kind!r}, "
+            f"interconnect={self.interconnect.name!r})"
+        )

@@ -1,0 +1,343 @@
+"""Placement policies: *where* does a scheduled batch execute?
+
+After the scheduler has grouped a round's DFG nodes into batches and before
+the memory planner runs, a :class:`PlacementPolicy` assigns every batch a
+device index within the runtime's :class:`~repro.devices.group.DeviceGroup`
+— possibly splitting batches into per-device shards.  Policies are
+string-keyed through a registry mirroring the scheduler-policy and
+flush-policy registries: runtimes resolve them by name via
+:func:`make_placement`, and third parties add their own with
+:func:`register_placement`.
+
+Built-in policies:
+
+``single``
+    Everything on device 0 (the pre-multi-device behaviour; the group's
+    other members stay idle).
+``round_robin``
+    Request-level sharding: instance ``i`` lives on device ``i % N``, so
+    every scheduled batch splits into per-device shards along instance
+    boundaries.  A request's whole DFG chain stays on one device, so no
+    cross-device operand traffic arises for independent requests.
+``data_parallel``
+    Split each scheduled batch into N contiguous shards *when its size
+    amortizes the extra launches*: using the device cost model, splitting
+    pays when the memory-time saved by shrinking the per-device batch
+    exceeds the serial CPU-side API overhead of the extra launches.  Small
+    batches stay whole on device 0.
+
+Whatever a policy does, results are reference-identical: placement moves
+*where* a batch executes (and what transfers are charged), never what it
+computes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..runtime.scheduler import ScheduledBatch
+from ..runtime.tensor import LazyTensor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..kernels.batched import BlockKernel
+    from .device import Device
+
+PlacementFactory = Callable[..., "PlacementPolicy"]
+
+_REGISTRY: Dict[str, PlacementFactory] = {}
+
+
+class PlacementPolicy:
+    """Assigns every scheduled batch of a round to a device in the group."""
+
+    #: registry name
+    name = "single"
+
+    def place_round(
+        self,
+        batches: List[ScheduledBatch],
+        group: "Device",
+        kernels: Dict[int, "BlockKernel"],
+    ) -> List[ScheduledBatch]:
+        """Return the round's batches with device indices assigned.
+
+        Policies may split batches (returning more, smaller ones) but must
+        preserve execution order: a shard of batch *k* must appear before
+        any shard of batch *k+1*, so dependency order survives placement.
+        """
+        return batches
+
+    def observe(
+        self,
+        block_id: int,
+        batch_size: int,
+        duration_us: float,
+        num_launches: int,
+        spec: Any,
+    ) -> None:
+        """Feedback hook: the executor reports every batch's simulated
+        launch time after charging it, so adaptive policies can learn
+        per-block device cost (the static operand-byte estimate cannot see
+        compute-bound work)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def register_placement(
+    name: str,
+    factory: Optional[PlacementFactory] = None,
+    *,
+    overwrite: bool = False,
+) -> Any:
+    """Register a placement policy under ``name`` (plain call or decorator).
+
+    Registering an existing name raises unless ``overwrite=True``.
+    """
+
+    def _register(fn: PlacementFactory) -> PlacementFactory:
+        if not overwrite and name in _REGISTRY:
+            raise ValueError(
+                f"placement policy {name!r} is already registered "
+                f"(pass overwrite=True to replace it)"
+            )
+        _REGISTRY[name] = fn
+        return fn
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def unregister_placement(name: str) -> None:
+    """Remove a placement policy from the registry (no-op for unknown names)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_placements() -> Tuple[str, ...]:
+    """Names of all registered placement policies, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_placement(name: str, **policy_args: Any) -> PlacementPolicy:
+    """Instantiate the placement policy registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {name!r}; available policies: "
+            f"{', '.join(available_placements())}"
+        ) from None
+    return factory(**policy_args)
+
+
+# -- built-in policies --------------------------------------------------------
+
+
+@register_placement("single")
+class SinglePlacement(PlacementPolicy):
+    """Everything on device 0 (the degenerate, pre-sharding placement)."""
+
+    name = "single"
+
+
+@register_placement("round_robin")
+class RoundRobinPlacement(PlacementPolicy):
+    """Request-level sharding: instance ``i`` executes on device ``i % N``.
+
+    Every scheduled batch splits along instance boundaries into at most N
+    per-device shards (node order within each shard is preserved, and
+    shards inherit their batch's position in the round, so dependency order
+    survives).  Because the *same* instances map to the same device in
+    every round, a request's whole chain — and therefore every
+    producer/consumer arena pair — stays device-local.
+    """
+
+    name = "round_robin"
+
+    def place_round(
+        self,
+        batches: List[ScheduledBatch],
+        group: "Device",
+        kernels: Dict[int, "BlockKernel"],
+    ) -> List[ScheduledBatch]:
+        n = group.num_devices
+        if n <= 1:
+            return batches
+        placed: List[ScheduledBatch] = []
+        for batch in batches:
+            shards: Dict[int, List] = {}
+            for node in batch.nodes:
+                shards.setdefault(node.instance_id % n, []).append(node)
+            if len(shards) == 1:
+                device, nodes = next(iter(shards.items()))
+                batch.device = device
+                placed.append(batch)
+                continue
+            for device in sorted(shards):
+                placed.append(
+                    ScheduledBatch(
+                        block_id=batch.block_id,
+                        nodes=shards[device],
+                        device=device,
+                    )
+                )
+        return placed
+
+
+@register_placement("data_parallel")
+class DataParallelPlacement(PlacementPolicy):
+    """Split big batches into contiguous per-device shards; keep small ones.
+
+    For each scheduled batch of size ``B`` the policy asks the device cost
+    model whether sharding pays: splitting into ``k`` shards divides the
+    batch's per-device *work* time by ``k`` (shards run concurrently) but
+    adds ``(k-1)`` serial CPU-side launches at ``api_overhead_us`` each.
+    Every shard count from 2 to the device count is considered and the one
+    with the best *net* elapsed saving wins — an intermediate split can pay
+    where the maximal one does not.
+
+    The per-instance work estimate has two sources.  Once a block has
+    executed, the policy uses the *observed* launch durations the executor
+    feeds back through :meth:`observe` (an EWMA per block — this captures
+    compute-bound and memory-bound work alike, exactly as the adaptive
+    flush policy learns launches-per-round).  Before the first observation
+    it falls back to a static estimate from the batch's already
+    materialized / host operand bytes: memory time shrinks from
+    ``(shared + B*var) / bw`` to ``(shared + ceil(B/k)*var) / bw`` (shared
+    operands are re-read by every shard).  When nothing is known at all
+    (e.g. the first round of a fiber program) a batch splits optimistically
+    once every shard can hold ``min_shard`` instances.
+
+    Shards are *contiguous* runs of the batch's nodes, so two consecutive
+    batches over the same instances shard identically and their
+    producer/consumer arenas stay device-local; mismatched memberships
+    degrade to priced peer transfers, never to wrong results.
+    """
+
+    name = "data_parallel"
+
+    def __init__(self, min_shard: int = 2, smoothing: float = 0.5) -> None:
+        if min_shard < 1:
+            raise ValueError("data_parallel placement needs min_shard >= 1")
+        self.min_shard = int(min_shard)
+        self.smoothing = float(smoothing)
+        #: EWMA of per-instance device work (us, launch overhead excluded)
+        #: per block id, learned from observed launches
+        self._work_us: Dict[int, float] = {}
+
+    def place_round(
+        self,
+        batches: List[ScheduledBatch],
+        group: "Device",
+        kernels: Dict[int, "BlockKernel"],
+    ) -> List[ScheduledBatch]:
+        n = group.num_devices
+        if n <= 1:
+            return batches
+        placed: List[ScheduledBatch] = []
+        for batch in batches:
+            k = self._num_shards(batch, group, kernels)
+            if k <= 1:
+                placed.append(batch)  # stays whole on device 0
+                continue
+            nodes = batch.nodes
+            per_shard = math.ceil(len(nodes) / k)
+            for device in range(k):
+                shard = nodes[device * per_shard : (device + 1) * per_shard]
+                if shard:
+                    placed.append(
+                        ScheduledBatch(
+                            block_id=batch.block_id, nodes=shard, device=device
+                        )
+                    )
+        return placed
+
+    # -- cost model ------------------------------------------------------------
+    def observe(
+        self,
+        block_id: int,
+        batch_size: int,
+        duration_us: float,
+        num_launches: int,
+        spec: Any,
+    ) -> None:
+        work = max(0.0, duration_us - num_launches * spec.launch_overhead_us)
+        per_instance = work / max(1, batch_size)
+        prev = self._work_us.get(block_id)
+        self._work_us[block_id] = (
+            per_instance
+            if prev is None
+            else self.smoothing * per_instance + (1 - self.smoothing) * prev
+        )
+
+    def _num_shards(
+        self,
+        batch: ScheduledBatch,
+        group: "Device",
+        kernels: Dict[int, "BlockKernel"],
+    ) -> int:
+        size = len(batch.nodes)
+        k_max = min(group.num_devices, size // self.min_shard)
+        if k_max <= 1:
+            return 1
+        spec = group.spec
+        observed = self._work_us.get(batch.block_id)
+        if observed is not None:
+            per_instance_us = observed
+        else:
+            shared_bytes, var_bytes, known = self._estimate_bytes(batch, kernels)
+            if not known:
+                return k_max  # no estimate yet: shard optimistically
+            # static fallback: memory time only (shared operands are re-read
+            # by every shard, so only the varying bytes actually shard)
+            per_instance_us = var_bytes / (spec.mem_bandwidth_gbps * 1e3)
+        # pick the shard count with the best *net* elapsed saving: shards
+        # run concurrently, so k shards save work * (B - ceil(B/k)) but add
+        # (k - 1) serial CPU-side launches — the maximal k is not always the
+        # best (or even profitable) split
+        best_k, best_net = 1, 0.0
+        for k in range(2, k_max + 1):
+            saved_us = per_instance_us * (size - math.ceil(size / k))
+            net = saved_us - (k - 1) * spec.api_overhead_us
+            if net > best_net:
+                best_k, best_net = k, net
+        return best_k
+
+    @staticmethod
+    def _estimate_bytes(
+        batch: ScheduledBatch, kernels: Dict[int, "BlockKernel"]
+    ) -> Tuple[float, float, bool]:
+        """(shared bytes per launch, varying bytes per instance, any known).
+
+        Reads sizes off the first node's operands; pending lazy tensors have
+        no value yet and contribute nothing (an underestimate — the split
+        decision errs toward keeping batches whole, which is the safe side).
+        """
+        kernel = kernels.get(batch.block_id)
+        if kernel is None:
+            return 0.0, 0.0, False
+        node = batch.nodes[0]
+        shared = var = 0.0
+        known = False
+        for inp in kernel.block.inputs:
+            arg = node.args[inp.index]
+            if isinstance(arg, LazyTensor):
+                storage = arg.storage
+                if storage is None:
+                    continue
+                nbytes = float(storage.nbytes)
+            else:
+                nbytes = float(np.asarray(arg).nbytes)
+            known = True
+            if inp.shared:
+                shared += nbytes
+            else:
+                var += nbytes
+        return shared, var, known

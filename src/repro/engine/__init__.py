@@ -11,7 +11,9 @@ interpreter, the DyNet baseline) and :mod:`repro.runtime`:
 * :class:`InferenceSession` — a persistent session batching across
   independently submitted requests.  The session (and everything serving:
   flush policies, request futures, clocks, multi-model servers) lives in
-  :mod:`repro.serve`; it is re-exported here for compatibility.
+  :mod:`repro.serve`; it is re-exported here for compatibility — lazily,
+  through the deprecated :mod:`repro.engine.session` shim, so only code
+  that still uses the old path sees its :class:`DeprecationWarning`.
 """
 
 from .engine import ExecutionEngine, InstanceArgBinder, ProgramBinding
@@ -21,7 +23,17 @@ from .registry import (
     register_scheduler,
     unregister_scheduler,
 )
-from .session import InferenceRequest, InferenceSession, RequestHandle
+
+_SESSION_EXPORTS = ("InferenceRequest", "InferenceSession", "RequestHandle")
+
+
+def __getattr__(name):
+    if name in _SESSION_EXPORTS:
+        from . import session as _session
+
+        return getattr(_session, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ExecutionEngine",

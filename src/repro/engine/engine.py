@@ -15,8 +15,10 @@ on its own.  :class:`ExecutionEngine` owns that machinery once:
 Front-ends supply a :class:`ProgramBinding` that knows how to wire a runtime
 into the program and return a per-instance entry callable; they shrink to
 thin adapters.  :meth:`ExecutionEngine.session` opens a persistent
-:class:`~repro.engine.session.InferenceSession` that batches *across*
-independently submitted requests.
+:class:`~repro.serve.session.InferenceSession` that batches *across*
+independently submitted requests.  ``devices=``/``placement=`` back the
+engine with a :class:`~repro.devices.group.DeviceGroup` instead of a single
+simulator and shard each scheduled round across it.
 """
 
 from __future__ import annotations
@@ -100,18 +102,68 @@ class ExecutionEngine:
         schedule_table: Optional[Dict[str, float]] = None,
         default_schedule_quality: float = 0.9,
         profiler: Optional[ActivityProfiler] = None,
+        devices: Any = None,
+        placement: Any = None,
+        placement_args: Optional[Dict[str, Any]] = None,
+        interconnect: Any = None,
     ) -> None:
         self.program = program
         self.kernels = kernels
         options = options or ExecutionOptions()
         if policy is not None:
             options = replace(options, scheduler=policy)
+        if placement is not None and isinstance(placement, str):
+            options = replace(options, placement=placement)
         self.options = options
+        if devices is not None:
+            # multi-device execution: build (or adopt) a device group
+            from ..devices.group import DeviceGroup
+
+            if device is not None:
+                raise ValueError(
+                    "pass either an explicit device or a devices= count/spec "
+                    "list, not both (wrap your devices in a DeviceGroup and "
+                    "pass it as device= instead)"
+                )
+            device = DeviceGroup.coerce(
+                devices,
+                spec=gpu_spec,
+                interconnect=interconnect,
+                schedule_table=schedule_table,
+                default_schedule_quality=default_schedule_quality,
+            )
         self.device = device or DeviceSimulator(
             spec=gpu_spec,
             schedule_table=schedule_table,
             default_schedule_quality=default_schedule_quality,
         )
+        # placement: an instance is used as-is; a name (possibly from
+        # options.placement) resolves through the registry; a multi-device
+        # group with no explicit choice shards requests round-robin
+        if placement is None or isinstance(placement, str):
+            name = self.options.placement
+            if name is None and self.num_devices > 1:
+                name = "round_robin"
+            if name is not None:
+                from ..devices.placement import make_placement
+
+                merged_placement_args = {
+                    **self.options.placement_args,
+                    **(placement_args or {}),
+                }
+                placement = make_placement(name, **merged_placement_args)
+            elif placement_args:
+                raise ValueError(
+                    "placement_args were given but no placement policy "
+                    "resolves (single-device engine with no placement name)"
+                )
+        elif placement_args:
+            # mirror InferenceSession's policy_args contract: arguments only
+            # make sense when the policy is resolved by name here, and
+            # silently ignoring them would hide misconfiguration
+            raise ValueError(
+                "placement_args only apply when placement is given by name"
+            )
         # policy arguments: options.scheduler_args is the base (so directly
         # constructed runtimes and engines agree), explicit policy_args win
         merged_args = {**options.scheduler_args, **(policy_args or {})}
@@ -122,7 +174,12 @@ class ExecutionEngine:
             **merged_args,
         )
         self.runtime = AcrobatRuntime(
-            kernels, options, self.device, profiler or ActivityProfiler(), scheduler
+            kernels,
+            options,
+            self.device,
+            profiler or ActivityProfiler(),
+            scheduler,
+            placement=placement,
         )
         # deep model recursion (trees, long sequences) needs a high recursion
         # limit; raised once here rather than on every call
@@ -133,6 +190,16 @@ class ExecutionEngine:
     def policy(self) -> str:
         """Name of the scheduler policy this engine runs."""
         return self.options.scheduler
+
+    @property
+    def num_devices(self) -> int:
+        """How many devices back this engine (1 for a standalone simulator)."""
+        return getattr(self.device, "num_devices", 1)
+
+    @property
+    def placement(self) -> Optional[Any]:
+        """The runtime's placement policy (None on the single-device path)."""
+        return self.runtime._placement
 
     # -- batch execution -------------------------------------------------------
     def run(
@@ -187,6 +254,7 @@ class ExecutionEngine:
         stats = rt.collect_stats(batch_size)
         accounted = (
             stats.host_ms.get("scheduling", 0.0)
+            + stats.host_ms.get("placement", 0.0)
             + stats.host_ms.get("memory_planning", 0.0)
             + stats.host_ms.get("dispatch", 0.0)
             + stats.host_ms.get("materialize", 0.0)

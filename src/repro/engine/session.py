@@ -5,11 +5,22 @@ subsystem (flush policies, request futures, clocks, servers, traffic) and
 lives in ``repro.serve.session``; the old ``InferenceRequest`` handle grew
 per-request statistics and became
 :class:`~repro.serve.request.RequestHandle`.  This module keeps the
-historical import path working.
+historical import path working but emits a :class:`DeprecationWarning` on
+import — update imports to ``repro.serve``.
 """
+
+import warnings
 
 from ..serve.request import RequestHandle, RequestStats
 from ..serve.session import InferenceSession
+
+warnings.warn(
+    "repro.engine.session is deprecated: the session layer moved to "
+    "repro.serve (import InferenceSession, RequestHandle and RequestStats "
+    "from repro.serve instead)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 #: deprecated alias for :class:`~repro.serve.request.RequestHandle`
 InferenceRequest = RequestHandle

@@ -7,7 +7,18 @@ Set ``REPRO_SCALE=paper`` to use the paper's model sizes and batch sizes
 (slower); the default ``reduced`` scale regenerates everything in minutes.
 """
 
-from . import figure5, figure6, serving, table4, table5, table6, table7, table8, table9
+from . import (
+    figure5,
+    figure6,
+    serving,
+    sharding,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
 from .harness import (
     PAPER,
     REDUCED,
@@ -32,11 +43,12 @@ ALL_EXPERIMENTS = {
     "figure5": figure5,
     "figure6": figure6,
     "serving": serving,
+    "sharding": sharding,
 }
 
 __all__ = [
     "table4", "table5", "table6", "table7", "table8", "table9",
-    "figure5", "figure6", "serving", "ALL_EXPERIMENTS",
+    "figure5", "figure6", "serving", "sharding", "ALL_EXPERIMENTS",
     "ExperimentScale", "REDUCED", "PAPER", "current_scale",
     "run_acrobat", "run_dynet", "run_eager", "run_vm", "run_cortex",
     "format_table", "save_result",

@@ -1,0 +1,259 @@
+"""Sharding benchmark: serving throughput vs device count per placement.
+
+The serving benchmark (:mod:`repro.experiments.serving`) measures *when* to
+flush; this one measures *where* the flushed round executes.  Open-loop
+Poisson traffic is replayed against a TreeLSTM serving session backed by a
+:class:`~repro.devices.group.DeviceGroup` of 1/2/4 simulated devices under
+every built-in placement policy:
+
+* ``single`` — everything on device 0 (the no-sharding baseline: extra
+  devices sit idle, so throughput must not move);
+* ``round_robin`` — request-level sharding (instance ``i`` on device
+  ``i % N``);
+* ``data_parallel`` — per-batch splitting driven by the device cost model
+  (learning per-block work from observed launches).
+
+The sweep runs in a *device-bound* regime: paper-"small" model sizes on a
+deliberately compute-starved edge-class accelerator spec, so the serving
+bottleneck is simulated device time rather than the Python host overhead of
+this reproduction — device-count scaling is what is being measured, and it
+only exists where the device is the bottleneck (a datacenter GPU at toy
+sizes is launch-overhead-bound, and sharding cannot shard launch overhead).
+Cross-device operand traffic is priced over an NVLink-class interconnect.
+
+Reported per configuration: throughput, p50/p99 end-to-end latency on the
+simulated clock, mean batch size, kernel launches, peer transfers, the
+group's busy-time balance, and the throughput speedup vs the same policy's
+single-device run.  Every configuration's outputs are checked against the
+eager reference, and every flush's per-device counters are checked to sum
+to the group totals — sharding must change where work runs and what
+transfers cost, never results or accounting identities.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..compiler.options import CompilerOptions
+from ..core.api import compile_model, reference_run
+from ..devices.group import DeviceGroup
+from ..runtime.device import GPUSpec
+from ..serve.clock import SimulatedClock
+from ..serve.traffic import TrafficReport, poisson_arrivals, replay
+from ..utils import values_allclose
+from .harness import (
+    ExperimentScale,
+    build_model,
+    current_scale,
+    format_table,
+    make_instances,
+    save_result,
+)
+
+HEADERS = (
+    "model",
+    "placement",
+    "devices",
+    "throughput_rps",
+    "speedup",
+    "p50_ms",
+    "p99_ms",
+    "mean_batch",
+    "launches",
+    "peer_transfers",
+    "balance",
+    "matches_ref",
+    "counters_sum",
+)
+
+PLACEMENTS = ("single", "round_robin", "data_parallel")
+DEVICE_COUNTS = (1, 2, 4)
+
+MODEL = "treelstm"
+#: the sweep uses the paper's "small" model size even at reduced scale:
+#: device-count scaling needs real per-instance device work to shard
+SIZE_NAME = "small"
+
+#: compute-starved edge-class accelerator: ~4 GFLOPS peak with modest
+#: bandwidth, so a flushed round's simulated device time dominates the
+#: host-side Python overhead by an order of magnitude and the device — not
+#: this reproduction's Python host — is the serving bottleneck (which also
+#: keeps the measured speedups stable on busy CI hosts)
+EDGE_SPEC = GPUSpec(
+    name="simulated-edge",
+    launch_overhead_us=5.0,
+    api_overhead_us=4.0,
+    mem_bandwidth_gbps=4.0,
+    peak_gflops=4.0,
+    pcie_bandwidth_gbps=4.0,
+    memcpy_overhead_us=7.0,
+    saturation_flops=5.0e4,
+    min_utilization=0.05,
+)
+
+INTERCONNECT = "nvlink"
+
+#: open-loop arrival rate (requests/second on the simulated clock), set
+#: well above the single-device service rate so the sweep measures serving
+#: capacity (open-loop saturation), and the per-scale trace length
+ARRIVAL_RATE = {"reduced": 1600.0, "paper": 1600.0}
+NUM_REQUESTS = {"reduced": 48, "paper": 96}
+FLUSH_SIZE = 16
+
+
+def _counters_sum_ok(history) -> bool:
+    """Every flush's per-device counters must sum to the group totals."""
+    for stats in history:
+        if not stats.per_device:
+            continue
+        total = sum(d.get("total_device_us", 0.0) for d in stats.per_device)
+        launches = sum(d.get("num_kernel_launches", 0) for d in stats.per_device)
+        if abs(total - stats.device.get("total_device_us", 0.0)) > 1e-6:
+            return False
+        if launches != stats.device.get("num_kernel_launches", 0):
+            return False
+    return True
+
+
+def _busy_balance(history) -> float:
+    """min/max per-device busy time across the replay's flushes (1.0 =
+    perfectly balanced; single-device runs are balanced by definition)."""
+    busy: Dict[int, float] = {}
+    for stats in history:
+        for d in stats.per_device:
+            idx = int(d.get("device", 0))
+            busy[idx] = busy.get(idx, 0.0) + d.get("total_device_us", 0.0)
+    if len(busy) <= 1:
+        return 1.0
+    top = max(busy.values())
+    return (min(busy.values()) / top) if top > 0 else 1.0
+
+
+def _replay_config(
+    compiled, requests, rate: float, seed: int, placement: str, devices: int
+) -> Tuple[TrafficReport, object]:
+    group = DeviceGroup(devices, spec=EDGE_SPEC, interconnect=INTERCONNECT)
+    session = compiled.serve(
+        "size",
+        n=FLUSH_SIZE,
+        clock=SimulatedClock(),
+        devices=group,
+        placement=placement,
+    )
+    arrivals = poisson_arrivals(rate, len(requests), seed=seed)
+    report = replay(session, requests, arrivals)
+    return report, session
+
+
+def run(
+    scale: Optional[ExperimentScale] = None,
+    device_counts: Sequence[int] = DEVICE_COUNTS,
+    placements: Sequence[str] = PLACEMENTS,
+) -> Tuple[Tuple[str, ...], List[List]]:
+    """The device-scaling table (one row per placement x device count).
+
+    Device counts are swept in ascending order and each placement's
+    ``speedup`` column is relative to its own run at the *smallest* swept
+    count (1 in the default sweep).
+    """
+    scale = scale or current_scale()
+    n = NUM_REQUESTS.get(scale.name, 48)
+    rate = ARRIVAL_RATE.get(scale.name, 1600.0)
+    device_counts = tuple(sorted(set(device_counts)))
+
+    mod, params, size = build_model(MODEL, SIZE_NAME, scale.seed)
+    requests = make_instances(MODEL, mod, size, n, seed=scale.seed + 3)
+    reference = reference_run(mod, params, requests)
+    compiled = compile_model(mod, params, CompilerOptions())
+
+    rows: List[List] = []
+    for placement in placements:
+        base_throughput: Optional[float] = None
+        for devices in device_counts:
+            report, session = _replay_config(
+                compiled, requests, rate, scale.seed, placement, devices
+            )
+            ok = all(
+                values_allclose(a, b) for a, b in zip(reference, report.outputs)
+            )
+            peer = sum(
+                s.device.get("num_peer_transfers", 0) for s in session.history
+            )
+            if base_throughput is None:
+                base_throughput = report.throughput_rps
+            rows.append(
+                [
+                    MODEL,
+                    placement,
+                    devices,
+                    report.throughput_rps,
+                    report.throughput_rps / base_throughput,
+                    report.p50_ms,
+                    report.p99_ms,
+                    report.mean_batch,
+                    report.kernel_launches,
+                    peer,
+                    _busy_balance(session.history),
+                    "yes" if ok else "NO",
+                    "yes" if _counters_sum_ok(session.history) else "NO",
+                ]
+            )
+    return HEADERS, rows
+
+
+def format_report(headers: Tuple[str, ...], rows: List[List]) -> str:
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "Sharding: open-loop Poisson traffic vs device count per placement "
+            f"policy ({SIZE_NAME}-size {MODEL} on a {EDGE_SPEC.name} group, "
+            f"{INTERCONNECT} interconnect, size({FLUSH_SIZE}) flushes; "
+            "speedup is each placement's throughput over its own run at the "
+            "smallest swept device count)"
+        ),
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> str:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.sharding",
+        description="Device-scaling serving sweep (placement-policy matrix).",
+    )
+    parser.add_argument(
+        "--devices",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="device counts to sweep (default: 1 2 4); the 1-device "
+        "baseline is always included so the speedup column stays "
+        "comparable across invocations — --devices 2 sweeps {1, 2}",
+    )
+    parser.add_argument(
+        "--placements",
+        nargs="+",
+        default=None,
+        choices=PLACEMENTS,
+        help="placement policies to sweep (default: all)",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else [])
+    counts: Sequence[int] = DEVICE_COUNTS
+    if args.devices is not None:
+        # the 1-device baseline is always swept so "speedup" means the same
+        # thing however the counts are given ("--devices 2" = smoke {1, 2})
+        counts = tuple(sorted({1, *args.devices}))
+    headers, rows = run(
+        device_counts=counts, placements=args.placements or PLACEMENTS
+    )
+    text = format_report(headers, rows)
+    print(text)
+    save_result("sharding", text)
+    return text
+
+
+if __name__ == "__main__":
+    import sys
+
+    main(sys.argv[1:])

@@ -42,7 +42,14 @@ class StorageArena:
     """One contiguous device buffer holding a batched launch output."""
 
     # __weakref__ lets the device's residency cache hold arenas weakly
-    __slots__ = ("arena_id", "data", "batch_size", "broadcast", "__weakref__")
+    __slots__ = (
+        "arena_id",
+        "data",
+        "batch_size",
+        "broadcast",
+        "device_index",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -50,25 +57,47 @@ class StorageArena:
         batch_size: int,
         broadcast: bool = False,
         arena_id: int = None,
+        device_index: int = 0,
     ) -> None:
         self.arena_id = next_arena_id() if arena_id is None else arena_id
         self.data = np.asarray(data)
         self.batch_size = batch_size
         self.broadcast = broadcast
+        #: which device of the group owns this buffer; the memory planner
+        #: classifies operands read from another device's arena as priced
+        #: peer transfers
+        self.device_index = device_index
 
     # -- construction ---------------------------------------------------------
     @classmethod
-    def from_batched(cls, array: np.ndarray, arena_id: int = None) -> "StorageArena":
+    def from_batched(
+        cls, array: np.ndarray, arena_id: int = None, device_index: int = 0
+    ) -> "StorageArena":
         """Wrap a ``[B, ...]`` array produced by a batched kernel launch."""
         array = np.asarray(array)
-        return cls(array, batch_size=array.shape[0], arena_id=arena_id)
+        return cls(
+            array,
+            batch_size=array.shape[0],
+            arena_id=arena_id,
+            device_index=device_index,
+        )
 
     @classmethod
     def from_broadcast(
-        cls, array: np.ndarray, batch_size: int, arena_id: int = None
+        cls,
+        array: np.ndarray,
+        batch_size: int,
+        arena_id: int = None,
+        device_index: int = 0,
     ) -> "StorageArena":
         """Wrap a shared launch output logically replicated across the batch."""
-        return cls(np.asarray(array), batch_size, broadcast=True, arena_id=arena_id)
+        return cls(
+            np.asarray(array),
+            batch_size,
+            broadcast=True,
+            arena_id=arena_id,
+            device_index=device_index,
+        )
 
     # -- zero-copy access -----------------------------------------------------
     def view(self, offset: int) -> np.ndarray:

@@ -17,6 +17,14 @@ batch, how its batched form will be obtained:
     The operands are scattered and gather fusion is on: the batched kernel
     reads them through indirect addressing, charged as scattered bytes on
     its launch records.
+``peer``
+    The operands are contiguous in one arena, but that arena lives on a
+    *different device* of the runtime's
+    :class:`~repro.devices.group.DeviceGroup` than the batch: the whole
+    slice ships over the group's interconnect as one priced peer transfer
+    and arrives dense.  (Scattered operands with remote parts keep their
+    gather classification; the remote parts are peer-charged at resolve
+    time, coalesced per source device.)
 
 Planning ahead of execution is possible because the planner *places*
 outputs symbolically as it walks: each batch's outputs are assigned a fresh
@@ -70,6 +78,10 @@ class OperandKind(Enum):
     CONTIGUOUS = "contiguous"
     GATHER = "gather"
     FUSED_GATHER = "fused_gather"
+    #: contiguous in one arena, but that arena lives on a *different* device
+    #: of the group than the consuming batch: one priced peer transfer ships
+    #: the whole slice over the interconnect, after which it is dense locally
+    PEER = "peer"
 
 
 # hot-path aliases: Enum member access goes through a descriptor, so the
@@ -78,6 +90,7 @@ _SHARED = OperandKind.SHARED
 _CONTIGUOUS = OperandKind.CONTIGUOUS
 _GATHER = OperandKind.GATHER
 _FUSED_GATHER = OperandKind.FUSED_GATHER
+_PEER = OperandKind.PEER
 
 
 class OperandPlan:
@@ -119,6 +132,9 @@ class BatchPlan:
     #: pre-allocated arena ids, one per block output; the commit step creates
     #: the arenas under exactly these ids so later plans stay valid
     output_arena_ids: List[int]
+    #: device index (within the runtime's device group) this batch executes
+    #: on; its output arenas are born on that device
+    device: int = 0
 
     def count(self, kind: OperandKind) -> int:
         return sum(1 for op in self.operands if op.kind is kind)
@@ -248,22 +264,33 @@ class MemoryPlanner:
         #: symbolic placements of tensors this round will produce: tid ->
         #: (arena_id, offset); tensors from earlier rounds carry real storage
         placements: Dict[int, Tuple[int, int]] = {}
+        #: device owning each arena planned this round (earlier rounds'
+        #: arenas carry their device on the concrete StorageArena)
+        arena_devices: Dict[int, int] = {}
         plans: List[BatchPlan] = []
         counts = self.operand_counts
 
         for batch in batches:
             block = kernels[batch.block_id].block
             nodes = batch.nodes
+            device = batch.device
             if len(nodes) == 1:
                 # batch of one never gathers: every varying operand only gains
-                # a leading batch axis (a zero-copy reshape)
+                # a leading batch axis (a zero-copy reshape); a remote operand
+                # is still shipped over — resolution charges the transfer from
+                # the operand's concrete storage
                 operands = [
                     OperandPlan(inp.index, _SHARED if inp.shared else _CONTIGUOUS)
                     for inp in block.inputs
                 ]
             else:
-                operands = [self._plan_operand(inp, nodes, placements) for inp in block.inputs]
+                operands = [
+                    self._plan_operand(inp, nodes, placements, arena_devices, device)
+                    for inp in block.inputs
+                ]
             output_ids = [next_arena_id() for _ in range(block.num_outputs)]
+            for arena_id in output_ids:
+                arena_devices[arena_id] = device
             for b, node in enumerate(nodes):
                 for out, arena_id in zip(node.outputs, output_ids):
                     placements[out.tid] = (arena_id, b)
@@ -275,6 +302,7 @@ class MemoryPlanner:
                     batch_size=len(nodes),
                     operands=operands,
                     output_arena_ids=output_ids,
+                    device=device,
                 )
             )
 
@@ -313,7 +341,10 @@ class MemoryPlanner:
         add = sig.append
         for batch in batches:
             nodes = batch.nodes
-            members = tuple(node.round_seq for node in nodes)
+            # placement identity: equal signatures must imply identical
+            # device assignment, or a cache hit could replay a plan whose
+            # peer-transfer classification no longer matches the round
+            members = (batch.device, *(node.round_seq for node in nodes))
             if len(nodes) == 1:
                 # batch of one classifies from the block alone
                 add((batch.block_id, members))
@@ -413,6 +444,7 @@ class MemoryPlanner:
                     batch_size=len(batch.nodes),
                     operands=operands,
                     output_arena_ids=output_ids,
+                    device=batch.device,
                 )
             )
         counts = self.operand_counts
@@ -421,7 +453,12 @@ class MemoryPlanner:
         return plans
 
     def _plan_operand(
-        self, inp, nodes, placements: Dict[int, Tuple[int, int]]
+        self,
+        inp,
+        nodes,
+        placements: Dict[int, Tuple[int, int]],
+        arena_devices: Dict[int, int],
+        batch_device: int,
     ) -> OperandPlan:
         if inp.shared:
             return OperandPlan(inp.index, _SHARED)
@@ -430,6 +467,7 @@ class MemoryPlanner:
         contiguous = True
         prev: Optional[Tuple[int, int]] = None
         first: Optional[Tuple[int, int]] = None
+        first_device: Optional[int] = None
         for node in nodes:
             arg = node.args[index]
             if not isinstance(arg, LazyTensor):
@@ -437,6 +475,7 @@ class MemoryPlanner:
                 contiguous = False
                 continue
             placement = placements.get(arg.tid)
+            storage_device: Optional[int] = None
             if placement is None:
                 storage = arg.storage
                 if storage is None:
@@ -447,14 +486,24 @@ class MemoryPlanner:
                         f"out of dependency order"
                     )
                 placement = storage.placement
+                storage_device = storage.arena.device_index
             if prev is None:
                 first = placement
+                first_device = (
+                    storage_device
+                    if storage_device is not None
+                    else arena_devices.get(placement[0], 0)
+                )
             elif placement[0] != prev[0] or placement[1] != prev[1] + 1:
                 contiguous = False
             prev = placement
 
         if contiguous and first is not None:
-            return OperandPlan(index, _CONTIGUOUS, arena_id=first[0], start=first[1])
+            # one arena holds the whole slice (an arena lives wholly on one
+            # device); if that device is not the batch's, the slice ships over
+            # the interconnect as one priced peer transfer
+            kind = _CONTIGUOUS if first_device == batch_device else _PEER
+            return OperandPlan(index, kind, arena_id=first[0], start=first[1])
         return OperandPlan(index, _FUSED_GATHER if self.gather_fusion else _GATHER)
 
     # -- execution-time resolution ---------------------------------------------
@@ -467,17 +516,23 @@ class MemoryPlanner:
     ) -> List[BatchedOperand]:
         """Turn a batch plan into kernel operands, charging the device.
 
-        Explicit gathers are charged here (one gather launch per scattered
-        operand); host arrays are uploaded through the device's residency
-        cache; contiguous operands become zero-copy arena views.
+        Charging is indexed by the plan's device: explicit gathers and
+        host-array uploads hit the member device the batch executes on
+        (``device.device_for(plan.device)``), and operands whose storage
+        lives on *another* member are shipped over the group's interconnect
+        first (``device.peer_transfer``) — contiguous remote slices as one
+        transfer, scattered remote parts coalesced per source device.
+        Contiguous local operands stay zero-copy arena views.
         """
         block = kernel.block
         nodes = plan.batch.nodes
         batch_size = len(nodes)
+        batch_device = plan.device
+        local = device.device_for(batch_device)
         resolved: List[BatchedOperand] = []
         validate = options.validate
         batch_memcpy = options.batch_memcpy
-        ensure_resident = device.ensure_resident
+        ensure_resident = local.ensure_resident
 
         for op in plan.operands:
             kind = op.kind
@@ -500,30 +555,53 @@ class MemoryPlanner:
                 resolved.append(BatchedOperand(shared=True, array=value))
                 continue
 
-            if kind is _CONTIGUOUS:
+            if kind is _CONTIGUOUS or kind is _PEER:
                 resolved.append(
-                    self._resolve_contiguous(op, nodes, batch_size, device, options)
+                    self._resolve_contiguous(
+                        op, nodes, batch_size, device, batch_device, options
+                    )
                 )
                 continue
 
             # scattered: hand the kernel per-instance storage refs; the views
             # are only realized inside the kernel's own gather (the read is
             # device work — charged as a gather launch or as scattered bytes —
-            # not host dispatch time)
+            # not host dispatch time).  Parts living on other devices of the
+            # group ship over the interconnect first, coalesced per source.
             parts: List[Any] = []
+            remote_bytes: Dict[int, float] = {}
+            seen_broadcast: set = set()
             for node in nodes:
                 arg = node.args[index]
                 if isinstance(arg, LazyTensor):
-                    parts.append(arg.storage)
+                    storage = arg.storage
+                    arena = storage.arena
+                    src = arena.device_index
+                    if src != batch_device:
+                        if arena.broadcast:
+                            # every broadcast part is the same underlying
+                            # array: the arena ships once per consumer device
+                            if arena.arena_id not in seen_broadcast:
+                                seen_broadcast.add(arena.arena_id)
+                                remote_bytes[src] = (
+                                    remote_bytes.get(src, 0.0) + arena.nbytes
+                                )
+                        else:
+                            remote_bytes[src] = remote_bytes.get(src, 0.0) + float(
+                                storage.nbytes
+                            )
+                    parts.append(storage)
                 else:
                     arr = np.asarray(arg)
                     ensure_resident(arr, batch_memcpy)
                     parts.append(arr)
+            for src, nbytes in remote_bytes.items():
+                device.peer_transfer(src, batch_device, nbytes)
             if kind is _GATHER:
                 # one explicit gather launch copies the scattered operand into
                 # a contiguous buffer; downstream the operand is dense, so the
                 # kernel performs the stack without scattered-read accounting
-                device.gather(float(sum(p.nbytes for p in parts)))
+                local.gather(float(sum(p.nbytes for p in parts)))
                 resolved.append(BatchedOperand(shared=False, parts=parts))
             else:  # FUSED_GATHER: the kernel reads the scattered parts itself
                 resolved.append(BatchedOperand(shared=False, parts=parts, scattered=True))
@@ -531,15 +609,27 @@ class MemoryPlanner:
         return resolved
 
     def _resolve_contiguous(
-        self, op: OperandPlan, nodes, batch_size: int, device, options
+        self, op: OperandPlan, nodes, batch_size: int, device, batch_device: int, options
     ) -> BatchedOperand:
+        local = device.device_for(batch_device)
         if batch_size == 1:
             arg = nodes[0].args[op.index]
             if isinstance(arg, LazyTensor):
+                storage = arg.storage
+                src = storage.arena.device_index
+                if src != batch_device:
+                    # singleton batches classify without looking at operands
+                    # (the planning fast path), so the remote read is both
+                    # charged and re-classified here — the peer operand count
+                    # must agree with the device's transfer counters
+                    device.peer_transfer(src, batch_device, float(storage.nbytes))
+                    counts = self.operand_counts
+                    counts[_PEER.value] += 1
+                    counts[_CONTIGUOUS.value] -= 1
                 arr = arg.value
             else:
                 arr = np.asarray(arg)
-                device.ensure_resident(arr, options.batch_memcpy)
+                local.ensure_resident(arr, options.batch_memcpy)
             return BatchedOperand(shared=False, array=arr[None])  # zero-copy leading axis
         storage = nodes[0].args[op.index].storage
         if storage is None or storage.placement != (op.arena_id, op.start):
@@ -549,6 +639,16 @@ class MemoryPlanner:
                 f"{None if storage is None else storage.placement} — batches "
                 f"executed out of plan order"
             )
+        if op.kind is _PEER:
+            # the whole contiguous slice ships from its owning device in one
+            # priced transfer, arriving dense on the batch's device; a
+            # broadcast arena's slice is one underlying array however large
+            # the batch, so it ships once, not batch_size times
+            arena = storage.arena
+            nbytes = (
+                arena.nbytes if arena.broadcast else float(storage.nbytes) * batch_size
+            )
+            device.peer_transfer(arena.device_index, batch_device, nbytes)
         return BatchedOperand(shared=False, array=storage.arena.slice(op.start, batch_size))
 
     # -- execution-time commit ---------------------------------------------------
@@ -559,17 +659,24 @@ class MemoryPlanner:
         device: "DeviceSimulator",
     ) -> List[StorageArena]:
         """Store a batch's outputs into arenas under the planned ids and
-        materialize every node output as a zero-copy arena view."""
+        materialize every node output as a zero-copy arena view.
+
+        Arenas are born on the device the batch executed on (and enter that
+        member's residency cache), so later rounds price reads from them by
+        where they actually live."""
         nodes = plan.batch.nodes
+        local = device.device_for(plan.device)
         arenas: List[StorageArena] = []
         for k, (out, arena_id) in enumerate(zip(outputs, plan.output_arena_ids)):
             if out.batched:
-                arena = StorageArena.from_batched(out.array, arena_id=arena_id)
+                arena = StorageArena.from_batched(
+                    out.array, arena_id=arena_id, device_index=plan.device
+                )
             else:
                 arena = StorageArena.from_broadcast(
-                    out.array, len(nodes), arena_id=arena_id
+                    out.array, len(nodes), arena_id=arena_id, device_index=plan.device
                 )
-            device.note_arena(arena)
+            local.note_arena(arena)
             for b, node in enumerate(nodes):
                 node.outputs[k].storage = TensorStorage(arena, b)
             arenas.append(arena)

@@ -18,13 +18,20 @@ hinges on:
 
 Host-side time (DFG construction, scheduling) is *not* simulated — it is
 measured as real Python wall-clock by :mod:`repro.runtime.profiler`.
+
+A standalone :class:`DeviceSimulator` is also the degenerate one-member
+case of the multi-device surface in :mod:`repro.devices`: it exposes the
+same :class:`~repro.devices.device.Device` protocol a
+:class:`~repro.devices.group.DeviceGroup` does (``device_for``,
+``peer_transfer``, ``counters_dict``...), so every layer above charges
+devices uniformly whether there is one or many.
 """
 
 from __future__ import annotations
 
 import weakref
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Optional, Tuple
 
 from ..kernels.batched import LaunchRecord
 from ..memory.arena import StorageArena
@@ -55,6 +62,77 @@ class GPUSpec:
     #: floor on achievable efficiency for tiny kernels
     min_utilization: float = 0.03
 
+    def __post_init__(self) -> None:
+        for field_name in (
+            "launch_overhead_us",
+            "api_overhead_us",
+            "mem_bandwidth_gbps",
+            "peak_gflops",
+            "pcie_bandwidth_gbps",
+            "saturation_flops",
+        ):
+            value = getattr(self, field_name)
+            if not value > 0:
+                raise ValueError(f"GPUSpec.{field_name} must be positive, got {value!r}")
+        if self.memcpy_overhead_us < 0:
+            raise ValueError("GPUSpec.memcpy_overhead_us must be >= 0")
+        if self.scattered_read_penalty < 1.0:
+            raise ValueError("GPUSpec.scattered_read_penalty must be >= 1.0")
+        if not 0.0 < self.min_utilization <= 1.0:
+            raise ValueError("GPUSpec.min_utilization must be in (0, 1]")
+
+    @classmethod
+    def preset(cls, name: str, **overrides) -> "GPUSpec":
+        """A named accelerator preset (``rtx3070``, ``a100``, ``laptop``),
+        optionally with field overrides."""
+        try:
+            base = GPU_PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown GPU preset {name!r}; available presets: "
+                f"{', '.join(sorted(GPU_PRESETS))}"
+            ) from None
+        # always a copy: specs are mutable dataclasses and the presets must
+        # stay pristine however callers tweak their instances
+        return replace(base, **overrides)
+
+    @classmethod
+    def available_presets(cls) -> Tuple[str, ...]:
+        return tuple(sorted(GPU_PRESETS))
+
+
+#: named accelerator presets.  ``rtx3070`` is the paper's evaluation card
+#: (and this simulator's historical default); ``a100`` is a datacenter-class
+#: part (HBM bandwidth, NVLink-era interconnect pairs well with it);
+#: ``laptop`` is a bandwidth-starved mobile part where device time dominates
+#: even at reduced scale — the sharding benchmark uses it so multi-device
+#: scaling is measured in the regime where sharding actually matters.
+GPU_PRESETS: Dict[str, GPUSpec] = {
+    "rtx3070": GPUSpec(name="simulated-rtx3070"),
+    "a100": GPUSpec(
+        name="simulated-a100",
+        launch_overhead_us=5.0,
+        api_overhead_us=4.0,
+        mem_bandwidth_gbps=1555.0,
+        peak_gflops=19500.0,
+        pcie_bandwidth_gbps=25.0,
+        memcpy_overhead_us=7.0,
+        saturation_flops=8.0e6,
+        min_utilization=0.02,
+    ),
+    "laptop": GPUSpec(
+        name="simulated-laptop",
+        launch_overhead_us=8.0,
+        api_overhead_us=6.0,
+        mem_bandwidth_gbps=45.0,
+        peak_gflops=1200.0,
+        pcie_bandwidth_gbps=6.0,
+        memcpy_overhead_us=10.0,
+        saturation_flops=5.0e5,
+        min_utilization=0.05,
+    ),
+}
+
 
 @dataclass
 class DeviceCounters:
@@ -64,18 +142,28 @@ class DeviceCounters:
     gather_time_us: float = 0.0
     memcpy_time_us: float = 0.0
     api_time_us: float = 0.0
+    #: time spent receiving peer (device-to-device) transfers over the
+    #: group's interconnect; zero on a standalone single device
+    peer_time_us: float = 0.0
     num_kernel_launches: int = 0
     num_gather_launches: int = 0
     num_memcpy: int = 0
+    num_peer_transfers: int = 0
     bytes_gathered: float = 0.0
     bytes_copied: float = 0.0
+    bytes_peer: float = 0.0
     #: launches per kernel name (used by PGO to derive operator priorities)
     launches_by_kernel: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_device_us(self) -> float:
         """Total simulated device-side time."""
-        return self.kernel_time_us + self.gather_time_us + self.memcpy_time_us
+        return (
+            self.kernel_time_us
+            + self.gather_time_us
+            + self.memcpy_time_us
+            + self.peer_time_us
+        )
 
     @property
     def total_launches(self) -> int:
@@ -87,11 +175,34 @@ class DeviceCounters:
             "gather_time_us": self.gather_time_us,
             "memcpy_time_us": self.memcpy_time_us,
             "api_time_us": self.api_time_us,
+            "peer_time_us": self.peer_time_us,
             "num_kernel_launches": self.num_kernel_launches,
             "num_gather_launches": self.num_gather_launches,
             "num_memcpy": self.num_memcpy,
+            "num_peer_transfers": self.num_peer_transfers,
             "total_device_us": self.total_device_us,
         }
+
+    @classmethod
+    def merge(cls, parts: "List[DeviceCounters]") -> "DeviceCounters":
+        """Element-wise sum of several devices' counters (group aggregation).
+
+        Driven by the dataclass fields so new counters aggregate without
+        touching this method: numeric fields sum, dict fields (the
+        per-kernel launch tally) merge by key.
+        """
+        merged = cls()
+        numeric = [
+            f.name for f in fields(cls) if f.type in ("float", "int", float, int)
+        ]
+        for c in parts:
+            for name in numeric:
+                setattr(merged, name, getattr(merged, name) + getattr(c, name))
+            for kernel_name, n in c.launches_by_kernel.items():
+                merged.launches_by_kernel[kernel_name] = (
+                    merged.launches_by_kernel.get(kernel_name, 0) + n
+                )
+        return merged
 
 
 class DeviceSimulator:
@@ -102,8 +213,14 @@ class DeviceSimulator:
         spec: Optional[GPUSpec] = None,
         schedule_table: Optional[Dict[str, float]] = None,
         default_schedule_quality: float = 0.9,
+        device_id: int = 0,
     ) -> None:
+        if isinstance(spec, str):
+            spec = GPUSpec.preset(spec)
         self.spec = spec or GPUSpec()
+        #: index of this device within its :class:`~repro.devices.DeviceGroup`
+        #: (0 for a standalone device)
+        self.device_id = device_id
         #: per-kernel schedule quality in (0, 1]; produced by the
         #: auto-scheduler (§C.1), higher is better.
         self.schedule_table: Dict[str, float] = dict(schedule_table or {})
@@ -116,6 +233,54 @@ class DeviceSimulator:
         #: array cannot leave a stale entry behind (CPython recycles ids) and
         #: long-lived sessions do not grow the cache without bound.
         self._resident: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    # -- device-protocol surface ----------------------------------------------
+    # A standalone simulator is the degenerate one-member device group; these
+    # methods let the runtime, planner and serving layer treat a single
+    # DeviceSimulator and a DeviceGroup uniformly (repro.devices.Device).
+    @property
+    def num_devices(self) -> int:
+        return 1
+
+    def device_for(self, index: int) -> "DeviceSimulator":
+        """The member device a batch placed on ``index`` executes on."""
+        if index != self.device_id:
+            raise IndexError(
+                f"batch placed on device {index}, but this runtime owns only "
+                f"device {self.device_id}; pass a DeviceGroup for multi-device "
+                f"placement"
+            )
+        return self
+
+    def peer_transfer(self, src: int, dst: int, nbytes: float) -> float:
+        """Charge a device-to-device transfer; free when src == dst (a
+        standalone device has no peers to transfer from)."""
+        if src == dst:
+            return 0.0
+        raise RuntimeError(
+            f"cross-device transfer {src}->{dst} requested on a standalone "
+            f"DeviceSimulator; multi-device placement needs a DeviceGroup"
+        )
+
+    def counters_dict(self) -> Dict[str, float]:
+        """Aggregate counters as reported in ``RunStats.device``."""
+        return self.counters.as_dict()
+
+    def per_device_dicts(self) -> "List[Dict[str, float]]":
+        """Per-member counter breakdown; empty for a standalone device (the
+        aggregate *is* the single device)."""
+        return []
+
+    def device_summary(self) -> Dict[str, object]:
+        """Utilization summary in the shape :meth:`DeviceGroup.device_summary`
+        reports for groups."""
+        busy = self.counters.total_device_us
+        return {
+            "count": 1,
+            "busy_us": [busy],
+            "utilization": [1.0 if busy > 0 else 0.0],
+            "balance": 1.0,
+        }
 
     # -- configuration --------------------------------------------------------
     def set_schedule_quality(self, kernel_name: str, quality: float) -> None:

@@ -49,6 +49,14 @@ class ExecutionOptions:
     #: (e.g. ``{"kind": "depth"}`` for the "dynet" policy), so parameterized
     #: policies work even when the runtime resolves its own scheduler
     scheduler_args: Dict[str, Any] = field(default_factory=dict)
+    #: placement-policy name, resolved through the registry in
+    #: :mod:`repro.devices.placement` ("single", "round_robin",
+    #: "data_parallel"); None keeps every batch on the primary device.
+    #: Only meaningful when the runtime's device is a
+    #: :class:`~repro.devices.group.DeviceGroup` with more than one member.
+    placement: Optional[str] = None
+    #: extra keyword arguments forwarded to the placement-policy factory
+    placement_args: Dict[str, Any] = field(default_factory=dict)
     #: coalesce host->device parameter/input transfers
     batch_memcpy: bool = True
     #: cache memory plans across structurally identical rounds (serving
@@ -66,10 +74,15 @@ class RunStats:
     host_ms: Dict[str, float] = field(default_factory=dict)
     device: Dict[str, float] = field(default_factory=dict)
     #: memory-planner operand classification counts (contiguous / gather /
-    #: fused_gather / shared) plus plan-cache accounting
+    #: fused_gather / peer / shared) plus plan-cache accounting
     #: (``plan_cache_hits`` / ``plan_cache_misses``, cumulative over the
     #: runtime's lifetime)
     memory: Dict[str, int] = field(default_factory=dict)
+    #: per-device counter breakdown when the runtime drives a
+    #: :class:`~repro.devices.group.DeviceGroup` (one dict per member, with
+    #: a ``device`` index key); empty for a standalone device, whose
+    #: aggregate ``device`` dict *is* the single device's counters
+    per_device: List[Dict[str, float]] = field(default_factory=list)
     num_dfg_nodes: int = 0
     num_batches: int = 0
     batch_size: int = 0
@@ -87,6 +100,17 @@ class RunStats:
 
     @property
     def device_total_ms(self) -> float:
+        """Elapsed device time: on a device group, members execute a round
+        concurrently, so the round takes as long as its busiest member
+        (``elapsed_device_us``); on a single device elapsed equals total."""
+        device = self.device
+        if "elapsed_device_us" in device:
+            return device["elapsed_device_us"] / 1e3
+        return device.get("total_device_us", 0.0) / 1e3
+
+    @property
+    def device_work_ms(self) -> float:
+        """Total device work performed (summed across the group's members)."""
         return self.device.get("total_device_us", 0.0) / 1e3
 
     @property
@@ -124,6 +148,8 @@ class RunStats:
             }
         )
         out.update(self.device)
+        if self.per_device:
+            out["num_devices"] = len(self.per_device)
         return out
 
 
@@ -137,9 +163,14 @@ class AcrobatRuntime:
         device: Optional[DeviceSimulator] = None,
         profiler: Optional[ActivityProfiler] = None,
         scheduler: Optional[Any] = None,
+        placement: Optional[Any] = None,
     ) -> None:
         self.kernels = kernels
         self.options = options or ExecutionOptions()
+        #: the accelerator this runtime charges: a single
+        #: :class:`~repro.runtime.device.DeviceSimulator` or a
+        #: :class:`~repro.devices.group.DeviceGroup` (both satisfy the
+        #: :class:`~repro.devices.device.Device` protocol)
         self.device = device or DeviceSimulator()
         self.profiler = profiler or ActivityProfiler()
         self.planner = MemoryPlanner(
@@ -160,6 +191,15 @@ class AcrobatRuntime:
                 **self.options.scheduler_args,
             )
         self._scheduler = scheduler
+        if placement is None and self.options.placement is not None:
+            from ..devices.placement import make_placement
+
+            placement = make_placement(
+                self.options.placement, **self.options.placement_args
+            )
+        #: placement policy assigning scheduled batches to group devices
+        #: (None: every batch stays on the primary device)
+        self._placement = placement
         self.current_instance = 0
         self.num_nodes_total = 0
         self.num_batches_total = 0
@@ -222,6 +262,11 @@ class AcrobatRuntime:
         batches = self._scheduler.schedule(nodes)
         self.profiler.add("scheduling", time.perf_counter() - sched_start)
 
+        if self._placement is not None:
+            place_start = time.perf_counter()
+            batches = self._placement.place_round(batches, self.device, self.kernels)
+            self.profiler.add("placement", time.perf_counter() - place_start)
+
         plan_start = time.perf_counter()
         plans = self.planner.plan_round(batches, self.kernels)
         self.profiler.add("memory_planning", time.perf_counter() - plan_start)
@@ -244,8 +289,17 @@ class AcrobatRuntime:
         outputs, launches = kernel.execute_batched(operands, batch_size)
         self.profiler.add("numpy_compute", time.perf_counter() - compute_start)
 
+        # launches land on the member device the placement policy chose
+        local = self.device.device_for(plan.device)
+        launch_us = 0.0
         for record in launches:
-            self.device.launch(record, gather_fused=self.options.gather_fusion)
+            launch_us += local.launch(record, gather_fused=self.options.gather_fusion)
+        if self._placement is not None:
+            # feed observed device cost back so adaptive placements learn
+            # per-block work (static byte estimates miss compute-bound time)
+            self._placement.observe(
+                batch.block_id, batch_size, launch_us, len(launches), local.spec
+            )
 
         store_start = time.perf_counter()
         self.planner.commit(plan, outputs, self.device)
@@ -264,12 +318,17 @@ class AcrobatRuntime:
             "dispatch": self.profiler.ms("dispatch"),
             "materialize": self.profiler.ms("materialize"),
         }
+        if self._placement is not None:
+            # the placement bucket exists only when a policy is active, so
+            # single-device breakdowns keep their historical shape
+            host_ms["placement"] = self.profiler.ms("placement")
         memory = dict(self.planner.operand_counts)
         memory["plan_cache_hits"] = self.planner.cache_hits
         memory["plan_cache_misses"] = self.planner.cache_misses
         return RunStats(
             host_ms=host_ms,
-            device=self.device.counters.as_dict(),
+            device=self.device.counters_dict(),
+            per_device=self.device.per_device_dicts(),
             memory=memory,
             num_dfg_nodes=self.num_nodes_total,
             num_batches=self.num_batches_total,

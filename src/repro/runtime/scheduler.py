@@ -35,6 +35,9 @@ class ScheduledBatch:
 
     block_id: int
     nodes: List[DFGNode]
+    #: index of the device this batch executes on, within the runtime's
+    #: device group (assigned by a placement policy; 0 = the primary device)
+    device: int = 0
 
     @property
     def size(self) -> int:

@@ -1,12 +1,15 @@
-"""Multi-model serving: named endpoints over one shared device.
+"""Multi-model serving: named endpoints over one shared device (or group).
 
 A production deployment rarely serves a single model.  :class:`Server`
 multiplexes several compiled models behind named :class:`Endpoint`\\ s that
-share one :class:`~repro.runtime.device.DeviceSimulator` (one GPU) and one
-:class:`~repro.serve.clock.Clock`: each endpoint owns a policy-driven
-:class:`~repro.serve.session.InferenceSession` over its model, requests are
-routed by endpoint name, and deadline-driven flushing is coordinated
-server-wide through :meth:`Server.poll` / :meth:`Server.next_deadline`.
+share one accelerator — a single
+:class:`~repro.runtime.device.DeviceSimulator` or, with ``devices=N``, a
+:class:`~repro.devices.group.DeviceGroup` sharded by a placement policy —
+and one :class:`~repro.serve.clock.Clock`: each endpoint owns a
+policy-driven :class:`~repro.serve.session.InferenceSession` over its
+model, requests are routed by endpoint name, and deadline-driven flushing
+is coordinated server-wide through :meth:`Server.poll` /
+:meth:`Server.next_deadline`.
 
 Per-flush device counters stay isolated even on the shared device: every
 session resets the device's counters at the flush that executes its round
@@ -16,7 +19,7 @@ and persists, as it would on real hardware).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..runtime.device import DeviceSimulator, GPUSpec
 from .clock import Clock, WallClock
@@ -73,17 +76,59 @@ class Endpoint:
 
 
 class Server:
-    """Routes requests to named endpoints sharing one device and clock."""
+    """Routes requests to named endpoints sharing one device (group) and
+    clock.
+
+    ``devices`` turns on multi-device serving: an integer count, a list of
+    :class:`GPUSpec`/preset names (heterogeneous groups), or a ready
+    :class:`~repro.devices.group.DeviceGroup`; endpoints then shard their
+    flush batches across the group under ``placement`` (a
+    :mod:`repro.devices.placement` registry name or instance, default
+    ``round_robin``), and cross-device operand traffic is priced by
+    ``interconnect`` (``"pcie"``/``"nvlink"`` or an
+    :class:`~repro.devices.interconnect.Interconnect`).
+    """
 
     def __init__(
         self,
         device: Optional[DeviceSimulator] = None,
         clock: Optional[Clock] = None,
         gpu_spec: Optional[GPUSpec] = None,
+        *,
+        devices: Any = None,
+        placement: Any = None,
+        interconnect: Union[str, Any, None] = None,
     ) -> None:
+        if devices is not None:
+            from ..devices.group import DeviceGroup
+
+            if device is not None:
+                raise ValueError(
+                    "pass either an explicit device or devices=, not both "
+                    "(wrap your devices in a DeviceGroup and pass it as "
+                    "device= instead)"
+                )
+            device = DeviceGroup.coerce(devices, spec=gpu_spec, interconnect=interconnect)
         self.device = device or DeviceSimulator(spec=gpu_spec)
+        if placement is not None and not isinstance(placement, str):
+            # placement instances are stateful (e.g. data_parallel's learned
+            # per-block work keyed by block id) and belong to exactly one
+            # engine; a server-wide default is instantiated per endpoint, so
+            # it must be a registry name
+            raise TypeError(
+                "the server-wide placement default must be a registry name; "
+                "pass policy instances per endpoint via "
+                "add_endpoint(placement=...)"
+            )
+        #: placement-policy default for endpoints (None: round_robin when
+        #: the server owns a multi-device group)
+        self.placement = placement
         self.clock = clock or WallClock()
         self._endpoints: Dict[str, Endpoint] = {}
+
+    @property
+    def num_devices(self) -> int:
+        return getattr(self.device, "num_devices", 1)
 
     # -- endpoint management ---------------------------------------------------
     def add_endpoint(
@@ -93,6 +138,7 @@ class Server:
         policy: Any = "size",
         *,
         scheduler: Optional[str] = None,
+        placement: Any = None,
         **policy_args: Any,
     ) -> Endpoint:
         """Register ``model`` under ``name``.
@@ -102,12 +148,22 @@ class Server:
         :class:`~repro.vm.interpreter.VMModel`); ``policy`` selects the
         endpoint's flush policy by name (with ``policy_args``) or instance,
         and ``scheduler`` optionally overrides the model's scheduler-policy
-        name.  The endpoint's session runs on the server's shared device and
-        clock.
+        name.  The endpoint's session runs on the server's shared device
+        (group) and clock; ``placement`` overrides the server-wide
+        placement policy for this endpoint.
         """
+        if name == "devices":
+            raise ValueError(
+                "endpoint name 'devices' is reserved (Server.summary() "
+                "reports the device-group breakdown under that key)"
+            )
         if name in self._endpoints:
             raise ValueError(f"endpoint {name!r} already exists")
-        engine = model.make_engine(device=self.device, scheduler=scheduler)
+        engine = model.make_engine(
+            device=self.device,
+            scheduler=scheduler,
+            placement=placement if placement is not None else self.placement,
+        )
         session = InferenceSession(
             engine, policy=policy, policy_args=policy_args or None, clock=self.clock
         )
@@ -162,9 +218,22 @@ class Server:
         return min(deadlines) if deadlines else None
 
     # -- introspection ---------------------------------------------------------
-    def summary(self) -> Dict[str, Dict[str, float]]:
-        """Per-endpoint aggregate serving statistics."""
-        return {name: ep.summary() for name, ep in sorted(self._endpoints.items())}
+    def device_summary(self) -> Dict[str, Any]:
+        """Utilization and balance across the server's device (group):
+        per-device busy time, each member's share of the busiest member, and
+        the least/busiest ratio (1.0 = perfectly balanced).  Counters are
+        per-flush (sessions reset them at each round), so this reflects the
+        most recent round."""
+        return self.device.device_summary()
+
+    def summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-endpoint aggregate serving statistics, plus a ``devices``
+        entry with the group's utilization/balance breakdown."""
+        out: Dict[str, Dict[str, Any]] = {
+            name: ep.summary() for name, ep in sorted(self._endpoints.items())
+        }
+        out["devices"] = self.device_summary()
+        return out
 
     def __repr__(self) -> str:
-        return f"Server(endpoints={list(self.endpoints)!r})"
+        return f"Server(endpoints={list(self.endpoints)!r}, devices={self.num_devices})"

@@ -243,11 +243,18 @@ class VMModel:
         self,
         device: Optional[DeviceSimulator] = None,
         scheduler: Optional[str] = None,
+        *,
+        devices: Any = None,
+        placement: Any = None,
+        placement_args: Optional[Dict[str, Any]] = None,
+        interconnect: Any = None,
     ) -> ExecutionEngine:
         """Engine interpreting the program with runtime-only batching.
 
         Kernels start empty: the interpreter creates single-operator blocks
         on demand and installs them into the engine's runtime.
+        ``devices``/``placement``/``interconnect`` shard execution over a
+        device group exactly as :meth:`CompiledModel.make_engine` does.
         """
         return ExecutionEngine(
             program=VMProgramBinding(self),
@@ -259,6 +266,10 @@ class VMModel:
             ),
             device=device,
             gpu_spec=self.gpu_spec,
+            devices=devices,
+            placement=placement,
+            placement_args=placement_args,
+            interconnect=interconnect,
         )
 
     def session(
@@ -270,10 +281,21 @@ class VMModel:
         flush_policy: Any = None,
         flush_args: Optional[Dict[str, Any]] = None,
         clock: Any = None,
+        devices: Any = None,
+        placement: Any = None,
+        placement_args: Optional[Dict[str, Any]] = None,
+        interconnect: Any = None,
     ):
         """Open a cross-request batching session over the interpreter
         (same surface as :meth:`CompiledModel.session`)."""
-        return self.make_engine(device, scheduler).session(
+        return self.make_engine(
+            device,
+            scheduler,
+            devices=devices,
+            placement=placement,
+            placement_args=placement_args,
+            interconnect=interconnect,
+        ).session(
             max_batch=max_batch, policy=flush_policy, policy_args=flush_args, clock=clock
         )
 
@@ -284,13 +306,22 @@ class VMModel:
         clock: Any = None,
         device: Optional[DeviceSimulator] = None,
         scheduler: Optional[str] = None,
+        devices: Any = None,
+        placement: Any = None,
+        placement_args: Optional[Dict[str, Any]] = None,
+        interconnect: Any = None,
         **policy_args: Any,
     ):
         """Open a policy-driven serving session over the interpreter (same
         surface as :meth:`CompiledModel.serve`)."""
-        return self.make_engine(device, scheduler).session(
-            policy=policy, policy_args=policy_args or None, clock=clock
-        )
+        return self.make_engine(
+            device,
+            scheduler,
+            devices=devices,
+            placement=placement,
+            placement_args=placement_args,
+            interconnect=interconnect,
+        ).session(policy=policy, policy_args=policy_args or None, clock=clock)
 
     def run(
         self, instances: Sequence[Any], device: Optional[DeviceSimulator] = None

@@ -240,6 +240,34 @@ class TestExperimentsSmoke:
         assert "T" in text and "2.50" in text
 
 
+class TestExperimentsCLI:
+    def test_list_prints_every_experiment(self, capsys):
+        from repro.experiments import ALL_EXPERIMENTS
+        from repro.experiments.__main__ import main
+
+        assert main(["--list"]) == 0
+        listed = capsys.readouterr().out.split()
+        assert listed == sorted(ALL_EXPERIMENTS)
+        assert "sharding" in listed
+
+    def test_unknown_experiment_errors(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--only", "table99"]) == 2
+        assert "table99" in capsys.readouterr().err
+
+    def test_only_runs_named_experiment(self, capsys, tmp_path, monkeypatch):
+        from repro.experiments.__main__ import main
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["--only", "table5"]) == 0
+        out = capsys.readouterr().out
+        assert "== table5 ==" in out
+        assert (tmp_path / "table5.txt").exists()
+        # only the requested experiment ran
+        assert "== table4 ==" not in out
+
+
 def _leaves(tree):
     if tree.is_leaf:
         return [tree]

@@ -1,0 +1,722 @@
+"""Tests for the multi-device subsystem: GPU presets, interconnects, device
+groups, placement policies, cross-device transfer pricing, and
+reference-identity of every placement across models and device counts."""
+
+import importlib
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, compile_model, reference_run
+from repro.devices import (
+    DataParallelPlacement,
+    DeviceGroup,
+    Interconnect,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    SinglePlacement,
+    available_placements,
+    make_placement,
+    register_placement,
+    unregister_placement,
+)
+from repro.kernels.batched import LaunchRecord
+from repro.models import MODEL_MODULES
+from repro.runtime.device import DeviceCounters, DeviceSimulator, GPUSpec
+from repro.runtime.scheduler import ScheduledBatch
+from repro.serve import Server, SimulatedClock
+from repro.utils import values_allclose
+
+BATCH = 8
+
+ALL_PLACEMENTS = ("single", "round_robin", "data_parallel")
+
+
+def build(model_name, batch=BATCH, seed=11):
+    module = MODEL_MODULES[model_name]
+    mod, params, size = module.build_for("test")
+    instances = module.make_batch(mod, size, batch, seed=seed)
+    reference = reference_run(mod, params, instances)
+    compiled = compile_model(mod, params, CompilerOptions())
+    return compiled, instances, reference
+
+
+@pytest.fixture(scope="module")
+def treelstm():
+    return build("treelstm")
+
+
+@pytest.fixture(scope="module")
+def birnn():
+    return build("birnn")
+
+
+# ---------------------------------------------------------------------------
+# GPUSpec presets and validation
+# ---------------------------------------------------------------------------
+
+
+class TestGPUSpecPresets:
+    def test_named_presets_exist(self):
+        for name in ("rtx3070", "a100", "laptop"):
+            spec = GPUSpec.preset(name)
+            assert isinstance(spec, GPUSpec)
+            assert name in GPUSpec.available_presets()
+
+    def test_preset_returns_a_copy(self):
+        a = GPUSpec.preset("laptop")
+        a.mem_bandwidth_gbps = 1.0
+        assert GPUSpec.preset("laptop").mem_bandwidth_gbps != 1.0
+
+    def test_preset_overrides(self):
+        spec = GPUSpec.preset("a100", launch_overhead_us=9.0)
+        assert spec.launch_overhead_us == 9.0
+        assert spec.name == "simulated-a100"
+
+    def test_unknown_preset_lists_available(self):
+        with pytest.raises(ValueError, match="rtx3070"):
+            GPUSpec.preset("tpu9000")
+
+    def test_default_spec_matches_rtx3070(self):
+        assert GPUSpec.preset("rtx3070").mem_bandwidth_gbps == GPUSpec().mem_bandwidth_gbps
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mem_bandwidth_gbps": 0.0},
+            {"peak_gflops": -1.0},
+            {"launch_overhead_us": 0.0},
+            {"min_utilization": 0.0},
+            {"min_utilization": 1.5},
+            {"scattered_read_penalty": 0.5},
+            {"memcpy_overhead_us": -1.0},
+        ],
+    )
+    def test_field_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GPUSpec(**kwargs)
+
+    def test_simulator_accepts_preset_name(self):
+        sim = DeviceSimulator(spec="laptop")
+        assert sim.spec.name == "simulated-laptop"
+
+
+# ---------------------------------------------------------------------------
+# Interconnect
+# ---------------------------------------------------------------------------
+
+
+class TestInterconnect:
+    def test_presets(self):
+        pcie = Interconnect.preset("pcie")
+        nvlink = Interconnect.preset("nvlink")
+        assert nvlink.bandwidth_gbps > pcie.bandwidth_gbps
+        assert set(Interconnect.available_presets()) >= {"pcie", "nvlink"}
+
+    def test_transfer_time(self):
+        link = Interconnect(name="x", bandwidth_gbps=1.0, latency_us=3.0)
+        # 1 GB/s == 1e3 bytes/us: 2000 bytes -> 2 us + 3 us latency
+        assert link.transfer_time_us(2000.0) == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Interconnect(bandwidth_gbps=0.0)
+        with pytest.raises(ValueError):
+            Interconnect(latency_us=-1.0)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="nvlink"):
+            Interconnect.preset("carrier_pigeon")
+
+
+# ---------------------------------------------------------------------------
+# DeviceGroup
+# ---------------------------------------------------------------------------
+
+
+class TestDeviceGroup:
+    def test_basic_construction(self):
+        group = DeviceGroup(3, spec="laptop")
+        assert len(group) == 3
+        assert group.num_devices == 3
+        assert [d.device_id for d in group] == [0, 1, 2]
+        assert group.device_for(2) is group[2]
+        assert group.spec.name == "simulated-laptop"
+
+    def test_heterogeneous_specs(self):
+        group = DeviceGroup(["a100", GPUSpec.preset("laptop")])
+        assert group[0].spec.name == "simulated-a100"
+        assert group[1].spec.name == "simulated-laptop"
+        assert "heterogeneous" in repr(group)
+
+    def test_spec_list_with_count(self):
+        group = DeviceGroup(2, spec=["a100", "laptop"])
+        assert group[1].spec.name == "simulated-laptop"
+        with pytest.raises(ValueError, match="one spec per device"):
+            DeviceGroup(3, spec=["a100", "laptop"])
+
+    def test_adopts_existing_simulators_without_mutating(self):
+        sims = [DeviceSimulator(), DeviceSimulator()]
+        group = DeviceGroup(sims)
+        assert group[0] is sims[0]
+        # adoption must not touch the simulators: they may still back a
+        # standalone runtime that addresses them as device 0
+        assert sims[1].device_id == 0
+        assert sims[1].device_for(0) is sims[1]
+        # the group reports members by position regardless
+        assert [d["device"] for d in group.per_device_dicts()] == [0.0, 1.0]
+
+    def test_mixed_simulators_and_specs_rejected(self):
+        with pytest.raises(TypeError, match="not a mixture"):
+            DeviceGroup([DeviceSimulator(), "a100"])
+
+    def test_needs_at_least_one_device(self):
+        with pytest.raises(ValueError):
+            DeviceGroup(0)
+        with pytest.raises(ValueError):
+            DeviceGroup([])
+
+    def test_device_for_out_of_range(self):
+        with pytest.raises(IndexError, match="2 devices"):
+            DeviceGroup(2).device_for(5)
+
+    def test_peer_transfer_charges_destination(self):
+        group = DeviceGroup(2, interconnect=Interconnect("x", 1.0, 3.0))
+        t = group.peer_transfer(0, 1, 2000.0)
+        assert t == pytest.approx(5.0)
+        assert group[1].counters.peer_time_us == pytest.approx(5.0)
+        assert group[1].counters.num_peer_transfers == 1
+        assert group[1].counters.bytes_peer == 2000.0
+        assert group[1].counters.api_time_us == group[1].spec.api_overhead_us
+        assert group[0].counters.peer_time_us == 0.0
+        # peer time is device time: it delays the consuming launch
+        assert group[1].counters.total_device_us == pytest.approx(5.0)
+
+    def test_same_device_transfer_is_free(self):
+        group = DeviceGroup(2)
+        assert group.peer_transfer(1, 1, 1e9) == 0.0
+        assert group.counters.num_peer_transfers == 0
+
+    def test_single_simulator_rejects_peers(self):
+        sim = DeviceSimulator()
+        assert sim.peer_transfer(0, 0, 100.0) == 0.0
+        with pytest.raises(RuntimeError, match="DeviceGroup"):
+            sim.peer_transfer(0, 1, 100.0)
+
+    def test_counters_aggregate_and_elapsed(self):
+        group = DeviceGroup(2)
+        record = LaunchRecord(
+            kernel_name="k", batch_size=4, flops=1e6, bytes_read=1e6, bytes_written=1e6
+        )
+        group[0].launch(record)
+        group[0].launch(record)
+        group[1].launch(record)
+        merged = group.counters
+        assert merged.num_kernel_launches == 3
+        assert merged.launches_by_kernel == {"k": 3}
+        assert merged.total_device_us == pytest.approx(
+            group[0].counters.total_device_us + group[1].counters.total_device_us
+        )
+        d = group.counters_dict()
+        assert d["elapsed_device_us"] == pytest.approx(
+            group[0].counters.total_device_us
+        )
+        per = group.per_device_dicts()
+        assert [p["device"] for p in per] == [0.0, 1.0]
+        assert sum(p["num_kernel_launches"] for p in per) == 3
+
+    def test_device_summary_balance(self):
+        group = DeviceGroup(2)
+        record = LaunchRecord(
+            kernel_name="k", batch_size=4, flops=1e6, bytes_read=1e6, bytes_written=1e6
+        )
+        group[0].launch(record)
+        summary = group.device_summary()
+        assert summary["count"] == 2
+        assert summary["balance"] == 0.0  # device 1 idle
+        group[1].launch(record)
+        assert group.device_summary()["balance"] == pytest.approx(1.0)
+
+    def test_reset_and_schedule_quality_fan_out(self):
+        group = DeviceGroup(2)
+        group.set_schedule_quality("k", 0.5)
+        assert group[1].schedule_table["k"] == 0.5
+        record = LaunchRecord(
+            kernel_name="k", batch_size=1, flops=1.0, bytes_read=1.0, bytes_written=1.0
+        )
+        group[1].launch(record)
+        group.reset()
+        assert group.counters.num_kernel_launches == 0
+
+    def test_per_device_residency(self):
+        group = DeviceGroup(2)
+        host = np.zeros(1024, np.float32)
+        assert group[0].ensure_resident(host) > 0.0
+        assert group[0].ensure_resident(host) == 0.0  # cached on device 0
+        assert group[1].ensure_resident(host) > 0.0  # but not on device 1
+
+
+# ---------------------------------------------------------------------------
+# Placement registry and policies
+# ---------------------------------------------------------------------------
+
+
+def _make_nodes(runtime_like_args, instance_ids, block_id=0):
+    """Synthetic DFG nodes (no runtime needed for placement decisions)."""
+    from repro.runtime.tensor import DFGNode
+
+    return [
+        DFGNode(
+            block_id=block_id,
+            args=runtime_like_args,
+            depth=0,
+            phase=0,
+            instance_id=i,
+            num_outputs=1,
+        )
+        for i in instance_ids
+    ]
+
+
+class TestPlacementRegistry:
+    def test_builtins_listed(self):
+        names = available_placements()
+        for name in ALL_PLACEMENTS:
+            assert name in names
+
+    def test_make_placement(self):
+        assert isinstance(make_placement("single"), SinglePlacement)
+        assert isinstance(make_placement("round_robin"), RoundRobinPlacement)
+        policy = make_placement("data_parallel", min_shard=4)
+        assert isinstance(policy, DataParallelPlacement)
+        assert policy.min_shard == 4
+
+    def test_unknown_placement_lists_available(self):
+        with pytest.raises(ValueError, match="round_robin"):
+            make_placement("astrology")
+
+    def test_register_and_unregister(self):
+        class Custom(PlacementPolicy):
+            name = "custom_test_placement"
+
+        register_placement("custom_test_placement", lambda **_: Custom())
+        try:
+            assert "custom_test_placement" in available_placements()
+            assert isinstance(make_placement("custom_test_placement"), Custom)
+            with pytest.raises(ValueError, match="already registered"):
+                register_placement("custom_test_placement", lambda **_: Custom())
+        finally:
+            unregister_placement("custom_test_placement")
+        assert "custom_test_placement" not in available_placements()
+
+
+class TestRoundRobinPlacement:
+    def test_splits_by_instance(self):
+        group = DeviceGroup(2)
+        nodes = _make_nodes((), [0, 1, 2, 3])
+        batches = [ScheduledBatch(block_id=0, nodes=nodes)]
+        placed = RoundRobinPlacement().place_round(batches, group, {})
+        assert len(placed) == 2
+        assert [b.device for b in placed] == [0, 1]
+        assert [n.instance_id for n in placed[0].nodes] == [0, 2]
+        assert [n.instance_id for n in placed[1].nodes] == [1, 3]
+
+    def test_single_device_passthrough(self):
+        group = DeviceGroup(1)
+        batches = [ScheduledBatch(block_id=0, nodes=_make_nodes((), [0, 1]))]
+        assert RoundRobinPlacement().place_round(batches, group, {}) is batches
+
+    def test_same_instance_stays_on_one_device(self):
+        group = DeviceGroup(4)
+        nodes = _make_nodes((), [5, 5, 5])
+        placed = RoundRobinPlacement().place_round(
+            [ScheduledBatch(block_id=0, nodes=nodes)], group, {}
+        )
+        assert len(placed) == 1
+        assert placed[0].device == 5 % 4
+
+
+class TestDataParallelPlacement:
+    def test_small_batches_stay_whole(self):
+        group = DeviceGroup(4)
+        policy = DataParallelPlacement(min_shard=2)
+        batches = [ScheduledBatch(block_id=0, nodes=_make_nodes((), [0, 1, 2]))]
+        placed = policy.place_round(batches, group, {})
+        assert len(placed) == 1 and placed[0].device == 0
+
+    def test_learned_work_drives_split(self):
+        group = DeviceGroup(4)
+        policy = DataParallelPlacement(min_shard=2)
+        spec = group.spec
+        # expensive per-instance work: splitting a batch of 8 clearly pays
+        policy.observe(0, 8, 8 * 1000.0 + spec.launch_overhead_us, 1, spec)
+        batches = [ScheduledBatch(block_id=0, nodes=_make_nodes((), range(8)))]
+        placed = policy.place_round(batches, group, {})
+        assert len(placed) == 4
+        assert [b.device for b in placed] == [0, 1, 2, 3]
+        assert [len(b.nodes) for b in placed] == [2, 2, 2, 2]
+        # contiguous runs: order preserved
+        assert [n.instance_id for b in placed for n in b.nodes] == list(range(8))
+
+    def test_intermediate_shard_count_chosen_when_max_does_not_pay(self):
+        group = DeviceGroup(4)
+        policy = DataParallelPlacement(min_shard=2)
+        spec = group.spec  # api_overhead_us = 4.0
+        # per-instance work 1.6us on a batch of 8: a 4-way split saves
+        # 1.6*(8-2)=9.6us < 12us serial cost, but a 2-way split saves
+        # 1.6*(8-4)=6.4us > 4us — the intermediate split must win
+        policy.observe(0, 8, 8 * 1.6 + spec.launch_overhead_us, 1, spec)
+        batches = [ScheduledBatch(block_id=0, nodes=_make_nodes((), range(8)))]
+        placed = policy.place_round(batches, group, {})
+        assert [b.device for b in placed] == [0, 1]
+        assert [len(b.nodes) for b in placed] == [4, 4]
+
+    def test_cheap_work_refuses_split(self):
+        group = DeviceGroup(4)
+        policy = DataParallelPlacement(min_shard=2)
+        spec = group.spec
+        # work so cheap the serial API overhead of extra launches dominates
+        policy.observe(0, 8, spec.launch_overhead_us + 0.001, 1, spec)
+        batches = [ScheduledBatch(block_id=0, nodes=_make_nodes((), range(8)))]
+        assert len(policy.place_round(batches, group, {})) == 1
+
+    def test_min_shard_validation(self):
+        with pytest.raises(ValueError):
+            DataParallelPlacement(min_shard=0)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end equivalence: placement x model x device count
+# ---------------------------------------------------------------------------
+
+
+class TestMultiDeviceEquivalence:
+    @pytest.mark.parametrize("model_name", ["treelstm", "birnn"])
+    @pytest.mark.parametrize("placement", ALL_PLACEMENTS)
+    @pytest.mark.parametrize("devices", [2, 4])
+    def test_reference_identical(self, model_name, placement, devices, request):
+        compiled, instances, reference = request.getfixturevalue(model_name)
+        engine = compiled.make_engine(devices=devices, placement=placement)
+        outputs, stats = engine.run(instances)
+        assert all(values_allclose(a, b) for a, b in zip(reference, outputs))
+        # per-device counters must sum to the group totals
+        assert stats.per_device
+        total = sum(d["total_device_us"] for d in stats.per_device)
+        assert total == pytest.approx(stats.device["total_device_us"])
+        launches = sum(d["num_kernel_launches"] for d in stats.per_device)
+        assert launches == stats.device["num_kernel_launches"]
+
+    def test_single_placement_matches_single_device_totals(self, treelstm):
+        compiled, instances, reference = treelstm
+        solo_outputs, solo_stats = compiled.make_engine().run(instances)
+        engine = compiled.make_engine(devices=4, placement="single")
+        outputs, stats = engine.run(instances)
+        assert all(values_allclose(a, b) for a, b in zip(reference, outputs))
+        # all work on device 0; other members idle
+        assert stats.per_device[0]["total_device_us"] == pytest.approx(
+            solo_stats.device["total_device_us"]
+        )
+        assert stats.per_device[0]["num_kernel_launches"] == (
+            solo_stats.device["num_kernel_launches"]
+        )
+        for idle in stats.per_device[1:]:
+            assert idle["total_device_us"] == 0.0
+        # and the group aggregate equals the single-device run
+        assert stats.device["total_device_us"] == pytest.approx(
+            solo_stats.device["total_device_us"]
+        )
+
+    def test_elapsed_is_busiest_member(self, treelstm):
+        compiled, instances, _ = treelstm
+        _, stats = compiled.make_engine(devices=2, placement="round_robin").run(
+            instances
+        )
+        busiest = max(d["total_device_us"] for d in stats.per_device)
+        assert stats.device["elapsed_device_us"] == pytest.approx(busiest)
+        assert stats.device_total_ms == pytest.approx(busiest / 1e3)
+        assert stats.device_work_ms == pytest.approx(
+            stats.device["total_device_us"] / 1e3
+        )
+
+    def test_round_robin_keeps_chains_device_local(self, treelstm):
+        compiled, instances, _ = treelstm
+        engine = compiled.make_engine(devices=2, placement="round_robin")
+        _, stats = engine.run(instances)
+        # independent requests shard along instance boundaries: no
+        # cross-device operand traffic
+        assert stats.device["num_peer_transfers"] == 0
+        assert stats.memory.get("peer", 0) == 0
+
+    def test_cross_device_operands_are_priced(self, treelstm):
+        """A placement that alternates whole batches across devices forces
+        consumer batches to read producer arenas from the other device —
+        classified as peer traffic and priced, with identical results."""
+        compiled, instances, reference = treelstm
+
+        class Alternate(PlacementPolicy):
+            name = "alternate_test"
+
+            def place_round(self, batches, group, kernels):
+                for i, batch in enumerate(batches):
+                    batch.device = i % group.num_devices
+                return batches
+
+        engine = compiled.make_engine(devices=2, placement=Alternate())
+        outputs, stats = engine.run(instances)
+        assert all(values_allclose(a, b) for a, b in zip(reference, outputs))
+        assert stats.device["num_peer_transfers"] > 0
+        assert stats.device["peer_time_us"] > 0.0
+        peer_ops = stats.memory.get("peer", 0)
+        assert peer_ops > 0
+
+        # singleton batches (nobatch scheduler) classify on the planning
+        # fast path but must still report their remote reads as peer
+        # operands, in agreement with the device transfer counters
+        solo_engine = compiled.make_engine(
+            devices=2, placement=Alternate(), scheduler="nobatch"
+        )
+        solo_outputs, solo_stats = solo_engine.run(instances)
+        assert all(values_allclose(a, b) for a, b in zip(reference, solo_outputs))
+        assert solo_stats.device["num_peer_transfers"] > 0
+        assert solo_stats.memory.get("peer", 0) > 0
+        assert solo_stats.memory.get("contiguous", 0) >= 0
+
+    def test_broadcast_peer_transfer_ships_once(self):
+        """A broadcast arena read from another device ships its single
+        underlying array once, not once per batch instance."""
+        from repro.memory import StorageArena
+        from repro.memory.planner import BatchPlan, OperandKind, OperandPlan
+        from repro.runtime.executor import ExecutionOptions
+
+        shared_out = np.arange(8.0, dtype=np.float32)
+        arena = StorageArena.from_broadcast(shared_out, batch_size=4, device_index=1)
+        nodes = _make_nodes((), [0, 1, 2, 3])
+        for node in nodes:
+            node.outputs[0].storage = arena.slot(0)
+            node.executed = True
+        consumers = _make_nodes(tuple(), [0, 1, 2, 3], block_id=1)
+        for consumer, producer in zip(consumers, nodes):
+            consumer.args = (producer.outputs[0],)
+        plan = BatchPlan(
+            batch=ScheduledBatch(block_id=1, nodes=consumers, device=0),
+            batch_size=4,
+            operands=[
+                OperandPlan(
+                    0, OperandKind.PEER, arena_id=arena.arena_id, start=0
+                )
+            ],
+            output_arena_ids=[],
+            device=0,
+        )
+        group = DeviceGroup(2)
+        from repro.memory import MemoryPlanner
+
+        class _Kernel:
+            class block:
+                name = "b"
+                inputs = ()
+
+        MemoryPlanner().resolve(plan, _Kernel, group, ExecutionOptions())
+        assert group.counters.num_peer_transfers == 1
+        assert group.counters.bytes_peer == arena.nbytes  # once, not x4
+
+    def test_fiber_program_multi_device(self):
+        """Tensor-dependent control flow (fiber scheduling) composes with
+        placement: nestedrnn runs reference-identical on a sharded group."""
+        compiled, instances, reference = build("nestedrnn", batch=4)
+        engine = compiled.make_engine(devices=2, placement="round_robin")
+        outputs, _ = engine.run(instances)
+        assert all(values_allclose(a, b) for a, b in zip(reference, outputs))
+
+
+# ---------------------------------------------------------------------------
+# Engine / session / server wiring
+# ---------------------------------------------------------------------------
+
+
+class TestEngineWiring:
+    def test_devices_count_builds_group(self, treelstm):
+        compiled, _, _ = treelstm
+        engine = compiled.make_engine(devices=3)
+        assert engine.num_devices == 3
+        assert isinstance(engine.device, DeviceGroup)
+        # multi-device default placement is request-level sharding
+        assert isinstance(engine.placement, RoundRobinPlacement)
+
+    def test_single_device_engine_unchanged(self, treelstm):
+        compiled, _, _ = treelstm
+        engine = compiled.make_engine()
+        assert engine.num_devices == 1
+        assert engine.placement is None
+        assert isinstance(engine.device, DeviceSimulator)
+
+    def test_devices_and_device_conflict(self, treelstm):
+        compiled, _, _ = treelstm
+        with pytest.raises(ValueError, match="not both"):
+            compiled.make_engine(device=DeviceSimulator(), devices=2)
+
+    def test_placement_instance_and_args(self, treelstm):
+        compiled, _, _ = treelstm
+        engine = compiled.make_engine(
+            devices=2, placement="data_parallel", placement_args={"min_shard": 3}
+        )
+        assert isinstance(engine.placement, DataParallelPlacement)
+        assert engine.placement.min_shard == 3
+
+    def test_placement_args_with_instance_rejected(self, treelstm):
+        compiled, _, _ = treelstm
+        with pytest.raises(ValueError, match="by name"):
+            compiled.make_engine(
+                devices=2,
+                placement=DataParallelPlacement(),
+                placement_args={"min_shard": 3},
+            )
+
+    def test_placement_args_without_placement_rejected(self, treelstm):
+        compiled, _, _ = treelstm
+        with pytest.raises(ValueError, match="no placement"):
+            compiled.make_engine(placement_args={"min_shard": 3})
+
+    def test_group_passthrough(self, treelstm):
+        compiled, _, _ = treelstm
+        group = DeviceGroup(2, spec="laptop", interconnect="nvlink")
+        engine = compiled.make_engine(devices=group)
+        assert engine.device is group
+
+    def test_explicit_interconnect_with_ready_group_rejected(self, treelstm):
+        # an adopted group keeps its own interconnect; silently ignoring a
+        # contradictory interconnect= would fake e.g. an interconnect sweep
+        compiled, _, _ = treelstm
+        group = DeviceGroup(2, interconnect="pcie")
+        with pytest.raises(ValueError, match="own interconnect"):
+            compiled.make_engine(devices=group, interconnect="nvlink")
+
+    def test_session_plan_cache_with_placement(self, treelstm):
+        """Structurally identical sharded flushes hit the plan cache, and
+        cached replays keep placement identity (reference-identical)."""
+        compiled, instances, reference = treelstm
+        session = compiled.session(
+            max_batch=len(instances), devices=2, placement="round_robin"
+        )
+        for _ in range(3):
+            handles = [session.submit(i) for i in instances]
+            assert all(
+                values_allclose(a, h.result())
+                for a, h in zip(reference, handles)
+            )
+        memory = session.last_stats.memory
+        assert memory["plan_cache_hits"] > 0
+
+
+class TestServerSharding:
+    def test_server_devices(self, treelstm):
+        compiled, instances, reference = treelstm
+        server = Server(devices=2, clock=SimulatedClock(), interconnect="nvlink")
+        assert server.num_devices == 2
+        endpoint = server.add_endpoint("m", compiled, policy="manual")
+        handles = [endpoint.submit(i) for i in instances]
+        endpoint.flush()
+        assert all(
+            values_allclose(a, h.result()) for a, h in zip(reference, handles)
+        )
+        summary = server.summary()
+        assert summary["devices"]["count"] == 2
+        assert 0.0 <= summary["devices"]["balance"] <= 1.0
+        assert summary["m"]["requests"] == len(instances)
+
+    def test_server_single_device_summary(self, treelstm):
+        compiled, _, _ = treelstm
+        server = Server(clock=SimulatedClock())
+        server.add_endpoint("m", compiled)
+        assert server.summary()["devices"]["count"] == 1
+
+    def test_server_device_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            Server(device=DeviceSimulator(), devices=2)
+
+    def test_server_wide_placement_instance_rejected(self):
+        # a stateful instance shared across endpoints would mix per-block
+        # cost observations between models; names resolve fresh per engine
+        with pytest.raises(TypeError, match="registry name"):
+            Server(devices=2, placement=RoundRobinPlacement())
+
+    def test_devices_endpoint_name_reserved(self, treelstm):
+        compiled, _, _ = treelstm
+        server = Server(clock=SimulatedClock())
+        with pytest.raises(ValueError, match="reserved"):
+            server.add_endpoint("devices", compiled)
+
+    def test_serve_forwards_interconnect_and_placement_args(self, treelstm):
+        """serve() must route sharding kwargs to the engine, not into the
+        flush policy's argument list."""
+        compiled, instances, reference = treelstm
+        session = compiled.serve(
+            "size",
+            n=len(instances),
+            clock=SimulatedClock(),
+            devices=2,
+            placement="data_parallel",
+            placement_args={"min_shard": 3},
+            interconnect="nvlink",
+        )
+        assert session.engine.device.interconnect.name == "nvlink"
+        assert session.engine.placement.min_shard == 3
+        handles = [session.submit(i) for i in instances]
+        assert all(
+            values_allclose(a, h.result()) for a, h in zip(reference, handles)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Counters merge helper
+# ---------------------------------------------------------------------------
+
+
+class TestCountersMerge:
+    def test_merge_sums_everything(self):
+        a = DeviceCounters(kernel_time_us=1.0, num_kernel_launches=2)
+        a.launches_by_kernel["x"] = 2
+        b = DeviceCounters(kernel_time_us=3.0, num_kernel_launches=1, peer_time_us=4.0)
+        b.launches_by_kernel["x"] = 1
+        b.launches_by_kernel["y"] = 5
+        merged = DeviceCounters.merge([a, b])
+        assert merged.kernel_time_us == 4.0
+        assert merged.num_kernel_launches == 3
+        assert merged.peer_time_us == 4.0
+        assert merged.launches_by_kernel == {"x": 3, "y": 5}
+        assert merged.total_device_us == pytest.approx(8.0)
+
+
+# ---------------------------------------------------------------------------
+# Compat shim (engine/session.py) deprecation path
+# ---------------------------------------------------------------------------
+
+
+class TestEngineSessionShim:
+    def test_shim_warns_and_aliases(self):
+        sys.modules.pop("repro.engine.session", None)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            shim = importlib.import_module("repro.engine.session")
+        assert any(
+            issubclass(w.category, DeprecationWarning)
+            and "repro.serve" in str(w.message)
+            for w in caught
+        )
+        from repro.serve.request import RequestHandle
+        from repro.serve.session import InferenceSession
+
+        assert shim.InferenceRequest is RequestHandle
+        assert shim.RequestHandle is RequestHandle
+        assert shim.InferenceSession is InferenceSession
+
+    def test_engine_package_lazily_reexports(self):
+        import repro.engine as engine_pkg
+
+        from repro.serve.session import InferenceSession
+
+        assert engine_pkg.InferenceSession is InferenceSession
+        with pytest.raises(AttributeError):
+            engine_pkg.does_not_exist

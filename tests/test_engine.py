@@ -5,12 +5,12 @@ import pytest
 
 from repro import CompilerOptions, compile_model, open_session, reference_run
 from repro.engine import (
-    InferenceSession,
     available_policies,
     make_scheduler,
     register_scheduler,
     unregister_scheduler,
 )
+from repro.serve import InferenceSession
 from repro.models import MODEL_MODULES
 from repro.runtime.scheduler import (
     AgendaScheduler,
