@@ -10,10 +10,14 @@ def test_figure6_ablation(benchmark):
     save_result("figure6", text)
     print("\n" + text)
     # shape check: the fully optimized configuration beats the unoptimized
-    # one for every model/size, and standard kernel fusion alone already helps
+    # one for every model/size
     for row in rows:
         latencies = row[3:]
         assert latencies[-1] < latencies[0], row[:3]
+    # standard kernel fusion alone already helps on aggregate (per-row the
+    # margin on the cheapest models is within single-run timing noise, so
+    # this is asserted over the column sums rather than row by row)
+    assert sum(row[4] for row in rows) < sum(row[3] for row in rows)
     # control-flow-heavy models benefit from coarsening + inline depth
     for row in rows:
         if row[0] in ("treelstm", "mvrnn"):

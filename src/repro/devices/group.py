@@ -143,7 +143,11 @@ class DeviceGroup:
         ``interconnect=None`` means "the pcie default" when building a new
         group; an *explicit* interconnect combined with an already built
         group is rejected rather than silently ignored (the group keeps its
-        own interconnect)."""
+        own interconnect).  Likewise a non-empty ``schedule_table`` (a tuned
+        model's per-kernel qualities) is rejected when the adopted group's
+        members were not built with the same table: adoption never mutates
+        the group, so accepting it would silently simulate every kernel at
+        ``default_schedule_quality`` instead of its tuned quality."""
         if isinstance(devices, cls):
             if interconnect is not None:
                 raise ValueError(
@@ -151,6 +155,19 @@ class DeviceGroup:
                     "DeviceGroup (the group keeps its own interconnect, "
                     f"{devices.interconnect.name!r}); construct the group "
                     "with the desired interconnect instead"
+                )
+            if schedule_table and any(
+                member.schedule_table != dict(schedule_table)
+                for member in devices.devices
+            ):
+                raise ValueError(
+                    "a tuned schedule_table cannot be combined with an "
+                    "already built DeviceGroup whose members were not "
+                    "constructed with it (adoption never mutates the group, "
+                    "so its kernels would silently run at "
+                    "default_schedule_quality); build the group with "
+                    "DeviceGroup(n, schedule_table=model.schedule_table) or "
+                    "pass devices as an int / spec list instead"
                 )
             return devices
         return cls(

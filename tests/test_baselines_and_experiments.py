@@ -267,6 +267,23 @@ class TestExperimentsCLI:
         # only the requested experiment ran
         assert "== table4 ==" not in out
 
+    def test_best_of_default_is_scoped_to_the_invocation(self, tmp_path, monkeypatch):
+        """main() measures best-of-3 by default but must not leave
+        REPRO_BEST_OF in the process environment (it is also called
+        in-process, where a leak would silently slow later callers 3x)."""
+        import os
+
+        from repro.experiments.__main__ import main
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_BEST_OF", raising=False)
+        assert main(["--only", "table5"]) == 0
+        assert "REPRO_BEST_OF" not in os.environ
+        # an explicit setting is respected and survives the invocation
+        monkeypatch.setenv("REPRO_BEST_OF", "1")
+        assert main(["--only", "table5"]) == 0
+        assert os.environ["REPRO_BEST_OF"] == "1"
+
 
 def _leaves(tree):
     if tree.is_leaf:

@@ -593,6 +593,23 @@ class TestEngineWiring:
         with pytest.raises(ValueError, match="own interconnect"):
             compiled.make_engine(devices=group, interconnect="nvlink")
 
+    def test_tuned_schedule_table_with_ready_group_rejected(self, treelstm):
+        # a tuned model's schedule table must not silently vanish into an
+        # adopted group built without it — the kernels would simulate at
+        # default_schedule_quality; a group built WITH the same table (and
+        # an untuned model with any group) still adopts as-is
+        compiled, _, _ = treelstm
+        assert not compiled.schedule_table  # untuned: adoption is fine
+        assert compiled.make_engine(devices=DeviceGroup(2)) is not None
+        compiled.schedule_table.update({"fused_node_block_0": 0.97})
+        try:
+            with pytest.raises(ValueError, match="schedule_table"):
+                compiled.make_engine(devices=DeviceGroup(2))
+            tuned = DeviceGroup(2, schedule_table=compiled.schedule_table)
+            assert compiled.make_engine(devices=tuned).device is tuned
+        finally:
+            compiled.schedule_table.clear()
+
     def test_session_plan_cache_with_placement(self, treelstm):
         """Structurally identical sharded flushes hit the plan cache, and
         cached replays keep placement identity (reference-identical)."""
