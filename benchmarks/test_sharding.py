@@ -42,3 +42,8 @@ def test_sharding_scaling(benchmark):
     for placement in sharding.PLACEMENTS:
         assert by_config[(placement, 1)][col["peer_transfers"]] == 0
     assert by_config[("data_parallel", 4)][col["peer_transfers"]] > 0
+
+    # unsplit batches and partial splits rotate instead of piling on device
+    # 0: busy-time balance at 4 devices must stay clear of the old ~0.33
+    # skew (the committed table shows ~0.68; 0.5 is the acceptance floor)
+    assert by_config[("data_parallel", 4)][col["balance"]] >= 0.5

@@ -1,0 +1,49 @@
+"""Root pytest configuration: a global per-test timeout.
+
+The serving layer now runs a real event-loop thread
+(:class:`repro.serve.loop.ServeLoop`); a deadlocked loop would otherwise
+hang the whole suite forever on CI.  Every test gets a generous wall-clock
+budget (``REPRO_TEST_TIMEOUT`` seconds, default 180 — an order of magnitude
+above the slowest benchmark test) enforced with ``SIGALRM``, so a hang
+fails fast with a ``TimeoutError`` raised inside the test instead of
+stalling the run.  No third-party plugin is required; on platforms without
+``SIGALRM`` (Windows) or off the main thread the guard is a no-op.
+"""
+
+import os
+import signal
+import threading
+
+import pytest
+
+TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "180"))
+
+
+def _supports_alarm() -> bool:
+    return (
+        TIMEOUT_S > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if not _supports_alarm():
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the global {TIMEOUT_S:.0f}s timeout "
+            f"(REPRO_TEST_TIMEOUT): likely a deadlocked serving loop or "
+            f"an unbounded wait"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.setitimer(signal.ITIMER_REAL, TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

@@ -17,9 +17,11 @@ Package map:
   registry (single / round_robin / data_parallel).
 * :mod:`repro.engine` -- the execution-engine layer: runtime orchestration,
   the scheduler-policy registry.
-* :mod:`repro.serve` -- the serving subsystem: flush policies, request
-  futures, policy-driven cross-request batching sessions, multi-model
-  servers, clocks and open-loop traffic generation.
+* :mod:`repro.serve` -- the serving subsystem: flush policies, awaitable
+  request futures, policy-driven cross-request batching sessions, the
+  single-owner serving event loop (thread-safe bounded admission +
+  continuous batching), multi-model servers, clocks and open-loop traffic
+  generation.
 * :mod:`repro.compiler` -- options, AOT Python codegen, compiled-model driver.
 * :mod:`repro.vm` -- Relay-VM-style interpreter baseline + eager reference.
 * :mod:`repro.baselines` -- DyNet-style dynamic batching, eager (PyTorch-like)
@@ -70,6 +72,12 @@ _SERVE_EXPORTS = (
     "Server",
     "Endpoint",
     "FlushPolicy",
+    "ServeLoop",
+    "DeviceTimeline",
+    "BackpressureFull",
+    "RequestShed",
+    "LoopStopped",
+    "RoundAborted",
     "SimulatedClock",
     "WallClock",
     "available_flush_policies",

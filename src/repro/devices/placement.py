@@ -24,7 +24,9 @@ Built-in policies:
     amortizes the extra launches*: using the device cost model, splitting
     pays when the memory-time saved by shrinking the per-device batch
     exceeds the serial CPU-side API overhead of the extra launches.  Small
-    batches stay whole on device 0.
+    batches stay whole but route round-robin across the group, and splits
+    anchor at a per-round rotating base device, so neither unsplittable
+    work nor partial splits pile on device 0.
 
 Whatever a policy does, results are reference-identical: placement moves
 *where* a batch executes (and what transfers are charged), never what it
@@ -82,6 +84,13 @@ class PlacementPolicy:
         launch time after charging it, so adaptive policies can learn
         per-block device cost (the static operand-byte estimate cannot see
         compute-bound work)."""
+
+    def note_reset(self) -> None:
+        """Run-boundary hook: the runtime calls this when it resets for a
+        new run (one serving flush, one ``run()`` call).  Sync rounds
+        *within* a run share whatever state the policy keys placement on;
+        policies that rotate placement do so here, so dependency chains
+        spanning a run's rounds (fiber programs) stay device-aligned."""
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -193,7 +202,8 @@ class RoundRobinPlacement(PlacementPolicy):
 
 @register_placement("data_parallel")
 class DataParallelPlacement(PlacementPolicy):
-    """Split big batches into contiguous per-device shards; keep small ones.
+    """Split big batches into contiguous per-device shards; keep small ones,
+    rotating them round-robin over a per-round home device.
 
     For each scheduled batch of size ``B`` the policy asks the device cost
     model whether sharding pays: splitting into ``k`` shards divides the
@@ -219,6 +229,31 @@ class DataParallelPlacement(PlacementPolicy):
     batches over the same instances shard identically and their
     producer/consumer arenas stay device-local; mismatched memberships
     degrade to priced peer transfers, never to wrong results.
+
+    Neither unsplit batches nor partial splits pile onto the low device
+    indices (the ROADMAP's ~0.33-at-4-devices busy-time imbalance):
+
+    * batches the cost model keeps whole route **round-robin** — each
+      unsplit batch takes the next device in rotation, so the work the
+      splitter cannot shard still spreads over the whole group (any
+      cross-device producer/consumer operands this creates are priced peer
+      transfers, and an unsplit batch is by definition a small one);
+    * a ``k``-way split anchors at a per-*run* base that rotates across
+      runs (serving flushes), occupying devices ``base .. base+k-1``
+      (mod N) — partial splits stop favouring devices 0..k-1, while
+      same-``k`` producer/consumer pairs within a run (including fiber
+      programs' chains across sync rounds) keep their shard placement
+      aligned: chains stay device-local exactly as before.
+
+    Deliberate tradeoff: plan-cache signatures carry batch device (cached
+    plans must replay with placement identity), so rotation multiplies the
+    signatures of otherwise identical serving rounds by up to N — the
+    steady state warms N plan variants instead of one.  The sharding
+    benchmark measures the net effect end-to-end and rotation still wins
+    clearly (``benchmarks/results/sharding.txt``: ~2.8x vs ~2.0x speedup
+    at 4 devices); if a workload with many
+    distinct shapes ever thrashes the 256-entry cache bound, pinning the
+    rotation (``single``-style) or widening the cache is the knob.
     """
 
     name = "data_parallel"
@@ -231,6 +266,13 @@ class DataParallelPlacement(PlacementPolicy):
         #: EWMA of per-instance device work (us, launch overhead excluded)
         #: per block id, learned from observed launches
         self._work_us: Dict[int, float] = {}
+        #: next device in the unsplit-batch round-robin rotation
+        self._unsplit_rr = 0
+        #: base device anchoring this run's splits (advances at the next
+        #: run boundary — :meth:`note_reset` — once the run placed
+        #: something)
+        self._round_base = 0
+        self._placed_since_reset = False
 
     def place_round(
         self,
@@ -242,22 +284,39 @@ class DataParallelPlacement(PlacementPolicy):
         if n <= 1:
             return batches
         placed: List[ScheduledBatch] = []
+        base = self._round_base % n
         for batch in batches:
             k = self._num_shards(batch, group, kernels)
             if k <= 1:
-                placed.append(batch)  # stays whole on device 0
+                # stays whole; route round-robin instead of piling on one
+                # device
+                batch.device = self._unsplit_rr % n
+                self._unsplit_rr = (self._unsplit_rr + 1) % n
+                placed.append(batch)
                 continue
             nodes = batch.nodes
             per_shard = math.ceil(len(nodes) / k)
-            for device in range(k):
-                shard = nodes[device * per_shard : (device + 1) * per_shard]
+            for shard_index in range(k):
+                shard = nodes[shard_index * per_shard : (shard_index + 1) * per_shard]
                 if shard:
                     placed.append(
                         ScheduledBatch(
-                            block_id=batch.block_id, nodes=shard, device=device
+                            block_id=batch.block_id,
+                            nodes=shard,
+                            device=(base + shard_index) % n,
                         )
                     )
+        if batches:
+            self._placed_since_reset = True
         return placed
+
+    def note_reset(self) -> None:
+        # rotate the split anchor once per run (serving flush), never
+        # between a run's sync rounds: fiber chains spanning rounds keep
+        # their producer/consumer shards device-aligned
+        if self._placed_since_reset:
+            self._round_base += 1
+            self._placed_since_reset = False
 
     # -- cost model ------------------------------------------------------------
     def observe(

@@ -8,6 +8,7 @@ Set ``REPRO_SCALE=paper`` to use the paper's model sizes and batch sizes
 """
 
 from . import (
+    continuous,
     figure5,
     figure6,
     serving,
@@ -44,11 +45,13 @@ ALL_EXPERIMENTS = {
     "figure6": figure6,
     "serving": serving,
     "sharding": sharding,
+    "continuous": continuous,
 }
 
 __all__ = [
     "table4", "table5", "table6", "table7", "table8", "table9",
-    "figure5", "figure6", "serving", "sharding", "ALL_EXPERIMENTS",
+    "figure5", "figure6", "serving", "sharding", "continuous",
+    "ALL_EXPERIMENTS",
     "ExperimentScale", "REDUCED", "PAPER", "current_scale",
     "run_acrobat", "run_dynet", "run_eager", "run_vm", "run_cortex",
     "format_table", "save_result",

@@ -26,6 +26,7 @@ bucket and hit rate against the uncached path.
 
 from __future__ import annotations
 
+import argparse
 import os
 from typing import Dict, List, Optional, Tuple
 
@@ -214,7 +215,27 @@ def format_report(
     return "\n".join(parts)
 
 
-def main() -> str:
+def main(argv: Optional[List[str]] = None) -> str:
+    """``--continuous`` delegates to the continuous-vs-caller-driven intake
+    benchmark (:mod:`repro.experiments.continuous`), the CI serving smoke;
+    the default regenerates the flush-policy matrix + plan-cache tables."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.serving",
+        description="Serving benchmarks: flush-policy matrix (default) or "
+        "the continuous-batching intake comparison (--continuous).",
+    )
+    parser.add_argument(
+        "--continuous",
+        action="store_true",
+        help="run the continuous-vs-caller-driven intake benchmark instead",
+    )
+    # in-process callers (python -m repro.experiments) pass no argv: parse
+    # nothing rather than sys.argv, exactly as the sharding driver does
+    args = parser.parse_args(list(argv) if argv is not None else [])
+    if args.continuous:
+        from . import continuous
+
+        return continuous.main()
     headers, rows = run()
     cache_headers, cache_rows = run_plan_cache()
     text = format_report(headers, rows, cache_headers, cache_rows)
@@ -224,4 +245,6 @@ def main() -> str:
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(sys.argv[1:])

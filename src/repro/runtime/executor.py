@@ -197,6 +197,19 @@ class AcrobatRuntime:
             placement = make_placement(
                 self.options.placement, **self.options.placement_args
             )
+        elif placement is not None:
+            # placement instances carry per-runtime rotation/EWMA state: a
+            # second runtime sharing one would rotate the first's split
+            # base mid-run (misaligning its chains) and pollute its learned
+            # work — bind each instance to exactly one runtime
+            if getattr(placement, "_bound_runtime", None) is not None:
+                raise ValueError(
+                    "placement policy instances are stateful and belong to "
+                    "exactly one runtime/engine; pass the registry name "
+                    "(e.g. placement='data_parallel') to get a fresh "
+                    "instance per engine"
+                )
+            placement._bound_runtime = id(self)
         #: placement policy assigning scheduled batches to group devices
         #: (None: every batch stays on the primary device)
         self._placement = placement
@@ -352,5 +365,9 @@ class AcrobatRuntime:
         self.profiler.reset()
         self.planner.reset()
         self.device.reset()
+        if self._placement is not None:
+            # run boundary: placement policies rotate here, not between a
+            # run's sync rounds (keeps fiber chains device-aligned)
+            self._placement.note_reset()
         if release_residency:
             self.device.reset_residency()

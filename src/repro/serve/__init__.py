@@ -14,18 +14,33 @@ setting, where independent requests arrive continuously and must be batched
   per-request queueing/latency/launch-share statistics;
 * :mod:`repro.serve.session` — :class:`InferenceSession`, the persistent
   policy-driven batching session (``submit``/``poll``/``flush``);
+* :mod:`repro.serve.loop` — :class:`ServeLoop`, the single-owner serving
+  event loop: thread-safe bounded admission (backpressure), loop-driven
+  deadline polling, and continuous batching over a
+  :class:`~repro.serve.loop.DeviceTimeline`;
 * :mod:`repro.serve.server` — :class:`Server`/:class:`Endpoint`
-  multiplexing multiple compiled models over one shared device simulator;
+  multiplexing multiple compiled models over one shared device simulator,
+  with ``run()``/``drain()``/``shutdown()`` facading the loop;
 * :mod:`repro.serve.traffic` — open-loop arrival processes (Poisson,
-  bursty) and deterministic replay on the simulated clock, feeding the
-  ``experiments.serving`` latency-vs-throughput benchmark.
+  bursty) and deterministic replay on the simulated clock — caller-driven
+  (``replay``) or continuous (``replay_continuous``) — feeding the
+  ``experiments.serving`` and ``experiments.continuous`` benchmarks.
 
 Entry points: ``compile_model(...).serve(policy="adaptive")`` opens a
 policy-driven session; ``Server().add_endpoint(name, model, policy=...)``
-builds a multi-model deployment.
+builds a multi-model deployment; ``with server.run(): ...`` serves it from
+any number of producer threads with awaitable request handles.
 """
 
 from .clock import Clock, SimulatedClock, WallClock
+from .loop import (
+    BACKPRESSURE_POLICIES,
+    BackpressureFull,
+    DeviceTimeline,
+    LoopStopped,
+    RequestShed,
+    ServeLoop,
+)
 from .policy import (
     AdaptivePolicy,
     DeadlinePolicy,
@@ -39,19 +54,27 @@ from .policy import (
 )
 from .request import RequestHandle, RequestStats
 from .server import Endpoint, Server
-from .session import InferenceSession
+from .session import InferenceSession, RoundAborted
 from .traffic import (
     TrafficReport,
     bursty_arrivals,
     poisson_arrivals,
     replay,
+    replay_continuous,
     replay_server,
+    replay_server_continuous,
 )
 
 __all__ = [
     "Clock",
     "SimulatedClock",
     "WallClock",
+    "ServeLoop",
+    "DeviceTimeline",
+    "BackpressureFull",
+    "RequestShed",
+    "LoopStopped",
+    "BACKPRESSURE_POLICIES",
     "FlushPolicy",
     "ManualPolicy",
     "SizePolicy",
@@ -64,11 +87,14 @@ __all__ = [
     "RequestHandle",
     "RequestStats",
     "InferenceSession",
+    "RoundAborted",
     "Endpoint",
     "Server",
     "TrafficReport",
     "poisson_arrivals",
     "bursty_arrivals",
     "replay",
+    "replay_continuous",
     "replay_server",
+    "replay_server_continuous",
 ]

@@ -1,0 +1,695 @@
+"""The event-loop serving core: single-owner intake, continuous batching.
+
+ACROBAT's cross-request batching only pays when requests actually co-arrive
+in a round, and under live traffic that is determined by the *intake loop*,
+not just the flush policy: a caller-driven ``submit``/``poll``/``flush``
+choreography is single-threaded, so while one round executes nothing can
+accept new requests or launch the next partial round.  :class:`ServeLoop`
+closes that gap.  It is the **single owner** of every endpoint session of a
+:class:`~repro.serve.server.Server`:
+
+* all session mutations (submit dispatch, deadline polling, flushing)
+  happen on the loop, so sessions themselves stay lock-free;
+* producers talk to the loop through a **bounded admission queue**
+  (``max_pending`` + a ``backpressure`` policy of ``"block"`` /
+  ``"reject"`` / ``"shed-oldest"``), making ``Server.submit`` safe to call
+  from any number of threads;
+* the loop drives deadline polling itself — no hand-rolled
+  ``next_deadline``/``poll`` choreography in user code;
+* **continuous batching**: when the flush policy fires, the loop launches
+  the current partial round and keeps accepting — later arrivals accumulate
+  into the next round while the device executes, and in-flight rounds are
+  visible to the ``adaptive`` policy's waiting-cost model
+  (:attr:`~repro.serve.session.InferenceSession.in_flight_rounds`).
+
+Two operating modes, one per :class:`~repro.serve.clock.Clock` flavour:
+
+* **wall-clock** (:meth:`start`/:meth:`drain`/:meth:`shutdown`): a real
+  background thread waits on the admission queue with a timeout set to the
+  earliest pending flush deadline.  Arrivals admitted while a round
+  executes are timestamped at admission, so when the loop picks them up
+  they are *backdated* — exactly the signal the adaptive policy's backlog
+  detection batches for free.
+* **simulated** (:meth:`run_trace`): a deterministic event loop over a
+  :class:`~repro.serve.clock.SimulatedClock`.  Execution is modelled
+  asynchronously through a :class:`DeviceTimeline`: a flushed round only
+  charges its *host* share to the clock (intake is serial with host work)
+  and its *device* share queues on the timeline — rounds pipeline
+  back-to-back on the device while intake streams on.  With
+  ``deterministic=True`` the measured wall-clock host share is dropped, so
+  replaying the same trace is bit-for-bit identical across runs and hosts.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import heapq
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .clock import Clock, SimulatedClock
+from .request import RequestHandle
+
+#: admission-queue overflow policies
+BACKPRESSURE_POLICIES = ("block", "reject", "shed-oldest")
+
+
+class BackpressureFull(RuntimeError):
+    """Raised by ``submit`` under ``backpressure="reject"`` when the
+    admission queue is at ``max_pending``."""
+
+
+class RequestShed(RuntimeError):
+    """Resolves a queued request's handle under ``backpressure="shed-oldest"``
+    when a newer arrival pushed it out of the full admission queue."""
+
+
+class LoopStopped(RuntimeError):
+    """Raised when submitting to a loop that has shut down or died; carries
+    the loop's original error as ``__cause__`` when it died.  A cleanly
+    shut-down server can be revived with another :meth:`ServeLoop.start`
+    (``Server.run()``)."""
+
+
+class DeviceTimeline:
+    """The device's busy horizon: models asynchronous kernel execution.
+
+    A real accelerator executes rounds asynchronously — launching returns
+    immediately and rounds queue on the device.  The timeline captures just
+    enough of that for continuous batching on the simulated clock: each
+    :meth:`launch` begins at ``max(now, busy_until)`` (the device finishes
+    earlier rounds first), completes ``duration`` later, and pushes the
+    horizon out.  Sessions consult :meth:`in_flight` for the adaptive
+    policy; the loop consults :meth:`next_completion` to wake exactly when
+    the device frees.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        #: timestamp at which the device finishes everything launched so far
+        self.busy_until = float(start)
+        #: rounds launched over the timeline's lifetime
+        self.rounds_launched = 0
+        self._completions: List[float] = []  # min-heap of undrained completions
+
+    def launch(self, now: float, duration_s: float) -> float:
+        """Queue one round of ``duration_s`` device seconds; returns its
+        completion timestamp."""
+        begin = max(float(now), self.busy_until)
+        completion = begin + max(0.0, float(duration_s))
+        self.busy_until = completion
+        self.rounds_launched += 1
+        heapq.heappush(self._completions, completion)
+        return completion
+
+    def in_flight(self, now: float) -> int:
+        """Rounds launched but not yet complete at ``now``."""
+        return sum(1 for c in self._completions if c > now)
+
+    def next_completion(self) -> Optional[float]:
+        """Earliest completion not yet drained by the loop (None if all
+        drained)."""
+        return self._completions[0] if self._completions else None
+
+    def pop_completions(self, now: float) -> int:
+        """Drain completion events at or before ``now``; returns how many."""
+        popped = 0
+        while self._completions and self._completions[0] <= now:
+            heapq.heappop(self._completions)
+            popped += 1
+        return popped
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceTimeline(busy_until={self.busy_until:.6f}, "
+            f"launched={self.rounds_launched})"
+        )
+
+
+@contextlib.contextmanager
+def replay_state(
+    sessions: Iterable[Any],
+    *,
+    deterministic: bool,
+    host_model: Optional[Tuple[float, float]],
+    timeline: Optional[DeviceTimeline] = None,
+) -> Iterator[None]:
+    """Apply a replay's session configuration — device timeline (None for
+    caller-driven replays), host charging mode and deterministic host-cost
+    model — and restore each session's prior values on exit, so replays
+    never clobber a caller's own settings."""
+    sessions = list(sessions)
+    prior = [(s.timeline, s.charge_host, s.host_cost_model) for s in sessions]
+    for session in sessions:
+        session.timeline = timeline
+        session.charge_host = not deterministic
+        session.host_cost_model = host_model
+    try:
+        yield
+    finally:
+        for session, state in zip(sessions, prior):
+            session.timeline, session.charge_host, session.host_cost_model = state
+
+
+class _Admission:
+    """One queued request: where it goes, what it is, when it arrived."""
+
+    __slots__ = ("name", "instance", "at", "handle")
+
+    def __init__(self, name: str, instance: Any, at: float, handle: RequestHandle):
+        self.name = name
+        self.instance = instance
+        self.at = at
+        self.handle = handle
+
+
+class ServeLoop:
+    """Single-owner event loop over a server's endpoint sessions.
+
+    Constructed from a :class:`~repro.serve.server.Server` (the server does
+    this itself — ``server.loop``) or from a plain ``sessions`` mapping for
+    single-session use (:func:`repro.serve.traffic.replay_continuous`).
+
+    Parameters
+    ----------
+    server:
+        The server whose endpoints the loop owns (its clock is used).
+    sessions:
+        Alternative to ``server``: a name → session mapping (all sessions
+        must share one clock, passed as ``clock``).
+    max_pending:
+        Bound on the admission queue; None (default) means unbounded.
+    backpressure:
+        What a full queue does to ``submit``: ``"block"`` waits for space,
+        ``"reject"`` raises :class:`BackpressureFull`, ``"shed-oldest"``
+        drops the oldest queued request (failing its handle with
+        :class:`RequestShed`) to admit the new one.
+    """
+
+    def __init__(
+        self,
+        server: Any = None,
+        *,
+        sessions: Optional[Dict[str, Any]] = None,
+        clock: Optional[Clock] = None,
+        max_pending: Optional[int] = None,
+        backpressure: str = "block",
+    ) -> None:
+        if (server is None) == (sessions is None):
+            raise ValueError("pass exactly one of server= or sessions=")
+        if backpressure not in BACKPRESSURE_POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {backpressure!r}; "
+                f"choose one of {', '.join(BACKPRESSURE_POLICIES)}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be a positive integer (or None)")
+        self._server = server
+        self._static_sessions = dict(sessions) if sessions is not None else None
+        if server is not None:
+            self.clock: Clock = server.clock
+        else:
+            if clock is None:
+                raise ValueError("sessions= needs an explicit clock=")
+            self.clock = clock
+        self.max_pending = max_pending
+        self.backpressure = backpressure
+
+        self._cond = threading.Condition()
+        # serializes mode transitions (start/shutdown) with inline
+        # dispatches, so a submit racing Server.run() can never mutate a
+        # session concurrently with the freshly started loop thread
+        self._mode_lock = threading.RLock()
+        self._queue: Deque[_Admission] = deque()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = False
+        self._stopped = False  # a loop ran and was shut down (until re-start)
+        self._drain_requested = False
+        self._error: Optional[BaseException] = None
+        # admission generation counters: drain() waits only for requests
+        # admitted before it was called, so sustained producer traffic
+        # cannot starve it.  _flushed_seq records how many admissions a
+        # drain-flush pass has covered (shed/failed ones count as both
+        # dispatched and flushed — they are resolved).
+        self._admit_seq = 0
+        self._dispatched_seq = 0
+        self._flushed_seq = 0
+        self._pass_count = 0  # completed drain-flush passes
+        #: requests admitted over the loop's lifetime (queue + inline)
+        self.num_admitted = 0
+        #: requests shed by the ``shed-oldest`` backpressure policy
+        self.num_shed = 0
+        #: requests rejected by the ``reject`` backpressure policy
+        self.num_rejected = 0
+
+    # -- session access --------------------------------------------------------
+    def sessions(self) -> Dict[str, Any]:
+        """Name → session mapping the loop owns (live view for servers, so
+        endpoints added before :meth:`start` are picked up)."""
+        if self._static_sessions is not None:
+            return self._static_sessions
+        return {name: ep.session for name, ep in self._server._endpoints.items()}
+
+    def _session(self, name: str):
+        if self._server is not None:
+            return self._server.endpoint(name).session
+        try:
+            return self._static_sessions[name]
+        except KeyError:
+            raise KeyError(f"unknown session {name!r}") from None
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """True while the wall-clock loop thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ServeLoop":
+        """Start the wall-clock loop thread (simulated clocks replay
+        deterministically through :meth:`run_trace` instead)."""
+        if isinstance(self.clock, SimulatedClock):
+            raise TypeError(
+                "ServeLoop.start() drives real time; a SimulatedClock replays "
+                "deterministically through run_trace()/replay_continuous()"
+            )
+        with self._mode_lock:
+            if self.running:
+                raise RuntimeError("serve loop already running")
+            self._stop = False
+            self._stopped = False
+            self._error = None
+            self._thread = threading.Thread(
+                target=self._run_wall, name="repro-serve-loop", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def drain(self) -> None:
+        """Flush every backlog and wait until all requests admitted so far
+        have completed.  Without a running loop this degrades to flushing
+        the sessions inline (one session's failing flush does not stop the
+        others from draining — the first error re-raises at the end, after
+        failing its own round's handles)."""
+        with self._mode_lock:
+            if not self.running:
+                first: Optional[BaseException] = None
+                for session in self.sessions().values():
+                    try:
+                        session.flush()
+                    except BaseException as exc:
+                        # the flush failed its round's handles and reset
+                        # the session; keep draining the other endpoints
+                        if first is None:
+                            first = exc
+                self._raise_if_dead()
+                if first is not None:
+                    raise first
+                return
+        with self._cond:
+            target = self._admit_seq
+            entry_pass = self._pass_count
+            while self._error is None and (
+                self._flushed_seq < target or self._pass_count == entry_pass
+            ):
+                if not self.running:  # died without recording an error
+                    break
+                # re-assert every wake: a concurrent drainer's flush pass
+                # may have absorbed our request flag before our admissions
+                # were dispatched — only a pass covering `target` (and at
+                # least one full pass after entry, for backlogs built
+                # before the loop started) counts
+                self._drain_requested = True
+                self._cond.notify_all()
+                self._cond.wait(timeout=0.05)
+        self._raise_if_dead()
+
+    def shutdown(self) -> None:
+        """Graceful stop: drain, then stop and join the loop thread.  A
+        no-op when the loop never started; after a shutdown, ``submit``
+        raises :class:`LoopStopped` until the loop is started again."""
+        if self.running:
+            try:
+                self.drain()
+            finally:
+                with self._cond:
+                    self._stop = True
+                    self._stopped = True
+                    self._cond.notify_all()
+                self._thread.join()
+        self._fail_queued(LoopStopped("serve loop shut down"))
+        self._raise_if_dead()
+
+    def __enter__(self) -> "ServeLoop":
+        if not self.running:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def _raise_if_dead(self) -> None:
+        if self._error is not None:
+            raise LoopStopped("serve loop died") from self._error
+
+    def _fail_queued(self, exc: BaseException) -> None:
+        with self._cond:
+            stale, self._queue = list(self._queue), deque()
+            # failed admissions are resolved: account them dispatched and
+            # flushed so no drain() generation is left waiting on them
+            self._dispatched_seq += len(stale)
+            self._flushed_seq += len(stale)
+            self._cond.notify_all()
+        for adm in stale:
+            adm.handle._fail(exc)
+
+    # -- intake ----------------------------------------------------------------
+    def submit(
+        self, name: str, instance: Any, at: Optional[float] = None
+    ) -> RequestHandle:
+        """Admit one request for session ``name``; returns its handle
+        immediately.
+
+        With the loop running this is thread-safe: the request enters the
+        bounded admission queue (timestamped under the queue lock, so
+        per-session arrival order is monotonic) and the loop dispatches it.
+        Before the loop has ever started it degrades to the historical
+        synchronous path — the session's ``submit`` runs inline on the
+        caller (inline submits serialize on the mode lock, so they cannot
+        race a concurrent ``start()`` or each other).  After a shutdown it
+        raises :class:`LoopStopped` until the loop is started again.
+        """
+        session = self._session(name)  # fail fast on unknown names
+        with self._mode_lock:
+            if not self.running:
+                self._raise_if_dead()
+                if self._stopped:
+                    raise LoopStopped(
+                        "serve loop shut down — call Server.run() again to "
+                        "resume serving"
+                    )
+                self._check_inline_capacity()
+                handle = session.submit(instance, at=at)
+                self.num_admitted += 1  # only successful admissions count
+                return handle
+        with self._cond:
+            if self.max_pending is not None:
+                while len(self._queue) >= self.max_pending:
+                    if self.backpressure == "reject":
+                        self.num_rejected += 1
+                        raise BackpressureFull(
+                            f"admission queue full ({self.max_pending} pending)"
+                        )
+                    if self.backpressure == "shed-oldest":
+                        shed = self._queue.popleft()
+                        self.num_shed += 1
+                        # a shed admission is resolved (exceptionally):
+                        # count it dispatched+flushed so drain() never
+                        # waits on it
+                        self._dispatched_seq += 1
+                        self._flushed_seq += 1
+                        shed.handle._fail(
+                            RequestShed(
+                                "request shed by backpressure: a newer arrival "
+                                f"displaced it from the full admission queue "
+                                f"(max_pending={self.max_pending})"
+                            )
+                        )
+                        break
+                    # block: wait for the loop to make space
+                    if self._stop or self._error is not None or not self.running:
+                        break
+                    self._cond.wait(timeout=0.05)
+            if self._stop or self._error is not None or not self.running:
+                self._raise_if_dead()
+                raise LoopStopped("serve loop is shutting down")
+            # stamp under the lock: queue order == timestamp order, so the
+            # monotonic-arrival invariant holds per session no matter how
+            # many producer threads race
+            stamp = self.clock.now() if at is None else at
+            handle = RequestHandle(-1, submitted_at=stamp)
+            handle._managed = True
+            self._queue.append(_Admission(name, instance, stamp, handle))
+            self.num_admitted += 1
+            self._admit_seq += 1
+            self._cond.notify_all()
+        return handle
+
+    def _check_inline_capacity(self) -> None:
+        if self.max_pending is None:
+            return
+        if self.backpressure == "block":
+            # blocking needs a loop thread to drain the queue; inline (the
+            # historical caller-driven path) stays unbounded, exactly as
+            # the Server docstring promises — the bound bites after run()
+            return
+        backlog = sum(s.pending_requests for s in self.sessions().values())
+        if backlog < self.max_pending:
+            return
+        # inline intake builds DFG nodes at submit, so an admitted request
+        # cannot be shed afterwards: both overflow policies reject here
+        self.num_rejected += 1
+        raise BackpressureFull(
+            f"{backlog} requests pending >= max_pending={self.max_pending}"
+        )
+
+    # -- caller-driven facade --------------------------------------------------
+    def poll(self) -> int:
+        """Fire every session flush whose deadline has passed; returns the
+        number of rounds flushed.  With the loop running, deadlines fire on
+        the loop thread — polling just nudges it awake."""
+        with self._mode_lock:
+            if not self.running:
+                flushed = 0
+                for session in self.sessions().values():
+                    if session.poll() is not None:
+                        flushed += 1
+                return flushed
+        with self._cond:
+            self._cond.notify_all()
+        return 0
+
+    def flush_all(self) -> Dict[str, Optional[List[Any]]]:
+        """Flush every session's backlog; returns outputs by name (None for
+        empty sessions).  With the loop running this delegates to
+        :meth:`drain` (the loop owns the sessions) and returns ``{}``."""
+        with self._mode_lock:
+            if not self.running:
+                return {name: s.flush() for name, s in self.sessions().items()}
+        self.drain()
+        return {}
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest pending flush deadline across the loop's sessions."""
+        deadlines = [
+            d
+            for d in (s.next_deadline() for s in self.sessions().values())
+            if d is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    # -- wall-clock mode -------------------------------------------------------
+    def _run_wall(self) -> None:
+        try:
+            while True:
+                with self._cond:
+                    deadline = self.next_deadline()
+                    timeout = (
+                        None
+                        if deadline is None
+                        else max(0.0, deadline - self.clock.now())
+                    )
+                    if not self._queue and not self._drain_requested and not self._stop:
+                        if timeout is None or timeout > 0:
+                            self._cond.wait(timeout)
+                    admissions = list(self._queue)
+                    self._queue.clear()
+                    drain_requested = self._drain_requested
+                    stopping = self._stop
+                    self._cond.notify_all()  # wake producers blocked on space
+
+                for adm in admissions:
+                    # at= is the admission timestamp: if the loop was busy
+                    # executing when the request arrived, the session sees
+                    # it backdated — the continuous-batching backlog signal
+                    try:
+                        self._session(adm.name).submit(
+                            adm.instance, at=adm.at, handle=adm.handle
+                        )
+                    except BaseException as exc:
+                        # one malformed request must not take down a
+                        # multi-tenant loop: the session already aborted any
+                        # poisoned round (failing its handles with
+                        # RoundAborted), so fail this request's handle with
+                        # the original error and keep serving
+                        if not adm.handle.done:
+                            adm.handle._fail(exc)
+                if admissions:
+                    with self._cond:
+                        self._dispatched_seq += len(admissions)
+                        self._cond.notify_all()
+                for session in self.sessions().values():
+                    try:
+                        session.poll()
+                    except BaseException:
+                        # the flush failed its round's handles and reset the
+                        # session (InferenceSession.flush is exception-safe)
+                        pass
+                if drain_requested or stopping:
+                    # on the stopping iteration this also covers requests
+                    # admitted in the shutdown window (after drain()
+                    # completed but before _stop was set): they were just
+                    # dispatched above and must not be left pending forever
+                    for session in self.sessions().values():
+                        try:
+                            session.flush()
+                        except BaseException:
+                            pass  # round's handles already failed
+                    with self._cond:
+                        # this pass covered everything dispatched before it
+                        self._flushed_seq = self._dispatched_seq
+                        self._pass_count += 1
+                        self._drain_requested = False
+                        self._cond.notify_all()
+                if stopping:
+                    return
+        except BaseException as exc:  # infrastructure failure: die loudly
+            for session in self.sessions().values():
+                # abort (not just fail): _abort_round resolves the pending
+                # handles AND resets the session to a clean empty round, so
+                # a revived loop cannot re-flush stale failed handles
+                try:
+                    session._abort_round(exc)
+                except BaseException:
+                    pass
+            with self._cond:
+                self._error = exc
+                self._drain_requested = False
+                self._cond.notify_all()
+            died = LoopStopped("serve loop died")
+            died.__cause__ = exc
+            self._fail_queued(died)
+
+    # -- simulated mode --------------------------------------------------------
+    def run_trace(
+        self,
+        workload: Iterable[Tuple[float, str, Any]],
+        *,
+        deterministic: bool = True,
+        host_model: Optional[Tuple[float, float]] = None,
+    ) -> Dict[str, List[RequestHandle]]:
+        """Deterministically replay a tagged open-loop trace with continuous
+        batching on the simulated clock.
+
+        ``workload`` yields ``(arrival_time, session_name, request)`` sorted
+        by arrival time.  The loop advances the clock from event to event —
+        arrivals, flush deadlines, device-free completions — exactly as the
+        wall-clock thread would wake, and flushed rounds execute on a
+        :class:`DeviceTimeline`, so intake streams on while the device
+        works and rounds pipeline back-to-back.  With ``deterministic``
+        (default) the measured host wall time is excluded from the
+        simulated timeline: the same trace replays bit-for-bit.
+        ``host_model`` optionally replaces it with a deterministic
+        ``(per_round_ms, per_request_ms)`` linear model — the loop still
+        pays a host cost per flush (serial with intake), just a modelled
+        one.
+
+        Returns the resolved handles per session name, in arrival order.
+        """
+        if self.running:
+            raise RuntimeError("run_trace needs exclusive ownership; the loop thread is running")
+        if not isinstance(self.clock, SimulatedClock):
+            raise TypeError("run_trace needs a SimulatedClock")
+        clock = self.clock
+        sessions = self.sessions()
+        items = sorted(workload, key=lambda item: item[0])
+        timeline = DeviceTimeline(start=clock.now())
+        handles: Dict[str, List[RequestHandle]] = {}
+        with replay_state(
+            sessions.values(),
+            deterministic=deterministic,
+            host_model=host_model,
+            timeline=timeline,
+        ):
+            for t, name, instance in items:
+                self._advance_until(sessions, timeline, t)
+                clock.advance_to(t)
+                handles.setdefault(name, []).append(
+                    self._session(name).submit(instance, at=t)
+                )
+                self.num_admitted += 1
+            self._drain_simulated(sessions, timeline)
+            # the trace ends when the device finishes its last round
+            clock.advance_to(timeline.busy_until)
+            timeline.pop_completions(clock.now())
+        return handles
+
+    def _next_event(
+        self, sessions: Dict[str, Any], timeline: DeviceTimeline
+    ) -> Optional[Tuple[float, int]]:
+        """Earliest pending wakeup: (timestamp, kind) with kind 0 =
+        device completion, 1 = flush deadline (completions win ties so the
+        device-idle launch happens before a same-instant deadline fires)."""
+        events: List[Tuple[float, int]] = []
+        completion = timeline.next_completion()
+        if completion is not None:
+            events.append((completion, 0))
+        deadline = self.next_deadline()
+        if deadline is not None:
+            events.append((deadline, 1))
+        return min(events) if events else None
+
+    def _fire_event(
+        self, sessions: Dict[str, Any], timeline: DeviceTimeline, event: Tuple[float, int]
+    ) -> None:
+        when, kind = event
+        self.clock.advance_to(when)
+        if kind == 0:
+            timeline.pop_completions(self.clock.now())
+            # the device went idle: give continuous-batching policies the
+            # chance to launch their backlog immediately.  Re-check before
+            # every session — the first session's idle-launch re-busies the
+            # shared device, and the remaining backlogs should then keep
+            # accumulating (waiting is free again) rather than force small
+            # partial rounds.
+            for session in sessions.values():
+                if timeline.in_flight(self.clock.now()) != 0:
+                    break
+                if session.pending_requests and session.policy.on_idle(
+                    session, self.clock.now()
+                ):
+                    session.flush(reason=session.policy.name)
+        else:
+            for session in sessions.values():
+                session.poll()
+
+    def _advance_until(
+        self, sessions: Dict[str, Any], timeline: DeviceTimeline, t: float
+    ) -> None:
+        """Fire every wakeup scheduled at or before ``t``, in time order."""
+        while True:
+            event = self._next_event(sessions, timeline)
+            if event is None or event[0] > t:
+                return
+            self._fire_event(sessions, timeline, event)
+
+    def _drain_simulated(
+        self, sessions: Dict[str, Any], timeline: DeviceTimeline
+    ) -> None:
+        """After the last arrival: fire remaining wakeups until every
+        backlog has flushed (forcing a flush only for policies that would
+        wait forever, e.g. ``manual``)."""
+        while any(s.pending_requests for s in sessions.values()):
+            event = self._next_event(sessions, timeline)
+            if event is None:
+                for session in sessions.values():
+                    if session.pending_requests:
+                        session.flush()
+            else:
+                self._fire_event(sessions, timeline, event)
+
+    def __repr__(self) -> str:
+        mode = "running" if self.running else "idle"
+        return (
+            f"ServeLoop({mode}, queued={len(self._queue)}, "
+            f"admitted={self.num_admitted}, backpressure={self.backpressure!r})"
+        )

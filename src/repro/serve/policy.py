@@ -64,6 +64,17 @@ class FlushPolicy:
         the clock passes this point (:meth:`InferenceSession.poll`)."""
         return None
 
+    def on_idle(self, session: "InferenceSession", now: float) -> bool:
+        """Called by a :class:`~repro.serve.loop.ServeLoop` when the device
+        goes idle (the last in-flight round completed) while requests are
+        pending; return True to launch the pending round immediately.
+
+        The default keeps the policy's normal semantics (wait for the size
+        threshold / deadline); continuous-batching policies return True so
+        the device never idles while a backlog exists.
+        """
+        return False
+
     def note_flush(self, session: "InferenceSession", stats: Any) -> None:
         """Observation hook: called with the round's ``RunStats`` after
         every flush (adaptive policies update their estimates here)."""
@@ -269,6 +280,13 @@ class AdaptivePolicy(FlushPolicy):
             # draining a backlog: waiting is free, keep accumulating (the
             # max_wait_ms deadline still bounds the round's age)
             return False
+        if session.in_flight_rounds:
+            # earlier rounds are still executing on the device (continuous
+            # batching under a serve loop): launching now would only queue
+            # behind them, so waiting is free — keep accumulating and let
+            # the loop's device-idle wakeup (:meth:`on_idle`) launch the
+            # round the moment the device frees
+            return False
         return self.waiting_cost_us(session) > self.marginal_benefit_us(session)
 
     def next_deadline(self, session: "InferenceSession") -> Optional[float]:
@@ -276,6 +294,13 @@ class AdaptivePolicy(FlushPolicy):
         if started is None:
             return None
         return started + self.max_wait_ms / 1e3
+
+    def on_idle(self, session: "InferenceSession", now: float) -> bool:
+        # the device just went idle with requests pending: launch them —
+        # idling the accelerator while a backlog exists never pays.  (If
+        # another session's idle-launch already re-busied the shared
+        # device, keep accumulating instead: waiting is free again.)
+        return session.pending_requests > 0 and not session.in_flight_rounds
 
     def note_flush(self, session: "InferenceSession", stats: Any) -> None:
         launches = float(stats.kernel_calls)

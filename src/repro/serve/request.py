@@ -8,12 +8,34 @@ per-request observability a serving system needs: how long the request
 queued waiting for its batch, its end-to-end latency, how large the batch
 it rode in was, and its share of the round's kernel launches (the
 amortization cross-request batching buys).
+
+Handles are backed by a :class:`concurrent.futures.Future`, so one object
+serves every consumption style:
+
+* synchronous, caller-driven: ``handle.result()`` after ``flush()``/
+  ``poll()`` (raises if the round has not executed — the historical
+  behaviour);
+* threaded, loop-driven: ``handle.result(timeout=...)`` blocks until the
+  :class:`~repro.serve.loop.ServeLoop` flushes the round (or the timeout
+  expires);
+* async: ``await handle`` inside any asyncio event loop (the loop thread
+  resolves the future, asyncio wakes the coroutine).
+
+A handle that was *shed* by the admission queue's backpressure policy (or
+whose round failed) resolves exceptionally: ``result()``/``await`` raise,
+``handle.failed`` is True and :meth:`exception` returns the error.
 """
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
 from dataclasses import dataclass
 from typing import Any, Optional
+
+#: sentinel distinguishing ``result()`` (historical: raise when not done)
+#: from ``result(timeout=None)`` (block forever)
+_UNSET = object()
 
 
 @dataclass
@@ -29,7 +51,9 @@ class RequestStats:
     completed_at: float = 0.0
     #: time spent queued waiting for the batch to flush (ms)
     queue_ms: float = 0.0
-    #: the round's execution latency: host time + simulated device time (ms)
+    #: the round's execution latency: host time + simulated device time —
+    #: including, under a continuous-batching loop, time the round spent
+    #: queued behind earlier rounds on the busy device (ms)
     execute_ms: float = 0.0
     #: end-to-end latency: queueing + execution (ms)
     latency_ms: float = 0.0
@@ -45,31 +69,81 @@ class RequestStats:
 class RequestHandle:
     """Handle for one submitted request; resolves at its round's flush."""
 
-    __slots__ = ("index", "submitted_at", "done", "stats", "_value")
+    __slots__ = ("index", "submitted_at", "done", "stats", "_future", "_managed")
 
     def __init__(self, index: int, submitted_at: float = 0.0) -> None:
-        #: position of the request within its batching round
+        #: position of the request within its batching round (-1 while the
+        #: request sits in a serve loop's admission queue)
         self.index = index
         #: clock timestamp of submission
         self.submitted_at = submitted_at
         self.done = False
         #: per-request statistics (None until the round flushes)
         self.stats: Optional[RequestStats] = None
-        self._value: Any = None
+        self._future: concurrent.futures.Future = concurrent.futures.Future()
+        # loop-managed handles may legitimately be pending when result() is
+        # called from another thread, so a bare result() blocks instead of
+        # raising
+        self._managed = False
 
-    def result(self) -> Any:
-        """The request's output; raises if its round has not flushed yet."""
-        if not self.done:
-            raise RuntimeError(
-                "request not executed yet: call InferenceSession.flush() "
-                "(or wait for the session's flush policy to trigger)"
-            )
-        return self._value
+    # -- consumption -----------------------------------------------------------
+    def _resolve(self, timeout: Any, accessor: str) -> Any:
+        """Shared raise-or-block contract of :meth:`result` and
+        :meth:`exception`: without a timeout an unmanaged pending handle
+        raises (the synchronous API cannot resolve it from here), otherwise
+        block on the future and translate its timeout error."""
+        if timeout is _UNSET:
+            if not self.done and not self._managed:
+                raise RuntimeError(
+                    "request not executed yet: call InferenceSession.flush() "
+                    "(or wait for the session's flush policy to trigger)"
+                )
+            timeout = None
+        try:
+            return getattr(self._future, accessor)(timeout)
+        except concurrent.futures.TimeoutError:
+            raise TimeoutError(
+                f"request not completed within {timeout}s"
+            ) from None
 
+    def result(self, timeout: Any = _UNSET) -> Any:
+        """The request's output.
+
+        Without arguments, keeps the synchronous API's contract: raises
+        ``RuntimeError`` if the round has not flushed yet — *unless* the
+        handle is owned by a running :class:`~repro.serve.loop.ServeLoop`,
+        in which case it blocks until the loop resolves it.  With
+        ``timeout=`` (seconds, or None to wait forever) it always blocks,
+        raising ``TimeoutError`` when the deadline expires first.
+        """
+        return self._resolve(timeout, "result")
+
+    def exception(self, timeout: Any = _UNSET) -> Optional[BaseException]:
+        """The exception the request failed with (None when it succeeded);
+        blocks (or raises on an unmanaged pending handle) exactly like
+        :meth:`result`."""
+        return self._resolve(timeout, "exception")
+
+    @property
+    def failed(self) -> bool:
+        """True when the request resolved exceptionally (shed by
+        backpressure, or its round's execution raised)."""
+        return self.done and self._future.exception(0) is not None
+
+    def __await__(self):
+        """Awaitable inside any running asyncio loop: ``await handle``."""
+        return asyncio.wrap_future(self._future).__await__()
+
+    # -- resolution (serving internals) ----------------------------------------
     def _complete(self, value: Any, stats: RequestStats) -> None:
-        self._value = value
         self.stats = stats
+        self._future.set_result(value)
+        self.done = True
+
+    def _fail(self, exc: BaseException) -> None:
+        self._future.set_exception(exc)
         self.done = True
 
     def __repr__(self) -> str:
-        return f"RequestHandle(index={self.index}, done={self.done})"
+        state = "failed" if self.failed else ("done" if self.done else "pending")
+        return f"RequestHandle(index={self.index}, {state})"

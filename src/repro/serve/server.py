@@ -15,6 +15,15 @@ Per-flush device counters stay isolated even on the shared device: every
 session resets the device's counters at the flush that executes its round
 (the residency cache — which parameters are already on the GPU — is shared
 and persists, as it would on real hardware).
+
+Request intake is owned by the server's :class:`~repro.serve.loop.ServeLoop`
+(``server.loop``): :meth:`Server.submit`/:meth:`Server.poll`/
+:meth:`Server.flush_all` are thin facades over it.  Without a running loop
+they behave exactly as the historical caller-driven API; after
+:meth:`Server.run` the same calls become thread-safe — requests enter the
+loop's bounded admission queue (``max_pending``/``backpressure``) and all
+session work happens on the loop thread, with :meth:`Server.drain` /
+:meth:`Server.shutdown` replacing hand-rolled poll choreography.
 """
 
 from __future__ import annotations
@@ -23,27 +32,59 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..runtime.device import DeviceSimulator, GPUSpec
 from .clock import Clock, WallClock
+from .loop import ServeLoop
 from .request import RequestHandle
 from .session import InferenceSession
 
 
 class Endpoint:
-    """One named model behind a server: a model plus its serving session."""
+    """One named model behind a server: a model plus its serving session.
 
-    def __init__(self, name: str, model: Any, session: InferenceSession) -> None:
+    Sessions are lock-free and, once :meth:`Server.run` has started the
+    serve loop, owned exclusively by the loop thread — the endpoint's
+    session-mutating methods therefore refuse to run while the loop does
+    (route through ``Server.submit``/``drain`` instead)."""
+
+    def __init__(
+        self,
+        name: str,
+        model: Any,
+        session: InferenceSession,
+        loop: Optional[ServeLoop] = None,
+    ) -> None:
         self.name = name
         self.model = model
         self.session = session
+        self._loop = loop
+
+    def _session_op(self, what: str, op: Any) -> Any:
+        """Run a session mutation under the loop's mode lock: the check and
+        the operation are atomic against a concurrent ``Server.run()``, so
+        the inline path can never race the freshly started loop thread
+        (the same protocol ``ServeLoop.submit`` uses)."""
+        if self._loop is None:
+            return op()
+        with self._loop._mode_lock:
+            if self._loop.running:
+                raise RuntimeError(
+                    f"cannot {what} directly while the serve loop is "
+                    "running — the loop thread owns this endpoint's "
+                    "session; use Server.submit()/drain() (or shutdown() "
+                    "first)"
+                )
+            return op()
 
     # -- request path ----------------------------------------------------------
     def submit(self, instance: Any, at: Optional[float] = None) -> RequestHandle:
-        return self.session.submit(instance, at=at)
+        return self._session_op(
+            "submit to an endpoint", lambda: self.session.submit(instance, at=at)
+        )
 
     def poll(self) -> Optional[List[Any]]:
-        return self.session.poll()
+        return self._session_op("poll an endpoint", self.session.poll)
 
     def flush(self) -> Optional[List[Any]]:
-        return self.session.flush()
+        return self._session_op("flush an endpoint", self.session.flush)
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -87,6 +128,12 @@ class Server:
     ``round_robin``), and cross-device operand traffic is priced by
     ``interconnect`` (``"pcie"``/``"nvlink"`` or an
     :class:`~repro.devices.interconnect.Interconnect`).
+
+    ``max_pending`` bounds the admission queue of the server's
+    :class:`~repro.serve.loop.ServeLoop` and ``backpressure`` picks the
+    overflow policy (``"block"``/``"reject"``/``"shed-oldest"``); both only
+    bite once :meth:`run` starts the loop (or, for the rejecting policies,
+    on inline intake too).
     """
 
     def __init__(
@@ -98,6 +145,8 @@ class Server:
         devices: Any = None,
         placement: Any = None,
         interconnect: Union[str, Any, None] = None,
+        max_pending: Optional[int] = None,
+        backpressure: str = "block",
     ) -> None:
         if devices is not None:
             from ..devices.group import DeviceGroup
@@ -125,6 +174,10 @@ class Server:
         self.placement = placement
         self.clock = clock or WallClock()
         self._endpoints: Dict[str, Endpoint] = {}
+        #: the event loop owning this server's intake and flush choreography
+        self.loop = ServeLoop(
+            self, max_pending=max_pending, backpressure=backpressure
+        )
 
     @property
     def num_devices(self) -> int:
@@ -159,6 +212,11 @@ class Server:
             )
         if name in self._endpoints:
             raise ValueError(f"endpoint {name!r} already exists")
+        if self.loop.running:
+            raise RuntimeError(
+                "cannot add endpoints while the serve loop is running; "
+                "register endpoints before Server.run() (or shutdown() first)"
+            )
         engine = model.make_engine(
             device=self.device,
             scheduler=scheduler,
@@ -167,7 +225,7 @@ class Server:
         session = InferenceSession(
             engine, policy=policy, policy_args=policy_args or None, clock=self.clock
         )
-        endpoint = Endpoint(name, model, session)
+        endpoint = Endpoint(name, model, session, loop=self.loop)
         self._endpoints[name] = endpoint
         return endpoint
 
@@ -187,35 +245,62 @@ class Server:
     def __contains__(self, name: str) -> bool:
         return name in self._endpoints
 
-    # -- request path ----------------------------------------------------------
+    # -- request path (facade over the serve loop) ------------------------------
     def submit(
         self, name: str, instance: Any, at: Optional[float] = None
     ) -> RequestHandle:
-        """Route one request to endpoint ``name``."""
-        return self.endpoint(name).submit(instance, at=at)
+        """Route one request to endpoint ``name``.
+
+        Thread-safe once :meth:`run` has started the serve loop (the
+        request enters the loop's bounded admission queue and the returned
+        handle resolves when the loop flushes its round — ``await handle``
+        or ``handle.result(timeout=...)``); before that it is the
+        historical synchronous intake path.
+        """
+        return self.loop.submit(name, instance, at=at)
 
     def poll(self) -> int:
         """Fire every endpoint flush whose deadline has passed; returns the
-        number of rounds flushed."""
-        flushed = 0
-        for endpoint in self._endpoints.values():
-            if endpoint.poll() is not None:
-                flushed += 1
-        return flushed
+        number of rounds flushed.  With the loop running, deadline polling
+        is the loop's job — this just nudges it awake."""
+        return self.loop.poll()
 
     def flush_all(self) -> Dict[str, Optional[List[Any]]]:
         """Flush every endpoint's backlog (drain); returns outputs by
-        endpoint name (None for endpoints that were empty)."""
-        return {name: ep.flush() for name, ep in self._endpoints.items()}
+        endpoint name (None for endpoints that were empty).  With the loop
+        running this delegates to :meth:`drain` and returns ``{}``."""
+        return self.loop.flush_all()
 
     def next_deadline(self) -> Optional[float]:
         """Earliest pending flush deadline across all endpoints."""
-        deadlines = [
-            d
-            for d in (ep.next_deadline() for ep in self._endpoints.values())
-            if d is not None
-        ]
-        return min(deadlines) if deadlines else None
+        return self.loop.next_deadline()
+
+    # -- event-loop lifecycle ---------------------------------------------------
+    def run(self) -> ServeLoop:
+        """Start the serving event loop (wall-clock traffic).
+
+        From here on :meth:`submit` is thread-safe and the loop drives all
+        deadline polling and flushing itself.  Returns the loop, which is a
+        context manager::
+
+            with server.run():
+                handle = server.submit("trees", request)
+                output = handle.result(timeout=5.0)
+
+        Simulated clocks replay deterministically through
+        ``server.loop.run_trace`` /
+        :func:`repro.serve.traffic.replay_server_continuous` instead.
+        """
+        return self.loop.start()
+
+    def drain(self) -> None:
+        """Flush every backlog and wait for all admitted requests to
+        complete (works with or without a running loop)."""
+        self.loop.drain()
+
+    def shutdown(self) -> None:
+        """Drain, then stop the serving loop (no-op if it never ran)."""
+        self.loop.shutdown()
 
     # -- introspection ---------------------------------------------------------
     def device_summary(self) -> Dict[str, Any]:

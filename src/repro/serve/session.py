@@ -29,6 +29,15 @@ submit time (e.g. ``size(n)`` reached), or by deadline polling
 a clock timestamp rather than a submit event).  All timing runs on the
 session's pluggable :class:`~repro.serve.clock.Clock`, so tests and the
 open-loop traffic benchmark use a simulated clock.
+
+Under a :class:`~repro.serve.loop.ServeLoop` the session additionally
+carries a :class:`~repro.serve.loop.DeviceTimeline`: instead of blocking
+the clock for a round's device time, :meth:`flush` *launches* the round
+onto the timeline (completion = the device's busy horizon plus the round's
+device time) and only the host-side share serializes with intake — the
+continuous-batching overlap where round ``k+1`` accumulates while round
+``k`` executes.  Rounds still in flight are visible as
+:attr:`in_flight_rounds` to the adaptive policy's waiting-cost model.
 """
 
 from __future__ import annotations
@@ -45,6 +54,13 @@ from .request import RequestHandle, RequestStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.engine import ExecutionEngine
+
+
+class RoundAborted(RuntimeError):
+    """Resolves the *other* handles of a batching round whose build or
+    execution raised: their requests were innocent, but the round's shared
+    lazy graph (or its execution) is unrecoverable, so they fail together
+    with the original error as ``__cause__``."""
 
 
 class InferenceSession:
@@ -120,6 +136,24 @@ class InferenceSession:
         self._build_s = 0.0
         self._round_started_at: Optional[float] = None
         self._last_submit_backdated = False
+        self._last_arrival: Optional[float] = None
+        #: device timeline for continuous batching (set by a
+        #: :class:`~repro.serve.loop.ServeLoop`): when present, flushed
+        #: rounds launch asynchronously — completion lands on the timeline
+        #: instead of blocking the clock for the round's device time
+        self.timeline = None
+        #: charge measured host wall time to the clock at each flush (the
+        #: default).  Deterministic replays switch this off so the simulated
+        #: timeline depends only on simulated device quantities and the
+        #: same trace reproduces bit-for-bit across runs/hosts.
+        self.charge_host = True
+        #: deterministic stand-in for the measured host share when
+        #: ``charge_host`` is off: ``(per_round_ms, per_request_ms)`` —
+        #: a flush of B requests charges ``per_round + B * per_request``
+        #: milliseconds of modelled host time.  None charges only the
+        #: simulated CPU-side API time.  Replay drivers set this so
+        #: deterministic experiments still exhibit host-blocked intake.
+        self.host_cost_model: Optional[Tuple[float, float]] = None
         #: statistics of the most recent flush
         self.last_stats: Optional[RunStats] = None
         #: statistics of recent flushes (bounded — long-lived sessions use
@@ -159,6 +193,16 @@ class InferenceSession:
         submits as free to batch."""
         return self._last_submit_backdated
 
+    @property
+    def in_flight_rounds(self) -> int:
+        """Rounds launched but not yet complete on the session's device
+        timeline (always 0 outside a continuous-batching loop).  While
+        rounds are in flight, waiting costs pending requests nothing —
+        the device is busy anyway — which the adaptive policy exploits."""
+        if self.timeline is None:
+            return 0
+        return self.timeline.in_flight(self.clock.now())
+
     def next_deadline(self) -> Optional[float]:
         """Clock timestamp by which the pending round must flush, or None
         (no pending requests, or the policy imposes no deadline)."""
@@ -167,13 +211,29 @@ class InferenceSession:
         return self.policy.next_deadline(self)
 
     # -- request intake --------------------------------------------------------
-    def submit(self, instance: Any, at: Optional[float] = None) -> RequestHandle:
+    def submit(
+        self,
+        instance: Any,
+        at: Optional[float] = None,
+        *,
+        handle: Optional[RequestHandle] = None,
+    ) -> RequestHandle:
         """Accept one request; returns a handle resolved at the next flush.
 
         ``at`` overrides the request's arrival timestamp (open-loop traffic
         drivers pass the scheduled arrival time, which may lie behind the
         clock when the session was busy executing); it defaults to
-        ``clock.now()``.
+        ``clock.now()``.  Arrival timestamps must be non-decreasing within
+        a batching round: an explicit ``at`` earlier than an earlier
+        pending request's arrival would silently corrupt ``queue_ms``, the
+        round's deadline anchor and the adaptive policy's backlog
+        detection, so it is rejected.  A flush resets the tracker, so
+        replaying a fresh trace (timestamps starting over) on a long-lived
+        session stays legal.
+
+        ``handle`` lets a :class:`~repro.serve.loop.ServeLoop` pass in the
+        handle it already returned to the producer at admission time; by
+        default a fresh one is created.
 
         For programs without tensor-dependent control flow the request's
         unbatched program runs now, recording its DFG nodes into the shared
@@ -183,9 +243,23 @@ class InferenceSession:
             now = self.clock.now()
             self._last_submit_backdated = False
         else:
+            if self._last_arrival is not None and at < self._last_arrival:
+                raise ValueError(
+                    f"non-monotonic arrival timestamp: at={at!r} lies before "
+                    f"the round's previous arrival ({self._last_arrival!r}); "
+                    "arrival timestamps must never decrease within a round "
+                    "(backdating behind the clock is fine, backdating behind "
+                    "an earlier pending request corrupts queue_ms and "
+                    "backlog detection)"
+                )
             now = at
             self._last_submit_backdated = self.clock.now() > now
-        handle = RequestHandle(len(self._pending), submitted_at=now)
+        self._last_arrival = now
+        if handle is None:
+            handle = RequestHandle(len(self._pending), submitted_at=now)
+        else:
+            handle.index = len(self._pending)
+            handle.submitted_at = now
         if self._deferred:
             self._pending.append((handle, instance))
         else:
@@ -193,7 +267,17 @@ class InferenceSession:
             rt = self.engine.runtime
             build_start = time.perf_counter()
             rt.current_instance = handle.index
-            raw = entry(instance)
+            try:
+                raw = entry(instance)
+            except BaseException as exc:
+                # the shared lazy graph now holds this request's partial
+                # nodes: the round is unrecoverable.  Abort it (failing the
+                # innocent pending handles with RoundAborted) and re-raise
+                # for the caller — under a ServeLoop only this request's
+                # handle fails with the original error, and the loop (and
+                # every other endpoint) keeps serving.
+                self._abort_round(exc)
+                raise
             self._build_s += time.perf_counter() - build_start
             self._pending.append((handle, raw))
         self.num_requests += 1
@@ -233,35 +317,69 @@ class InferenceSession:
             return None
         pending, self._pending = self._pending, []
         self._round_started_at = None
+        # a fresh trace may legally restart its timestamps next round
+        self._last_arrival = None
         flush_start = self.clock.now()
         # per-flush device accounting: sessions may share one device
         # simulator (multi-endpoint servers), so each round's counters start
         # from zero at the flush that executes it
         self.engine.device.reset()
 
-        if self._deferred:
-            # keep the device residency cache across fiber-program rounds,
-            # exactly as _ensure_round does for the DFG-accumulation path
-            outputs, stats = self.engine.run(
-                [instance for _, instance in pending], release_residency=False
-            )
-        else:
-            rt = self.engine.runtime
-            exec_start = time.perf_counter()
-            rt.trigger()
-            outputs = [materialize_value(raw) for _, raw in pending]
-            wall_s = self._build_s + (time.perf_counter() - exec_start)
-            stats = self.engine.collect_stats(len(pending), wall_s)
-            self._entry = None
-            self._build_s = 0.0
+        try:
+            if self._deferred:
+                # keep the device residency cache across fiber-program
+                # rounds, exactly as _ensure_round does for the
+                # DFG-accumulation path
+                outputs, stats = self.engine.run(
+                    [instance for _, instance in pending], release_residency=False
+                )
+            else:
+                rt = self.engine.runtime
+                exec_start = time.perf_counter()
+                rt.trigger()
+                outputs = [materialize_value(raw) for _, raw in pending]
+                wall_s = self._build_s + (time.perf_counter() - exec_start)
+                stats = self.engine.collect_stats(len(pending), wall_s)
+                self._entry = None
+                self._build_s = 0.0
+        except BaseException as exc:
+            # the popped handles would otherwise be lost (pending forever):
+            # fail them, reset the round, and re-raise for the caller
+            self._pending = pending
+            self._abort_round(exc)
+            raise
 
         stats.batch_size = len(pending)
         stats.flushed_at = flush_start
         stats.flush_reason = reason
-        # charge the round's execution latency to the clock (simulated
-        # clocks advance; the wall clock already moved on its own)
-        self.clock.charge(stats.latency_ms / 1e3)
-        completed_at = self.clock.now()
+        # split the round's latency into the host share (serial with intake:
+        # DFG building, scheduling, dispatch and the CPU-side API time all
+        # happen on the serving thread) and the device share (what a real
+        # accelerator executes asynchronously).  Deterministic replays drop
+        # the measured wall-clock host share so the simulated timeline is a
+        # pure function of the trace.
+        if self.charge_host:
+            host_ms = stats.host_total_ms + stats.api_time_ms
+        else:
+            host_ms = stats.api_time_ms
+            if self.host_cost_model is not None:
+                per_round, per_request = self.host_cost_model
+                host_ms += per_round + per_request * len(pending)
+        device_ms = stats.device_total_ms
+        if self.timeline is not None:
+            # continuous batching: charge only the host share to the clock,
+            # then *launch* the round — it completes at the device's busy
+            # horizon plus its own device time, while intake keeps running
+            self.clock.charge(host_ms / 1e3)
+            completed_at = self.timeline.launch(self.clock.now(), device_ms / 1e3)
+            execute_ms = (completed_at - flush_start) * 1e3
+        else:
+            # caller-driven: the round's execution latency blocks the clock
+            # (simulated clocks advance; the wall clock already moved on its
+            # own)
+            self.clock.charge((host_ms + device_ms) / 1e3)
+            completed_at = self.clock.now()
+            execute_ms = host_ms + device_ms
         launch_share = stats.kernel_calls / max(1, len(pending))
         for (handle, _), output in zip(pending, outputs):
             handle._complete(
@@ -271,12 +389,12 @@ class InferenceSession:
                     flushed_at=flush_start,
                     completed_at=completed_at,
                     queue_ms=max(0.0, flush_start - handle.submitted_at) * 1e3,
-                    execute_ms=stats.latency_ms,
+                    execute_ms=execute_ms,
                     # queueing + execution by construction on every clock: a
                     # wall clock cannot charge() simulated device time, so
                     # completed_at - submitted_at would undercount there
                     latency_ms=max(0.0, flush_start - handle.submitted_at) * 1e3
-                    + stats.latency_ms,
+                    + execute_ms,
                     batch_size=len(pending),
                     launch_share=launch_share,
                     flush_reason=reason,
@@ -301,6 +419,27 @@ class InferenceSession:
             self.flush()
 
     # -- internals -------------------------------------------------------------
+    def _abort_round(self, cause: BaseException) -> None:
+        """Fail the current round's pending handles and reset the session
+        to a clean empty round (the runtime's lazy graph is discarded, the
+        device residency cache survives).  Called when a request's DFG
+        build or the round's execution raised: the shared graph is
+        unrecoverable, but the session — and everything else behind the
+        same server — keeps serving."""
+        pending, self._pending = self._pending, []
+        self._round_started_at = None
+        self._last_arrival = None
+        self._entry = None
+        self._build_s = 0.0
+        self.engine.runtime.reset(release_residency=False)
+        for handle, _ in pending:
+            if not handle.done:
+                error = RoundAborted(
+                    f"batching round aborted after {type(cause).__name__}: {cause}"
+                )
+                error.__cause__ = cause
+                handle._fail(error)
+
     def _ensure_round(self):
         """Bind the program for a new batching round (first submit after a
         flush): reset the runtime and cache the per-instance entry.

@@ -18,16 +18,25 @@ Arrival processes:
 * :func:`bursty_arrivals` — bursts of near-simultaneous requests with
   exponential gaps between bursts (flash-crowd traffic at the same average
   rate).
+
+Two replay styles: :func:`replay`/:func:`replay_server` drive the
+historical caller-driven choreography (each flush blocks intake for the
+round's full latency), while :func:`replay_continuous`/
+:func:`replay_server_continuous` run the trace through a
+:class:`~repro.serve.loop.ServeLoop` — continuous batching with
+asynchronous device rounds.  Pass ``deterministic=True`` to exclude
+measured host wall time so the same trace replays bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .clock import SimulatedClock
+from .loop import ServeLoop, replay_state
 from .request import RequestHandle
 from .server import Endpoint
 
@@ -184,8 +193,13 @@ def replay(
     session,
     requests: Sequence[Any],
     arrivals: Sequence[float],
+    *,
+    deterministic: bool = False,
+    host_model: Optional[Tuple[float, float]] = None,
 ) -> TrafficReport:
-    """Replay an open-loop arrival trace against one session (or endpoint).
+    """Replay an open-loop arrival trace against one session (or endpoint),
+    caller-driven: the historical single-threaded choreography where each
+    flush blocks intake for the round's full latency.
 
     ``session`` must run on a :class:`~repro.serve.clock.SimulatedClock`.
     Each request is submitted at its scheduled arrival time; flush deadlines
@@ -193,6 +207,15 @@ def replay(
     backlog drains.  Arrivals that land while the session is executing are
     submitted as soon as it frees up but keep their true arrival timestamp,
     so queueing delay is measured without coordinated omission.
+
+    ``deterministic=True`` excludes measured host wall time from the
+    simulated timeline (rounds cost their simulated device + API time
+    only), so the same trace replays bit-for-bit across runs — the mode the
+    continuous-vs-caller-driven benchmark compares under.  ``host_model``
+    optionally replaces the excluded host share with a deterministic
+    ``(per_round_ms, per_request_ms)`` linear model, so intake still pays a
+    host cost per flush (the phenomenon a caller-driven loop suffers from)
+    without wall-clock noise.
     """
     if len(requests) != len(arrivals):
         raise ValueError("need exactly one arrival time per request")
@@ -206,24 +229,71 @@ def replay(
     start = _snapshot(session)
     handles: List[RequestHandle] = []
     first_arrival = arrivals[0] if len(arrivals) else clock.now()
-    for t, request in zip(arrivals, requests):
-        _drain_due_deadlines(session, clock, until=t)
-        clock.advance_to(t)
-        handles.append(session.submit(request, at=t))
-    _drain_all(session, clock)
+    with replay_state(
+        [session], deterministic=deterministic, host_model=host_model
+    ):
+        for t, request in zip(arrivals, requests):
+            _drain_due_deadlines(session, clock, until=t)
+            clock.advance_to(t)
+            handles.append(session.submit(request, at=t))
+        _drain_all(session, clock)
+    return _report(session, handles, first_arrival, start)
+
+
+def replay_continuous(
+    session,
+    requests: Sequence[Any],
+    arrivals: Sequence[float],
+    *,
+    deterministic: bool = True,
+    host_model: Optional[Tuple[float, float]] = None,
+) -> TrafficReport:
+    """Replay an open-loop arrival trace with **continuous batching**: the
+    trace runs through a :class:`~repro.serve.loop.ServeLoop`, so flushed
+    rounds execute asynchronously on a device timeline while intake streams
+    on, partial rounds launch exactly when the flush policy fires, and the
+    device never idles while a backlog exists.
+
+    With ``deterministic`` (default) the simulated timeline depends only on
+    the trace and the device cost model: replaying the same trace is
+    bit-for-bit identical across runs.
+    """
+    if len(requests) != len(arrivals):
+        raise ValueError("need exactly one arrival time per request")
+    if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+        raise ValueError("arrival trace must be sorted by time")
+    if isinstance(session, Endpoint):
+        session = session.session
+    clock = session.clock
+    if not isinstance(clock, SimulatedClock):
+        raise TypeError("replay_continuous needs a session driven by a SimulatedClock")
+    start = _snapshot(session)
+    first_arrival = arrivals[0] if len(arrivals) else clock.now()
+    loop = ServeLoop(sessions={"_": session}, clock=clock)
+    handles = loop.run_trace(
+        [(t, "_", request) for t, request in zip(arrivals, requests)],
+        deterministic=deterministic,
+        host_model=host_model,
+    ).get("_", [])
     return _report(session, handles, first_arrival, start)
 
 
 def replay_server(
     server,
     workload: Iterable[Tuple[float, str, Any]],
+    *,
+    deterministic: bool = False,
+    host_model: Optional[Tuple[float, float]] = None,
 ) -> Dict[str, TrafficReport]:
-    """Replay a tagged open-loop trace against a multi-endpoint server.
+    """Replay a tagged open-loop trace against a multi-endpoint server,
+    caller-driven (each flush blocks intake for the round's full latency).
 
     ``workload`` yields ``(arrival_time, endpoint_name, request)`` sorted by
     arrival time.  Deadline flushes of *any* endpoint fire in timestamp
     order between arrivals; returns one :class:`TrafficReport` per endpoint
-    that received traffic.
+    that received traffic.  ``deterministic``/``host_model`` behave as in
+    :func:`replay`, so caller-driven and continuous server replays compare
+    at equal footing.
     """
     clock = server.clock
     if not isinstance(clock, SimulatedClock):
@@ -232,23 +302,64 @@ def replay_server(
     starts = {name: _snapshot(server.endpoint(name).session) for name in server.endpoints}
     handles: Dict[str, List[RequestHandle]] = {}
     first_arrival: Dict[str, float] = {}
-    for t, name, request in items:
-        while True:
+    sessions = [server.endpoint(name).session for name in server.endpoints]
+    with replay_state(
+        sessions, deterministic=deterministic, host_model=host_model
+    ):
+        for t, name, request in items:
+            while True:
+                deadline = server.next_deadline()
+                if deadline is None or deadline > t:
+                    break
+                clock.advance_to(deadline)
+                server.poll()
+            clock.advance_to(t)
+            handles.setdefault(name, []).append(server.submit(name, request, at=t))
+            first_arrival.setdefault(name, t)
+        while any(server.endpoint(n).pending_requests for n in server.endpoints):
             deadline = server.next_deadline()
-            if deadline is None or deadline > t:
-                break
-            clock.advance_to(deadline)
-            server.poll()
-        clock.advance_to(t)
-        handles.setdefault(name, []).append(server.submit(name, request, at=t))
+            if deadline is not None:
+                clock.advance_to(deadline)
+                server.poll()
+            else:
+                server.flush_all()
+    return {
+        name: _report(
+            server.endpoint(name).session,
+            eps_handles,
+            first_arrival[name],
+            starts[name],
+        )
+        for name, eps_handles in handles.items()
+    }
+
+
+def replay_server_continuous(
+    server,
+    workload: Iterable[Tuple[float, str, Any]],
+    *,
+    deterministic: bool = True,
+    host_model: Optional[Tuple[float, float]] = None,
+) -> Dict[str, TrafficReport]:
+    """Replay a tagged open-loop trace against a multi-endpoint server with
+    continuous batching: the trace runs through the server's
+    :class:`~repro.serve.loop.ServeLoop` (``server.loop.run_trace``), all
+    endpoints sharing one device timeline.  Returns one
+    :class:`TrafficReport` per endpoint that received traffic.
+    """
+    clock = server.clock
+    if not isinstance(clock, SimulatedClock):
+        raise TypeError(
+            "replay_server_continuous needs a server driven by a SimulatedClock"
+        )
+    items = sorted(workload, key=lambda item: item[0])
+    starts = {name: _snapshot(server.endpoint(name).session) for name in server.endpoints}
+    first_arrival: Dict[str, float] = {}
+    for t, name, _ in items:
         first_arrival.setdefault(name, t)
-    while any(server.endpoint(n).pending_requests for n in server.endpoints):
-        deadline = server.next_deadline()
-        if deadline is not None:
-            clock.advance_to(deadline)
-            server.poll()
-        else:
-            server.flush_all()
+    handles = server.loop.run_trace(
+        items, deterministic=deterministic, host_model=host_model
+    )
     return {
         name: _report(
             server.endpoint(name).session,

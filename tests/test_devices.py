@@ -346,6 +346,71 @@ class TestDataParallelPlacement:
         placed = policy.place_round(batches, group, {})
         assert len(placed) == 1 and placed[0].device == 0
 
+    def test_unsplit_batches_route_round_robin(self):
+        """Unsplit batches must not pile onto device 0: each one takes the
+        next device in rotation (the ROADMAP balance angle)."""
+        group = DeviceGroup(4)
+        policy = DataParallelPlacement(min_shard=2)
+        homes = []
+        for _ in range(6):
+            batches = [ScheduledBatch(block_id=0, nodes=_make_nodes((), [0, 1, 2]))]
+            placed = policy.place_round(batches, group, {})
+            assert len(placed) == 1  # still whole
+            homes.append(placed[0].device)
+        assert homes == [0, 1, 2, 3, 0, 1]
+
+    def test_partial_splits_rotate_with_the_base_per_run(self):
+        """A k-way split occupies devices base..base+k-1 (mod N), and the
+        base rotates at run boundaries (note_reset), so k<N splits stop
+        favouring the low device indices."""
+        group = DeviceGroup(4)
+        policy = DataParallelPlacement(min_shard=2)
+        spec = group.spec
+        # per-instance work where a 2-way split pays but 4-way does not
+        # (see test_intermediate_shard_count_chosen_when_max_does_not_pay)
+        policy.observe(0, 8, 8 * 1.6 + spec.launch_overhead_us, 1, spec)
+        seen = []
+        for _ in range(4):
+            batches = [ScheduledBatch(block_id=0, nodes=_make_nodes((), range(8)))]
+            placed = policy.place_round(batches, group, {})
+            seen.append([b.device for b in placed])
+            policy.note_reset()  # the runtime calls this between runs
+        assert seen == [[0, 1], [1, 2], [2, 3], [3, 0]]
+
+    def test_sync_rounds_within_a_run_share_the_base(self):
+        """No rotation between a run's sync rounds: fiber chains spanning
+        rounds keep producer/consumer shards device-aligned."""
+        group = DeviceGroup(4)
+        policy = DataParallelPlacement(min_shard=2)
+        spec = group.spec
+        policy.observe(0, 8, 8 * 1.6 + spec.launch_overhead_us, 1, spec)
+        policy.note_reset()  # an empty reset must not rotate either
+        seen = []
+        for _ in range(3):  # three sync rounds of one run
+            batches = [ScheduledBatch(block_id=0, nodes=_make_nodes((), range(8)))]
+            placed = policy.place_round(batches, group, {})
+            seen.append([b.device for b in placed])
+        assert seen == [[0, 1], [0, 1], [0, 1]]
+
+    def test_unsplit_rotation_spans_batches_and_rounds(self):
+        """The unsplit round-robin is per batch and persists across rounds,
+        so unsplittable work spreads over the whole group even when every
+        round carries several unsplit batches."""
+        group = DeviceGroup(4)
+        policy = DataParallelPlacement(min_shard=2)
+        batches = [
+            ScheduledBatch(block_id=0, nodes=_make_nodes((), [0, 1, 2])),
+            ScheduledBatch(block_id=1, nodes=_make_nodes((), [0, 1, 2])),
+        ]
+        placed = policy.place_round(batches, group, {})
+        assert [b.device for b in placed] == [0, 1]
+        placed = policy.place_round(
+            [ScheduledBatch(block_id=0, nodes=_make_nodes((), [0, 1, 2]))],
+            group,
+            {},
+        )
+        assert [b.device for b in placed] == [2]
+
     def test_learned_work_drives_split(self):
         group = DeviceGroup(4)
         policy = DataParallelPlacement(min_shard=2)
@@ -564,6 +629,16 @@ class TestEngineWiring:
         )
         assert isinstance(engine.placement, DataParallelPlacement)
         assert engine.placement.min_shard == 3
+
+    def test_placement_instance_shared_across_engines_rejected(self, treelstm):
+        """Placement instances carry per-runtime rotation/EWMA state: a
+        second engine adopting the same instance must be refused (it would
+        rotate the first runtime's split base mid-run)."""
+        compiled, _, _ = treelstm
+        policy = DataParallelPlacement()
+        compiled.make_engine(devices=2, placement=policy)
+        with pytest.raises(ValueError, match="exactly one runtime"):
+            compiled.make_engine(devices=2, placement=policy)
 
     def test_placement_args_with_instance_rejected(self, treelstm):
         compiled, _, _ = treelstm

@@ -1,0 +1,693 @@
+"""Tests for the event-loop serving core: the device timeline, monotonic
+arrival validation, backpressure, Server.run()/drain()/shutdown(), awaitable
+request handles, multi-producer thread safety, continuous-batching
+reference identity across scheduler policies, and bit-for-bit deterministic
+replay."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import CompilerOptions, compile_model, reference_run
+from repro.serve import (
+    BackpressureFull,
+    DeviceTimeline,
+    RequestShed,
+    ServeLoop,
+    Server,
+    SimulatedClock,
+    bursty_arrivals,
+    poisson_arrivals,
+    replay,
+    replay_continuous,
+    replay_server_continuous,
+)
+from repro.models import MODEL_MODULES
+from repro.utils import values_allclose
+
+BATCH = 6
+
+#: every scheduler policy the engine registry ships; continuous batching
+#: must be reference-identical under all of them
+SCHEDULERS = ("inline_depth", "dynamic_depth", "agenda", "nobatch", "dynet")
+
+
+@pytest.fixture(scope="module")
+def treelstm_setup():
+    module = MODEL_MODULES["treelstm"]
+    mod, params, size = module.build_for("test")
+    instances = module.make_batch(mod, size, BATCH, seed=11)
+    reference = reference_run(mod, params, instances)
+    return mod, params, instances, reference
+
+
+@pytest.fixture(scope="module")
+def birnn_setup():
+    module = MODEL_MODULES["birnn"]
+    mod, params, size = module.build_for("test")
+    instances = module.make_batch(mod, size, 4, seed=12)
+    reference = reference_run(mod, params, instances)
+    return mod, params, instances, reference
+
+
+class TestDeviceTimeline:
+    def test_idle_launch_runs_immediately(self):
+        tl = DeviceTimeline()
+        assert tl.launch(1.0, 0.5) == pytest.approx(1.5)
+        assert tl.busy_until == pytest.approx(1.5)
+        assert tl.in_flight(1.2) == 1
+        assert tl.in_flight(1.5) == 0
+
+    def test_busy_launch_queues_behind(self):
+        tl = DeviceTimeline()
+        tl.launch(0.0, 1.0)
+        # launched while busy: begins at the horizon, not at `now`
+        assert tl.launch(0.2, 0.5) == pytest.approx(1.5)
+        assert tl.in_flight(0.3) == 2
+        assert tl.rounds_launched == 2
+
+    def test_pop_completions(self):
+        tl = DeviceTimeline()
+        tl.launch(0.0, 1.0)
+        tl.launch(0.0, 1.0)  # completes at 2.0
+        assert tl.next_completion() == pytest.approx(1.0)
+        assert tl.pop_completions(1.0) == 1
+        assert tl.next_completion() == pytest.approx(2.0)
+        assert tl.pop_completions(5.0) == 1
+        assert tl.next_completion() is None
+
+
+class TestMonotonicArrivals:
+    """Satellite: submit(at=) must reject non-monotonic backdated
+    timestamps — an `at` behind the previous arrival corrupts queue_ms and
+    adaptive backlog detection."""
+
+    def test_backdated_behind_previous_arrival_rejected(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock(start=10.0)
+        session = compile_model(mod, params, CompilerOptions()).serve(
+            "manual", clock=clock
+        )
+        session.submit(instances[0], at=9.0)
+        with pytest.raises(ValueError, match="non-monotonic"):
+            session.submit(instances[1], at=8.0)
+
+    def test_equal_and_forward_timestamps_accepted(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock(start=10.0)
+        session = compile_model(mod, params, CompilerOptions()).serve(
+            "manual", clock=clock
+        )
+        session.submit(instances[0], at=9.0)
+        session.submit(instances[1], at=9.0)  # bursts: equal is fine
+        session.submit(instances[2], at=9.5)  # still behind the clock: fine
+        assert session.pending_requests == 3
+
+    def test_flush_resets_the_tracker(self, treelstm_setup):
+        """Monotonicity is per round: a long-lived session may replay a
+        fresh trace whose timestamps start over after a flush (the
+        successive-replay contract of traffic._snapshot)."""
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock(start=10.0)
+        session = compile_model(mod, params, CompilerOptions()).serve(
+            "manual", clock=clock
+        )
+        session.submit(instances[0], at=9.0)
+        session.flush()
+        session.submit(instances[1], at=8.5)  # fresh round: legal again
+        assert session.pending_requests == 1
+
+
+class TestLoopValidation:
+    def test_bad_backpressure_name(self):
+        with pytest.raises(ValueError, match="backpressure"):
+            Server(backpressure="drop-newest")
+
+    def test_bad_max_pending(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            Server(max_pending=0)
+
+    def test_loop_needs_exactly_one_owner(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ServeLoop(Server(), sessions={})
+        with pytest.raises(ValueError, match="exactly one"):
+            ServeLoop()
+
+    def test_start_rejects_simulated_clock(self):
+        server = Server(clock=SimulatedClock())
+        with pytest.raises(TypeError, match="run_trace"):
+            server.run()
+
+    def test_run_trace_rejects_wall_clock(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        server = Server()  # wall clock
+        server.add_endpoint("m", compile_model(mod, params, CompilerOptions()))
+        with pytest.raises(TypeError, match="SimulatedClock"):
+            server.loop.run_trace([(0.0, "m", instances[0])])
+
+    def test_add_endpoint_while_running_rejected(self, treelstm_setup):
+        mod, params, _, _ = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        server = Server()
+        server.add_endpoint("a", model, policy="manual")
+        with server.run():
+            with pytest.raises(RuntimeError, match="while the serve loop"):
+                server.add_endpoint("b", model, policy="manual")
+
+    def test_endpoint_bypass_rejected_while_running(self, treelstm_setup):
+        """The pre-loop idiom server.endpoint(name).submit(...) would
+        mutate a lock-free session concurrently with the loop thread; it
+        must refuse while the loop runs (and work again after shutdown)."""
+        mod, params, instances, _ = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        server = Server()
+        endpoint = server.add_endpoint("a", model, policy="manual")
+        with server.run():
+            with pytest.raises(RuntimeError, match="loop thread owns"):
+                endpoint.submit(instances[0])
+            with pytest.raises(RuntimeError, match="loop thread owns"):
+                endpoint.poll()
+            with pytest.raises(RuntimeError, match="loop thread owns"):
+                endpoint.flush()
+        handle = endpoint.submit(instances[0])  # inline again after shutdown
+        endpoint.flush()
+        assert handle.done
+
+
+class TestBackpressure:
+    def test_inline_reject(self, treelstm_setup):
+        """Without a running loop, reject fires against the sessions'
+        pending backlog."""
+        mod, params, instances, _ = treelstm_setup
+        server = Server(max_pending=2, backpressure="reject")
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()), policy="manual"
+        )
+        server.submit("m", instances[0])
+        server.submit("m", instances[1])
+        with pytest.raises(BackpressureFull):
+            server.submit("m", instances[2])
+        assert server.loop.num_rejected == 1
+        server.flush_all()  # backlog drains: capacity frees up
+        server.submit("m", instances[2])
+
+    def test_inline_block_is_inert(self, treelstm_setup):
+        """block needs a loop thread to drain the queue: on the historical
+        caller-driven path the bound stays inert (exactly as documented),
+        rather than deadlocking or erroring."""
+        mod, params, instances, _ = treelstm_setup
+        server = Server(max_pending=1, backpressure="block")
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()), policy="manual"
+        )
+        server.submit("m", instances[0])
+        server.submit("m", instances[1])  # beyond max_pending: still fine
+        assert server.endpoint("m").pending_requests == 2
+        server.flush_all()
+
+    def test_threaded_shed_oldest(self, treelstm_setup):
+        """Holding the loop's condition stalls the drain deterministically:
+        overflowing the queue sheds the oldest request, whose handle fails
+        with RequestShed."""
+        mod, params, instances, _ = treelstm_setup
+        server = Server(max_pending=2, backpressure="shed-oldest")
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()), policy="manual"
+        )
+        loop = server.run()
+        try:
+            with loop._cond:  # loop thread cannot drain while we hold this
+                h1 = server.submit("m", instances[0])
+                h2 = server.submit("m", instances[1])
+                h3 = server.submit("m", instances[2])  # sheds h1
+            server.drain()
+            assert h1.failed
+            with pytest.raises(RequestShed):
+                h1.result(timeout=1.0)
+            assert h2.done and not h2.failed
+            assert h3.done and not h3.failed
+            assert loop.num_shed == 1
+        finally:
+            server.shutdown()
+
+    def test_threaded_block_waits_for_space(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        server = Server(max_pending=1, backpressure="block")
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()), policy="manual"
+        )
+        loop = server.run()
+        try:
+            submitted = threading.Event()
+            handles = []
+
+            def producer():
+                handles.append(server.submit("m", instances[0]))
+                handles.append(server.submit("m", instances[1]))  # may block
+                submitted.set()
+
+            with loop._cond:
+                t = threading.Thread(target=producer)
+                t.start()
+                # the producer can at best enqueue one; give it a moment
+                submitted.wait(timeout=0.2)
+            t.join(timeout=5.0)
+            assert not t.is_alive()
+            assert submitted.is_set()
+            server.drain()
+            assert all(h.done and not h.failed for h in handles)
+        finally:
+            server.shutdown()
+
+
+class TestServerLifecycle:
+    def test_run_drain_shutdown(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        server = Server()
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()),
+            policy="size", n=len(instances),
+        )
+        with server.run():
+            handles = [server.submit("m", inst) for inst in instances]
+            server.drain()
+            assert all(h.done for h in handles)
+        assert all(
+            values_allclose(a, h.result()) for a, h in zip(reference, handles)
+        )
+        # shutdown is idempotent
+        server.shutdown()
+
+    def test_result_timeout_blocks_until_loop_flushes(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        server = Server()
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()),
+            policy="size", n=2,
+        )
+        with server.run():
+            h1 = server.submit("m", instances[0])
+            h2 = server.submit("m", instances[1])
+            # the size(2) policy flushes on the loop thread; result() blocks
+            # until it does
+            assert values_allclose(reference[0], h1.result(timeout=10.0))
+            assert values_allclose(reference[1], h2.result(timeout=10.0))
+        server.shutdown()
+
+    def test_facade_with_running_loop(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        server = Server()
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()), policy="manual"
+        )
+        with server.run():
+            server.submit("m", instances[0])
+            assert server.poll() == 0  # loop owns deadline polling
+            assert server.flush_all() == {}  # delegates to drain()
+        server.shutdown()
+
+    def test_submit_after_shutdown_raises_until_rerun(self, treelstm_setup):
+        """A shut-down loop refuses silent inline intake (nothing would
+        ever flush it); Server.run() again revives the server."""
+        from repro.serve import LoopStopped
+
+        mod, params, instances, reference = treelstm_setup
+        server = Server()
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()), policy="manual"
+        )
+        with server.run():
+            server.submit("m", instances[0])
+        with pytest.raises(LoopStopped, match="run"):
+            server.submit("m", instances[1])
+        with server.run():  # revive
+            handle = server.submit("m", instances[1])
+            server.drain()
+        assert values_allclose(reference[1], handle.result())
+
+    def test_result_without_timeout_still_raises_unmanaged(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        session = compile_model(mod, params, CompilerOptions()).serve("manual")
+        handle = session.submit(instances[0])
+        with pytest.raises(RuntimeError, match="flush"):
+            handle.result()
+        with pytest.raises(TimeoutError):
+            handle.result(timeout=0.01)
+
+
+class TestAwaitableHandles:
+    def test_await_handle(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        server = Server()
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()),
+            policy="size", n=2,
+        )
+
+        async def client():
+            h1 = server.submit("m", instances[0])
+            h2 = server.submit("m", instances[1])
+            return await h1, await h2
+
+        with server.run():
+            out1, out2 = asyncio.run(client())
+        assert values_allclose(reference[0], out1)
+        assert values_allclose(reference[1], out2)
+
+    def test_await_failed_handle_raises(self):
+        from repro.serve.request import RequestHandle
+
+        handle = RequestHandle(0)
+        handle._fail(RequestShed("shed"))
+
+        async def client():
+            return await handle
+
+        with pytest.raises(RequestShed):
+            asyncio.run(client())
+        assert handle.failed
+        assert isinstance(handle.exception(), RequestShed)
+
+    def test_await_already_done_handle(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        session = compile_model(mod, params, CompilerOptions()).serve("manual")
+        handle = session.submit(instances[0])
+        session.flush()
+
+        async def client():
+            return await handle
+
+        assert values_allclose(reference[0], asyncio.run(client()))
+
+
+class TestMultiProducerStress:
+    """Satellite: concurrent Server.submit must lose no handles, duplicate
+    none, and keep every counter summing up."""
+
+    THREADS = 4
+    PER_THREAD = 8
+
+    def test_stress(self, treelstm_setup, birnn_setup):
+        t_mod, t_params, t_instances, t_reference = treelstm_setup
+        b_mod, b_params, b_instances, b_reference = birnn_setup
+        server = Server()
+        server.add_endpoint(
+            "trees", compile_model(t_mod, t_params, CompilerOptions()),
+            policy="size", n=4,
+        )
+        server.add_endpoint(
+            "seqs", compile_model(b_mod, b_params, CompilerOptions()),
+            policy="size", n=4,
+        )
+        results: dict = {}
+
+        def producer(tid):
+            mine = []
+            for i in range(self.PER_THREAD):
+                name = "trees" if (tid + i) % 2 == 0 else "seqs"
+                idx = (tid * self.PER_THREAD + i) % len(
+                    t_instances if name == "trees" else b_instances
+                )
+                inst = (t_instances if name == "trees" else b_instances)[idx]
+                mine.append((name, idx, server.submit(name, inst)))
+            results[tid] = mine
+
+        with server.run():
+            threads = [
+                threading.Thread(target=producer, args=(tid,))
+                for tid in range(self.THREADS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+            assert not any(t.is_alive() for t in threads)
+            server.drain()
+        server.shutdown()
+
+        all_handles = [h for mine in results.values() for _, _, h in mine]
+        total = self.THREADS * self.PER_THREAD
+        # no lost handles: every producer got one per submit, all resolved
+        assert len(all_handles) == total
+        assert all(h.done and not h.failed for h in all_handles)
+        # no duplicated handles
+        assert len({id(h) for h in all_handles}) == total
+        # every result is the right model's reference output
+        for mine in results.values():
+            for name, idx, handle in mine:
+                reference = t_reference if name == "trees" else b_reference
+                assert values_allclose(reference[idx], handle.result())
+        # counters sum: sessions saw exactly the submitted requests, and
+        # every request was flushed in exactly one round
+        summary = server.summary()
+        by_name = {"trees": 0, "seqs": 0}
+        for mine in results.values():
+            for name, _, _ in mine:
+                by_name[name] += 1
+        for name, count in by_name.items():
+            session = server.endpoint(name).session
+            assert summary[name]["requests"] == count
+            assert session.requests_flushed == count
+            assert sum(s.batch_size for s in session.history) == count
+            assert session.pending_requests == 0
+        assert server.loop.num_admitted == total
+
+
+class TestContinuousReferenceIdentity:
+    """Satellite: continuous batching returns the same outputs as one-shot
+    reference_run for every scheduler policy."""
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_scheduler_matrix(self, treelstm_setup, scheduler):
+        mod, params, instances, reference = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve(
+            "deadline", ms=2.0, clock=SimulatedClock(), scheduler=scheduler
+        )
+        arrivals = bursty_arrivals(3000.0, len(instances), burst=3, seed=9)
+        report = replay_continuous(session, instances, arrivals)
+        assert all(
+            values_allclose(a, b) for a, b in zip(reference, report.outputs)
+        )
+        assert report.num_requests == len(instances)
+
+    @pytest.mark.parametrize("policy,policy_args", [
+        ("manual", {}),
+        ("size", {"n": 2}),
+        ("deadline", {"ms": 2.0}),
+        ("adaptive", {}),
+    ])
+    def test_flush_policy_matrix(self, treelstm_setup, policy, policy_args):
+        mod, params, instances, reference = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve(policy, clock=SimulatedClock(), **policy_args)
+        arrivals = poisson_arrivals(2000.0, len(instances), seed=10)
+        report = replay_continuous(session, instances, arrivals)
+        assert all(
+            values_allclose(a, b) for a, b in zip(reference, report.outputs)
+        )
+
+    def test_fiber_programs(self):
+        """Tensor-dependent control flow (deferred sessions) under the
+        loop: flushes run through engine.run and stay reference-identical."""
+        module = MODEL_MODULES["drnn"]
+        mod, params, size = module.build_for("test")
+        instances = module.make_batch(mod, size, 4, seed=13)
+        reference = reference_run(mod, params, instances)
+        model = compile_model(mod, params, CompilerOptions())
+        assert model.uses_tdc
+        session = model.serve("deadline", ms=2.0, clock=SimulatedClock())
+        arrivals = bursty_arrivals(2000.0, len(instances), burst=2, seed=14)
+        report = replay_continuous(session, instances, arrivals)
+        assert all(
+            values_allclose(a, b) for a, b in zip(reference, report.outputs)
+        )
+
+    def test_server_trace_matches_reference(self, treelstm_setup, birnn_setup):
+        t_mod, t_params, t_instances, t_reference = treelstm_setup
+        b_mod, b_params, b_instances, b_reference = birnn_setup
+        server = Server(clock=SimulatedClock())
+        server.add_endpoint(
+            "trees", compile_model(t_mod, t_params, CompilerOptions()),
+            policy="deadline", ms=3.0,
+        )
+        server.add_endpoint(
+            "seqs", compile_model(b_mod, b_params, CompilerOptions()),
+            policy="adaptive",
+        )
+        workload = [
+            (t, "trees", inst)
+            for t, inst in zip(
+                poisson_arrivals(2000.0, len(t_instances), seed=1), t_instances
+            )
+        ] + [
+            (t, "seqs", inst)
+            for t, inst in zip(
+                poisson_arrivals(2000.0, len(b_instances), seed=2), b_instances
+            )
+        ]
+        reports = replay_server_continuous(server, workload)
+        assert all(
+            values_allclose(a, b)
+            for a, b in zip(t_reference, reports["trees"].outputs)
+        )
+        assert all(
+            values_allclose(a, b)
+            for a, b in zip(b_reference, reports["seqs"].outputs)
+        )
+
+
+class TestDeterministicReplay:
+    def test_continuous_bit_for_bit(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        arrivals = bursty_arrivals(2500.0, len(instances), burst=3, seed=21)
+        latencies = []
+        for _ in range(2):
+            session = model.serve("adaptive", clock=SimulatedClock())
+            report = replay_continuous(
+                session, instances, arrivals, host_model=(1.0, 0.25)
+            )
+            latencies.append(report.latencies_ms)
+        assert latencies[0] == latencies[1]  # exact float equality
+
+    def test_caller_driven_bit_for_bit(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        arrivals = poisson_arrivals(2500.0, len(instances), seed=22)
+        latencies = []
+        for _ in range(2):
+            session = model.serve("deadline", ms=2.0, clock=SimulatedClock())
+            report = replay(
+                session, instances, arrivals,
+                deterministic=True, host_model=(1.0, 0.25),
+            )
+            latencies.append(report.latencies_ms)
+        assert latencies[0] == latencies[1]
+
+    def test_wall_time_restored_after_replay(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("manual", clock=SimulatedClock())
+        replay_continuous(session, instances[:2], [0.0, 0.0])
+        assert session.charge_host is True
+        assert session.timeline is None
+        assert session.host_cost_model is None
+
+
+class TestFailureIsolation:
+    """One malformed request must not take down the loop, and no handle may
+    ever be lost (pending forever) when a round fails."""
+
+    def test_bad_request_fails_only_itself(self, treelstm_setup):
+        mod, params, instances, reference = treelstm_setup
+        server = Server()
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()), policy="manual"
+        )
+        with server.run():
+            bad = server.submit("m", object())  # not a valid instance
+            with pytest.raises(Exception):
+                bad.result(timeout=10.0)
+            assert bad.failed
+            # the loop survived: subsequent requests serve normally
+            good = server.submit("m", instances[0])
+            server.drain()
+            assert values_allclose(reference[0], good.result(timeout=10.0))
+        server.shutdown()
+
+    def test_poisoned_round_fails_roundmates_with_round_aborted(
+        self, treelstm_setup
+    ):
+        from repro.serve.session import RoundAborted
+
+        mod, params, instances, _ = treelstm_setup
+        session = compile_model(mod, params, CompilerOptions()).serve("manual")
+        innocent = session.submit(instances[0])
+        with pytest.raises(Exception):
+            session.submit(object())  # poisons the shared lazy graph
+        # the round-mate fails with RoundAborted chaining the cause, and
+        # the session is reset to a clean empty round
+        assert innocent.failed
+        assert isinstance(innocent.exception(), RoundAborted)
+        assert session.pending_requests == 0
+        # the session still serves after the abort
+        replacement = session.submit(instances[1])
+        session.flush()
+        assert replacement.done and not replacement.failed
+
+    def test_flush_failure_fails_popped_handles(self, treelstm_setup, monkeypatch):
+        mod, params, instances, _ = treelstm_setup
+        session = compile_model(mod, params, CompilerOptions()).serve("manual")
+        handle = session.submit(instances[0])
+        monkeypatch.setattr(
+            session.engine.runtime,
+            "trigger",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("kernel died")),
+        )
+        with pytest.raises(RuntimeError, match="kernel died"):
+            session.flush()
+        # the popped handle is not lost: it resolved exceptionally
+        assert handle.failed
+        assert session.pending_requests == 0
+
+    def test_exception_accessor_matches_result_contract(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        session = compile_model(mod, params, CompilerOptions()).serve("manual")
+        handle = session.submit(instances[0])
+        # unmanaged + pending: both accessors raise instead of blocking
+        with pytest.raises(RuntimeError, match="flush"):
+            handle.exception()
+        session.flush()
+        assert handle.exception() is None
+
+
+class TestInFlightVisibility:
+    def test_in_flight_rounds_counted(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock()
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("manual", clock=clock)
+        session.timeline = DeviceTimeline()
+        session.charge_host = False
+        try:
+            session.submit(instances[0])
+            assert session.in_flight_rounds == 0
+            session.flush()
+            # the round launched onto the timeline instead of blocking the
+            # clock: it is still executing now
+            assert session.in_flight_rounds == 1
+            clock.advance_to(session.timeline.busy_until)
+            assert session.in_flight_rounds == 0
+        finally:
+            session.timeline = None
+            session.charge_host = True
+
+    def test_adaptive_defers_to_in_flight_round(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock()
+        model = compile_model(mod, params, CompilerOptions())
+        session = model.serve("adaptive", clock=clock)
+        session.timeline = DeviceTimeline()
+        session.charge_host = False
+        try:
+            # a long round is executing on the device
+            session.timeline.launch(clock.now(), 10.0)
+            assert session.in_flight_rounds == 1
+            # while the device is busy, waiting is free: even arrival gaps
+            # that would normally flush must keep accumulating
+            clock.advance(0.001)
+            session.submit(instances[0], at=clock.now())
+            clock.advance(0.001)
+            session.submit(instances[1], at=clock.now())
+            clock.advance(0.001)
+            session.submit(instances[2], at=clock.now())
+            assert session.pending_requests == 3
+            # device idle again: the policy launches the backlog
+            clock.advance_to(session.timeline.busy_until)
+            assert session.in_flight_rounds == 0
+            assert session.policy.on_idle(session, clock.now())
+        finally:
+            session.timeline = None
+            session.charge_host = True
