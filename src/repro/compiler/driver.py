@@ -122,6 +122,7 @@ class CompiledModel:
             or ("inline_depth" if opts.inline_depth else "dynamic_depth"),
             batch_memcpy=opts.batch_memcpy,
             plan_cache=opts.plan_cache,
+            specialize=opts.kernel_specialization,
             validate=opts.validate,
         )
 

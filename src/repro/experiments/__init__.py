@@ -13,6 +13,7 @@ from . import (
     figure6,
     serving,
     sharding,
+    specialization,
     table4,
     table5,
     table6,
@@ -46,11 +47,12 @@ ALL_EXPERIMENTS = {
     "serving": serving,
     "sharding": sharding,
     "continuous": continuous,
+    "specialization": specialization,
 }
 
 __all__ = [
     "table4", "table5", "table6", "table7", "table8", "table9",
-    "figure5", "figure6", "serving", "sharding", "continuous",
+    "figure5", "figure6", "serving", "sharding", "continuous", "specialization",
     "ALL_EXPERIMENTS",
     "ExperimentScale", "REDUCED", "PAPER", "current_scale",
     "run_acrobat", "run_dynet", "run_eager", "run_vm", "run_cortex",

@@ -170,6 +170,10 @@ class BlockKernel:
             for j in g.op_indices:
                 self._group_of_op[j] = g.group_id
         self.group_names = [fused_kernel_name(block, g) for g in self.groups]
+        #: flattened specialized programs memoized per batch size (the
+        #: specialization tier's dispatch closures live behind the kernel,
+        #: so the generic path above stays the correctness oracle)
+        self._specialized_programs: Dict[int, Any] = {}
 
     # -- introspection -------------------------------------------------------
     @property
@@ -183,6 +187,19 @@ class BlockKernel:
 
     def kernel_names(self) -> List[str]:
         return list(self.group_names)
+
+    def specialized_program(self, batch_size: int):
+        """The flattened dispatch program for this block at one batch size
+        (:class:`~repro.kernels.specialized.CompiledBlockProgram`), compiled
+        on first request and shared by every specialization entry with this
+        ``(block, batch_size)`` shape."""
+        program = self._specialized_programs.get(batch_size)
+        if program is None:
+            from .specialized import CompiledBlockProgram
+
+            program = CompiledBlockProgram(self, batch_size)
+            self._specialized_programs[batch_size] = program
+        return program
 
     # -- operand normalization -------------------------------------------------
     def _normalize_operand(self, inp, arg: Any, batch_size: int) -> BatchedOperand:

@@ -1,0 +1,217 @@
+"""Flattened per-block dispatch programs for the specialization tier.
+
+:class:`~repro.kernels.batched.BlockKernel.execute_batched` is an
+*interpreter*: every launch it re-derives, per operator, the op definition,
+the batched-axis attribute adjustments, the external-read sets and the
+FLOP/byte estimates feeding the launch records.  All of that is a pure
+function of the block structure and the batch size — for a recurring
+``(block, batch_size)`` combination it is the same work every single round.
+
+:class:`CompiledBlockProgram` is the JIT-ed form the specialization tier
+(:mod:`repro.specialize`) executes instead: one flattened step list with
+
+* the NumPy callable per op resolved once (``opdef.batched`` vs
+  ``opdef.compute``, the batched ``take_row`` row-indexing fast path);
+* axis/shape attributes pre-adjusted for the leading batch dimension;
+* concat broadcast masks precomputed;
+* no cost accounting at all — the specialization entry replays *frozen*
+  launch records captured from the oracle execution that promoted it.
+
+The numerical semantics are the generic kernel's own: every step calls the
+same registry function with the same arguments in the same order, so a
+specialized launch is reference-identical to the NumPy oracle by
+construction (and :mod:`repro.specialize` can cross-check it on demand).
+
+Programs are memoized per :class:`BlockKernel` and batch size
+(:meth:`BlockKernel.specialized_program`), so many specialization entries
+(different operand layouts, different devices) share one compiled program;
+per-entry state (gather stack buffers, frozen launch records) stays on the
+entry.
+
+Buffer reuse safety: a specialized gather may stack scattered operands into
+a *preallocated* buffer (``np.stack(..., out=buf)``) instead of allocating a
+fresh one per launch — but only for inputs whose value can never escape the
+block as a view (``reshape``/``transpose``/``take_row`` produce views; an
+output that aliased the reused buffer would be corrupted by the next
+launch).  :attr:`CompiledBlockProgram.reusable_inputs` is the statically
+computed safe set.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .batched import BatchedOutput, _adjust_attrs
+from .registry import get_op
+
+#: operators whose result may be a NumPy *view* of an argument; used by the
+#: escape analysis deciding which gather buffers are safe to preallocate
+_VIEW_OPS = frozenset({"reshape", "transpose", "take_row"})
+
+
+class CompiledBlockProgram:
+    """Flattened batched execution of one static block at one batch size.
+
+    ``steps`` holds one ``(out_slot, fn, srcs, attrs, broadcast_mask)``
+    tuple per block op, in the generic kernel's execution order (fusion
+    groups walked in order).  ``srcs`` entries are ``(is_const, value)``:
+    a constant array, or a slot index into the value table (inputs occupy
+    slots ``0..n_inputs-1``, op ``j`` occupies ``n_inputs + j``).
+    """
+
+    __slots__ = (
+        "kernel",
+        "batch_size",
+        "n_inputs",
+        "n_slots",
+        "steps",
+        "output_specs",
+        "reusable_inputs",
+    )
+
+    def __init__(self, kernel: Any, batch_size: int) -> None:
+        block = kernel.block
+        self.kernel = kernel
+        self.batch_size = batch_size
+        n_inputs = len(block.inputs)
+        self.n_inputs = n_inputs
+        self.n_slots = n_inputs + len(block.ops)
+
+        batched: Dict[int, bool] = {
+            inp.index: not inp.shared for inp in block.inputs
+        }
+        out_batched: Dict[int, bool] = {}
+        steps: List[Tuple] = []
+        for group in kernel.groups:
+            for j in group.op_indices:
+                bop = block.ops[j]
+                opdef = get_op(bop.op_name)
+                srcs: List[Tuple[bool, Any]] = []
+                src_batched: List[bool] = []
+                for kind, ref in bop.args:
+                    if kind == "const":
+                        srcs.append((True, np.asarray(ref)))
+                        src_batched.append(False)
+                    elif kind == "input":
+                        srcs.append((False, ref))
+                        src_batched.append(batched[ref])
+                    else:
+                        srcs.append((False, n_inputs + ref))
+                        src_batched.append(out_batched[ref])
+                any_b = any(src_batched)
+                attrs = _adjust_attrs(bop.op_name, bop.attrs, any_b)
+                bmask: Optional[Tuple[bool, ...]] = None
+                if any_b and bop.op_name == "concat":
+                    # concat needs every operand to carry the batch axis;
+                    # precompute which positions broadcast (shared / const)
+                    bmask = tuple(not b for b in src_batched)
+                if bop.op_name == "reshape" and any_b:
+                    attrs = dict(attrs)
+                    attrs["newshape"] = [batch_size] + list(attrs["newshape"])
+                if bop.op_name == "take_row" and any_b:
+                    index = int(bop.attrs["index"])
+                    fn = _batched_take_row(index)
+                    attrs = {}
+                else:
+                    fn = (
+                        opdef.batched
+                        if (any_b and opdef.batched is not None)
+                        else opdef.compute
+                    )
+                steps.append((n_inputs + j, fn, tuple(srcs), attrs, bmask))
+                out_batched[j] = any_b
+        self.steps = tuple(steps)
+
+        outs: List[Tuple[int, bool]] = []
+        for kind, ref in block.outputs:
+            if kind == "input":
+                outs.append((ref, batched[ref]))
+            else:
+                outs.append((n_inputs + ref, out_batched[ref]))
+        self.output_specs = tuple(outs)
+        self.reusable_inputs = self._reusable_inputs(kernel)
+
+    @staticmethod
+    def _reusable_inputs(kernel: Any) -> frozenset:
+        """Varying inputs whose gather buffer is safe to reuse across
+        launches: no block output can be a NumPy view of them.
+
+        Conservative forward dataflow over the view-producing ops: a value
+        "may view" the set of inputs reachable through unbroken chains of
+        ``reshape``/``transpose``/``take_row``; every other op allocates.
+        """
+        block = kernel.block
+        may_view: Dict[Tuple[str, int], frozenset] = {
+            ("input", inp.index): frozenset((inp.index,)) for inp in block.inputs
+        }
+        for group in kernel.groups:
+            for j in group.op_indices:
+                bop = block.ops[j]
+                if bop.op_name in _VIEW_OPS:
+                    views: frozenset = frozenset()
+                    for kind, ref in bop.args:
+                        if kind != "const":
+                            views |= may_view.get((kind, ref), frozenset())
+                    may_view[("op", j)] = views
+                else:
+                    may_view[("op", j)] = frozenset()
+        escaped: frozenset = frozenset()
+        for kind, ref in block.outputs:
+            escaped |= may_view.get((kind, ref), frozenset())
+        return frozenset(
+            inp.index
+            for inp in block.inputs
+            if not inp.shared and inp.index not in escaped
+        )
+
+    def execute(
+        self,
+        operands: List[Any],
+        stack_buffers: Optional[Dict[int, np.ndarray]] = None,
+    ) -> List[BatchedOutput]:
+        """Run the flattened program over resolved batched operands.
+
+        ``operands`` follows the :class:`~repro.kernels.batched.BatchedOperand`
+        contract (``array`` ready, or ``parts`` to stack — the fused gather);
+        ``stack_buffers`` optionally maps input index -> preallocated
+        ``[B, ...]`` buffer for the stack (only ever passed for inputs in
+        :attr:`reusable_inputs`).  No cost accounting happens here: the
+        owning specialization entry replays frozen launch records instead.
+        """
+        batch_size = self.batch_size
+        vals: List[Any] = [None] * self.n_slots
+        for i in range(self.n_inputs):
+            op = operands[i]
+            arr = op.array
+            if arr is None:
+                parts = op.parts
+                arrs = [p if type(p) is np.ndarray else p.array for p in parts]
+                buf = None if stack_buffers is None else stack_buffers.get(i)
+                if buf is not None:
+                    arr = np.stack(arrs, axis=0, out=buf)
+                else:
+                    arr = np.stack(arrs, axis=0)
+            vals[i] = arr
+        for out_slot, fn, srcs, attrs, bmask in self.steps:
+            args = [value if is_const else vals[value] for is_const, value in srcs]
+            if bmask is not None:
+                args = [
+                    np.broadcast_to(a, (batch_size,) + a.shape) if bcast else a
+                    for a, bcast in zip(args, bmask)
+                ]
+            vals[out_slot] = np.asarray(fn(*args, **attrs))
+        return [
+            BatchedOutput(vals[slot], batched, batch_size)
+            for slot, batched in self.output_specs
+        ]
+
+
+def _batched_take_row(index: int):
+    """The batched ``take_row`` fast path (row ``index`` of every instance)."""
+
+    def take(x: np.ndarray) -> np.ndarray:
+        return x[:, index]
+
+    return take

@@ -46,8 +46,23 @@ cached classification with fresh output arena ids instead of re-walking
 placements.  Fingerprinting costs about half of planning, so the cache
 stays dormant until a repeat-heavy caller arms it
 (:meth:`MemoryPlanner.expect_repeats` — serving sessions do; one-shot runs
-pay nothing).  Hits and misses are reported as ``plan_cache_hits`` /
-``plan_cache_misses`` in ``RunStats.memory``.
+pay nothing).  **Arming is idempotent**: sessions re-created across
+``Server.run()`` restarts re-arm the same planner freely — a repeat arm is
+a no-op that keeps cached templates and hit/miss counters, and the armed
+state is inspectable via :attr:`MemoryPlanner.plan_cache_armed` (the call
+also reports whether it newly armed).  The cache is bounded by LRU
+eviction: once ``_PLAN_CACHE_MAX`` distinct signatures accumulate, the
+least-recently-hit template is evicted (``plan_cache_evictions`` in
+``RunStats.memory``) instead of dumping the whole working set.
+
+The cache is also where the kernel-specialization tier
+(:mod:`repro.specialize`) gets its fingerprints for free: when a
+specialization cache is attached (:meth:`MemoryPlanner.attach_specializer`),
+every cached template carries one specialization slot per batch, handed to
+the instantiated plans on each hit — a ``(round signature, batch position)``
+fingerprint with zero per-launch fingerprinting cost.  The planner stays
+ignorant of the tier's internals (duck-typed ``make_slot`` /
+``release_slots``), so ``repro.memory`` does not import ``repro.specialize``.
 
 This module is the single authority on storage contiguity: nothing outside
 ``repro.memory`` compares arena placements.
@@ -55,6 +70,7 @@ This module is the single authority on storage contiguity: nothing outside
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
@@ -135,6 +151,10 @@ class BatchPlan:
     #: device index (within the runtime's device group) this batch executes
     #: on; its output arenas are born on that device
     device: int = 0
+    #: the specialization slot for this batch's fingerprint (set only for
+    #: plans instantiated from cached templates while a specialization cache
+    #: is attached; see :mod:`repro.specialize`)
+    spec_slot: Optional[Any] = None
 
     def count(self, kind: OperandKind) -> int:
         return sum(1 for op in self.operands if op.kind is kind)
@@ -152,21 +172,29 @@ class _PlanTemplate:
     contiguous operand sourced from an output planned earlier in the same
     round, rebound to that batch's fresh arena id on instantiation.
     ``counts`` is the round's precomputed per-kind operand tally.
+    ``slots`` carries one specialization slot per batch when a
+    specialization cache is attached (None otherwise): the slot *is* the
+    batch's ``(round signature, batch position)`` fingerprint, handed to
+    instantiated plans on every hit.
     """
 
-    __slots__ = ("entries", "counts")
+    __slots__ = ("entries", "counts", "slots")
 
     def __init__(
-        self, entries: List[Tuple], counts: Dict[str, int]
+        self,
+        entries: List[Tuple],
+        counts: Dict[str, int],
+        slots: Optional[List[Any]] = None,
     ) -> None:
         self.entries = entries
         self.counts = counts
+        self.slots = slots
 
 
-#: plan-cache size bound: rounds referencing arenas of *earlier* rounds
-#: (fiber programs with many sync rounds) embed concrete arena ids in their
-#: signature and can never hit again, so the cache is cleared wholesale once
-#: it accumulates this many distinct signatures
+#: plan-cache size bound: once this many distinct signatures accumulate,
+#: the least-recently-hit template is evicted (steady serving loads keep a
+#: small hot working set; evicting one cold template never dumps it the way
+#: the earlier clear-everything overflow policy did)
 _PLAN_CACHE_MAX = 256
 
 
@@ -180,12 +208,16 @@ class MemoryPlanner:
         #: cumulative per-kind operand counts since the last reset
         self.operand_counts: Dict[str, int] = {k.value: 0 for k in OperandKind}
         self.plan_cache_enabled = plan_cache
-        self._plan_cache: Dict[Tuple, _PlanTemplate] = {}
+        self._plan_cache: "OrderedDict[Tuple, _PlanTemplate]" = OrderedDict()
         #: cumulative cache accounting over the planner's lifetime (NOT
         #: cleared by :meth:`reset`, so a session reports its cache hit rate
         #: across flush rounds)
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
+        #: the attached kernel-specialization cache (duck-typed; see
+        #: :meth:`attach_specializer`), or None when the tier is off
+        self._spec_cache: Optional[Any] = None
         #: the cache stays dormant until a repeat-heavy caller *arms* it
         #: (:meth:`expect_repeats`): fingerprinting a round costs about half
         #: of planning it, which only pays off when rounds actually repeat —
@@ -200,10 +232,27 @@ class MemoryPlanner:
         self._round_ordinal = 0
         self._uncacheable_ordinals: set = set()
 
-    def expect_repeats(self) -> None:
+    def expect_repeats(self) -> bool:
         """Arm the plan cache: the caller expects structurally repeating
-        rounds (serving sessions call this at construction)."""
+        rounds (serving sessions call this at construction).
+
+        Idempotent: a ``Server.run()`` restart re-creates its sessions over
+        the same engine and re-arms freely — a repeat arm is a no-op that
+        keeps cached templates and hit/miss counters.  Returns True when
+        this call newly armed the cache, False when it was already armed;
+        the armed state stays inspectable via :attr:`plan_cache_armed`.
+        """
+        newly_armed = not self.plan_cache_armed
         self.plan_cache_armed = True
+        return newly_armed
+
+    def attach_specializer(self, cache: Any) -> None:
+        """Attach a kernel-specialization cache: from now on every cached
+        plan template carries one specialization slot per batch (allocated
+        via ``cache.make_slot()``) and evicted templates release their
+        frozen state via ``cache.release_slots()``.  Duck-typed so that
+        ``repro.memory`` never imports ``repro.specialize``."""
+        self._spec_cache = cache
 
     def reset(self) -> None:
         """Clear per-run state.  The plan cache (and its hit/miss counters)
@@ -246,13 +295,25 @@ class MemoryPlanner:
             plans = self._instantiate(template, batches)
         if plans is not None:
             self.cache_hits += 1
+            self._plan_cache.move_to_end(signature)  # LRU touch
         else:
             self.cache_misses += 1
             plans = self._plan_round_uncached(batches, kernels)
             if cacheable:
                 if len(self._plan_cache) >= _PLAN_CACHE_MAX:
-                    self._plan_cache.clear()
-                self._plan_cache[signature] = self._make_template(plans)
+                    # evict the least-recently-hit template, releasing any
+                    # specialization state frozen against it
+                    _, evicted = self._plan_cache.popitem(last=False)
+                    self.cache_evictions += 1
+                    if self._spec_cache is not None:
+                        self._spec_cache.release_slots(evicted.slots)
+                template = self._make_template(plans)
+                self._plan_cache[signature] = template
+                if template.slots is not None:
+                    # the freshly fingerprinted round counts toward its own
+                    # promotion threshold too
+                    for plan, slot in zip(plans, template.slots):
+                        plan.spec_slot = slot
             else:
                 self._uncacheable_ordinals.add(self._round_ordinal)
         self.last_plans = plans
@@ -405,7 +466,11 @@ class MemoryPlanner:
                 else:
                     specs.append((op.index, op.kind, origin[0], origin[1], op.start))
             entries.append((plan.batch_size, len(plan.output_arena_ids), specs))
-        return _PlanTemplate(entries, counts)
+        spec_cache = self._spec_cache
+        slots = (
+            [spec_cache.make_slot() for _ in plans] if spec_cache is not None else None
+        )
+        return _PlanTemplate(entries, counts, slots)
 
     def _instantiate(
         self, template: _PlanTemplate, batches: List["ScheduledBatch"]
@@ -425,7 +490,8 @@ class MemoryPlanner:
             return None
         plans: List[BatchPlan] = []
         round_ids: List[List[int]] = []
-        for (_, num_outputs, specs), batch in zip(entries, batches):
+        slots = template.slots
+        for bi, ((_, num_outputs, specs), batch) in enumerate(zip(entries, batches)):
             output_ids = [next_arena_id() for _ in range(num_outputs)]
             round_ids.append(output_ids)
             operands: List[OperandPlan] = [
@@ -445,6 +511,7 @@ class MemoryPlanner:
                     operands=operands,
                     output_arena_ids=output_ids,
                     device=batch.device,
+                    spec_slot=slots[bi] if slots is not None else None,
                 )
             )
         counts = self.operand_counts

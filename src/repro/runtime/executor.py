@@ -26,6 +26,7 @@ import numpy as np
 
 from ..kernels.batched import BlockKernel
 from ..memory.planner import BatchPlan, MemoryPlanner
+from ..specialize.cache import BUILD as _SPEC_BUILD
 from .device import DeviceSimulator
 from .profiler import ActivityProfiler
 from .scheduler import ScheduledBatch
@@ -63,6 +64,19 @@ class ExecutionOptions:
     #: sessions flush similar request batches repeatedly; see
     #: :class:`~repro.memory.planner.MemoryPlanner`)
     plan_cache: bool = True
+    #: shape-keyed kernel specialization: JIT a frozen dispatch path for
+    #: recurring ``(block, batch_size, operand-layout, device)`` fingerprints
+    #: (see :mod:`repro.specialize`).  Mirrors ``plan_cache``: the tier
+    #: exists only when both knobs are on, and stays dormant until a
+    #: repeat-heavy caller arms it (sessions do, the way they arm
+    #: ``expect_repeats``).  Incompatible with ``validate`` (the generic
+    #: path's per-launch shared-equality checks are the point of validate).
+    specialize: bool = True
+    #: launches of one fingerprint before it promotes to a specialized entry
+    specialize_threshold: int = 3
+    #: re-run the NumPy oracle after every specialized launch and fail on
+    #: any divergence (debugging aid)
+    specialize_crosscheck: bool = False
     #: extra consistency checks (shared-argument equality, dependency order)
     validate: bool = False
 
@@ -75,9 +89,13 @@ class RunStats:
     device: Dict[str, float] = field(default_factory=dict)
     #: memory-planner operand classification counts (contiguous / gather /
     #: fused_gather / peer / shared) plus plan-cache accounting
-    #: (``plan_cache_hits`` / ``plan_cache_misses``, cumulative over the
-    #: runtime's lifetime)
+    #: (``plan_cache_hits`` / ``plan_cache_misses`` /
+    #: ``plan_cache_evictions``, cumulative over the runtime's lifetime)
     memory: Dict[str, int] = field(default_factory=dict)
+    #: kernel-specialization tier accounting (promotions / demotions / hits /
+    #: misses / unsupported / entries / frozen_bytes, cumulative); empty when
+    #: the tier is off
+    specialize: Dict[str, float] = field(default_factory=dict)
     #: per-device counter breakdown when the runtime drives a
     #: :class:`~repro.devices.group.DeviceGroup` (one dict per member, with
     #: a ``device`` index key); empty for a standalone device, whose
@@ -147,6 +165,7 @@ class RunStats:
                 for k, v in self.memory.items()
             }
         )
+        out.update({f"spec_{k}": v for k, v in self.specialize.items()})
         out.update(self.device)
         if self.per_device:
             out["num_devices"] = len(self.per_device)
@@ -177,6 +196,23 @@ class AcrobatRuntime:
             gather_fusion=self.options.gather_fusion,
             plan_cache=self.options.plan_cache,
         )
+        #: the kernel-specialization tier (see :mod:`repro.specialize`);
+        #: exists only when both `specialize` and `plan_cache` are on —
+        #: fingerprints *are* plan-cache slots — and never under `validate`,
+        #: whose per-launch checks live on the generic path by design
+        self._specializer = None
+        if (
+            self.options.specialize
+            and self.options.plan_cache
+            and not self.options.validate
+        ):
+            from ..specialize.cache import SpecializationCache
+
+            self._specializer = SpecializationCache(
+                threshold=self.options.specialize_threshold,
+                crosscheck=self.options.specialize_crosscheck,
+            )
+            self.planner.attach_specializer(self._specializer)
         self._pending: List[DFGNode] = []
         if scheduler is None:
             # resolved through the engine-layer policy registry so that even
@@ -289,18 +325,76 @@ class AcrobatRuntime:
         self.num_batches_total += len(batches)
         self.profiler.bump("num_batches", len(batches))
 
+    def arm_specialization(self) -> None:
+        """Arm the kernel-specialization tier (idempotent, a no-op when the
+        tier is off).  Sessions call this at construction, exactly as they
+        arm the planner via ``expect_repeats``; one-shot runs never pay for
+        promotion tracking they cannot amortize."""
+        if self._specializer is not None:
+            self._specializer.arm()
+
+    @property
+    def specializer(self):
+        """The specialization cache (None when the tier is off)."""
+        return self._specializer
+
     def _execute_batch(self, plan: BatchPlan) -> None:
         batch: ScheduledBatch = plan.batch
         kernel = self.kernels[batch.block_id]
         batch_size = len(batch.nodes)
 
-        dispatch_start = time.perf_counter()
-        operands = self.planner.resolve(plan, kernel, self.device, self.options)
-        self.profiler.add("dispatch", time.perf_counter() - dispatch_start)
+        # -- specialization tier: promoted fingerprints dispatch through a
+        # frozen entry; the promoting launch itself still runs the oracle
+        spec = self._specializer
+        entry = None
+        build = False
+        slot = plan.spec_slot
+        if spec is not None and slot is not None and spec.armed:
+            verdict = spec.poll(slot)
+            if verdict is _SPEC_BUILD:
+                build = True
+            elif verdict is not None:
+                entry = verdict
 
-        compute_start = time.perf_counter()
-        outputs, launches = kernel.execute_batched(operands, batch_size)
-        self.profiler.add("numpy_compute", time.perf_counter() - compute_start)
+        if entry is not None:
+            dispatch_start = time.perf_counter()
+            operands = entry.try_resolve(plan, self.device, self.options)
+            self.profiler.add("dispatch", time.perf_counter() - dispatch_start)
+            if operands is None:
+                # an invariant broke: demote permanently and fall back to the
+                # generic path.  Checks run strictly before charging, so the
+                # device simulator is untouched and the fallback re-charges
+                # from zero.
+                spec.demote(slot)
+                entry = None
+
+        if entry is None:
+            dispatch_start = time.perf_counter()
+            operands = self.planner.resolve(plan, kernel, self.device, self.options)
+            self.profiler.add("dispatch", time.perf_counter() - dispatch_start)
+
+            compute_start = time.perf_counter()
+            outputs, launches = kernel.execute_batched(operands, batch_size)
+            self.profiler.add("numpy_compute", time.perf_counter() - compute_start)
+
+            if build:
+                # freeze the specialized entry from this very oracle launch:
+                # promotion never installs a path that has not just executed
+                build_start = time.perf_counter()
+                spec.build_and_install(
+                    slot, plan, kernel, operands, outputs, launches, self.options
+                )
+                self.profiler.add("specialize", time.perf_counter() - build_start)
+        else:
+            compute_start = time.perf_counter()
+            outputs = entry.execute(operands)
+            launches = entry.launches
+            self.profiler.add("numpy_compute", time.perf_counter() - compute_start)
+            spec.note_hit()
+            if spec.crosscheck:
+                check_start = time.perf_counter()
+                entry.crosscheck(kernel, operands, outputs, launches)
+                self.profiler.add("specialize", time.perf_counter() - check_start)
 
         # launches land on the member device the placement policy chose
         local = self.device.device_for(plan.device)
@@ -315,7 +409,10 @@ class AcrobatRuntime:
             )
 
         store_start = time.perf_counter()
-        self.planner.commit(plan, outputs, self.device)
+        if entry is not None:
+            entry.commit(plan, outputs, self.device)
+        else:
+            self.planner.commit(plan, outputs, self.device)
         self.profiler.add("materialize", time.perf_counter() - store_start)
 
     # -- bookkeeping -------------------------------------------------------------
@@ -335,14 +432,24 @@ class AcrobatRuntime:
             # the placement bucket exists only when a policy is active, so
             # single-device breakdowns keep their historical shape
             host_ms["placement"] = self.profiler.ms("placement")
+        if self._specializer is not None and self._specializer.armed:
+            # promotion (entry freezing / cross-checking) time; like
+            # placement, the bucket exists only when the tier is active
+            host_ms["specialize"] = self.profiler.ms("specialize")
         memory = dict(self.planner.operand_counts)
         memory["plan_cache_hits"] = self.planner.cache_hits
         memory["plan_cache_misses"] = self.planner.cache_misses
+        memory["plan_cache_evictions"] = self.planner.cache_evictions
         return RunStats(
             host_ms=host_ms,
             device=self.device.counters_dict(),
             per_device=self.device.per_device_dicts(),
             memory=memory,
+            specialize=(
+                self._specializer.stats_dict()
+                if self._specializer is not None
+                else {}
+            ),
             num_dfg_nodes=self.num_nodes_total,
             num_batches=self.num_batches_total,
             batch_size=batch_size,

@@ -1,0 +1,37 @@
+"""Shape-keyed kernel specialization: the JIT tier below the plan cache.
+
+Steady-state serving replays a small set of recurring rounds.  The plan
+cache (PR 3) already stops re-*planning* them; this tier stops re-*deriving*
+everything else per launch: operand resolution (gather layout, peer-transfer
+pricing), per-op batched dispatch (op lookup, attribute adjustment) and
+output layout inspection are frozen per ``(block, batch_size,
+operand-layout, device)`` fingerprint once it recurs past a promotion
+threshold.  The generic NumPy path remains the correctness oracle: every
+specialized launch is reference-identical by construction, guarded by cheap
+always-on invariant checks and an opt-in full cross-check.
+
+See :mod:`repro.specialize.cache` for the promotion state machine and
+:mod:`repro.specialize.entry` for the frozen per-fingerprint state.
+"""
+
+from .cache import (  # noqa: F401
+    BUILD,
+    COLD,
+    DEMOTED,
+    PROMOTED,
+    UNSUPPORTED,
+    SpecializationCache,
+    SpecSlot,
+)
+from .entry import SpecializedEntry  # noqa: F401
+
+__all__ = [
+    "SpecializationCache",
+    "SpecSlot",
+    "SpecializedEntry",
+    "BUILD",
+    "COLD",
+    "PROMOTED",
+    "UNSUPPORTED",
+    "DEMOTED",
+]
