@@ -1,0 +1,55 @@
+"""Benchmark regenerating the overlapped-host-pipeline table: serial vs
+speculative round preparation under host-bound traffic, fully
+deterministic."""
+
+import math
+
+from repro.experiments import overlap
+from repro.experiments.harness import save_result
+
+
+def test_overlap_host_bound_throughput(benchmark):
+    headers, rows = benchmark.pedantic(overlap.run, rounds=1, iterations=1)
+    text = overlap.format_report(headers, rows)
+    save_result("overlap", text)
+    print("\n" + text)
+
+    col = {name: i for i, name in enumerate(headers)}
+    by_config = {(row[col["model"]], row[col["policy"]]): row for row in rows}
+
+    for row in rows:
+        # the pipeline must never change results, and both modes replay
+        # bit-for-bit (the run itself replays every config twice and
+        # compares latencies and outputs exactly — speculation aborts
+        # included)
+        assert row[col["matches_ref"]] == "yes"
+        assert row[col["deterministic"]] == "yes"
+        assert math.isfinite(row[col["p50_overlap_ms"]])
+        assert row[col["p50_overlap_ms"]] > 0
+
+    # the tentpole win: in the host-bound regime the capped adaptive rows
+    # hide most of each round's preparable host share behind the previous
+    # round's device flight.  The committed table shows 1.3-1.4x; the
+    # replay is deterministic (simulated time), so a generous-but-real
+    # floor is exact, not flaky.
+    for model in overlap.MODELS:
+        row = by_config[(model, "adaptive")]
+        assert row[col["speedup"]] >= 1.15, (
+            f"{model}: host-bound overlap speedup {row[col['speedup']]:.3f} "
+            "fell below the 1.15x floor"
+        )
+        # the speedup must come from adopted speculation, not batch
+        # reshaping: warm rounds all hit, and hidden host time is real
+        assert row[col["spec_hits"]] > 0
+        assert row[col["hidden_ms"]] > 0.0
+        # overlap must not trade throughput for latency: draining faster
+        # can only shorten queues under the same open-loop trace
+        assert row[col["p50_overlap_ms"]] <= row[col["p50_serial_ms"]]
+
+    # the uncapped ablation (flush-takes-all deadline rounds) stays
+    # reference-identical but shows why the round cap matters: arrival
+    # churn keeps invalidating the prepared round, so the pipeline buys
+    # little there
+    for model in overlap.MODELS:
+        row = by_config[(model, "deadline(8ms)")]
+        assert row[col["speedup"]] >= 0.99

@@ -11,6 +11,7 @@ from . import (
     continuous,
     figure5,
     figure6,
+    overlap,
     serving,
     sharding,
     specialization,
@@ -48,11 +49,13 @@ ALL_EXPERIMENTS = {
     "sharding": sharding,
     "continuous": continuous,
     "specialization": specialization,
+    "overlap": overlap,
 }
 
 __all__ = [
     "table4", "table5", "table6", "table7", "table8", "table9",
     "figure5", "figure6", "serving", "sharding", "continuous", "specialization",
+    "overlap",
     "ALL_EXPERIMENTS",
     "ExperimentScale", "REDUCED", "PAPER", "current_scale",
     "run_acrobat", "run_dynet", "run_eager", "run_vm", "run_cortex",

@@ -111,6 +111,11 @@ class RunStats:
     #: what triggered the flush ("size", "deadline", "adaptive", "manual";
     #: empty outside sessions)
     flush_reason: str = ""
+    #: fraction of this round's prepare-pipeline host work that was hidden
+    #: behind the previous round's device time (0.0 when the round was not
+    #: prepared ahead, 1.0 when preparation finished entirely under device
+    #: execution); set by serving sessions with the overlap pipeline on
+    overlap_ratio: float = 0.0
 
     @property
     def host_total_ms(self) -> float:
@@ -169,7 +174,35 @@ class RunStats:
         out.update(self.device)
         if self.per_device:
             out["num_devices"] = len(self.per_device)
+        if self.overlap_ratio:
+            out["overlap_ratio"] = self.overlap_ratio
         return out
+
+
+class PreparedRound:
+    """A ready-to-launch round built ahead of its flush.
+
+    Holds everything :meth:`AcrobatRuntime.trigger` would otherwise derive
+    at flush time — the snapshot of pending nodes it was built from, their
+    scheduled/placed batches, and fully instantiated ``BatchPlan``s — plus
+    the *deferred* side effects (the planner's
+    :class:`~repro.memory.planner.StagedRound` and the placement policy's
+    pre-speculation state snapshot) that make abandoning it free.  A
+    prepared round adopts only when its node snapshot still equals the
+    runtime's pending list *by identity*; any admission divergence makes it
+    worthless and it is abandoned, restoring placement state and dropping
+    the staged planner mutations on the floor.
+    """
+
+    __slots__ = ("nodes", "batches", "plans", "staged", "placement_state", "prepare_s")
+
+    def __init__(self, nodes, batches, plans, staged, placement_state, prepare_s):
+        self.nodes: List[DFGNode] = nodes
+        self.batches: List[ScheduledBatch] = batches
+        self.plans: List[BatchPlan] = plans
+        self.staged = staged
+        self.placement_state = placement_state
+        self.prepare_s: float = prepare_s
 
 
 class AcrobatRuntime:
@@ -293,37 +326,153 @@ class AcrobatRuntime:
         return len(self._pending)
 
     # -- execution -------------------------------------------------------------
-    def trigger(self) -> None:
-        """Schedule, memory-plan and execute all pending DFG nodes.
+    def trigger(
+        self,
+        prepared: Optional[PreparedRound] = None,
+        limit: Optional[int] = None,
+    ) -> bool:
+        """Schedule, memory-plan and execute pending DFG nodes.
 
         Every non-empty trigger is one synchronization round (a DFG flush);
         the count is reported in :attr:`RunStats.sync_rounds`, so callers no
         longer thread fiber-round counts through :meth:`collect_stats`.
+
+        ``limit`` executes only the *oldest* ``limit`` pending nodes (the
+        caller picks a request boundary — see the flush policies' round
+        cap); the remaining nodes stay pending as the next round's prefix,
+        their lazy outputs untouched.
+
+        When a :class:`PreparedRound` (built earlier by
+        :meth:`prepare_pending`, possibly speculatively) is passed and its
+        node snapshot still matches the nodes this trigger executes, the
+        round *adopts* it: schedule/placement/planning are skipped, the
+        staged planner mutations commit, and the already-timed prepare work
+        lands in the ``prepare`` profiler bucket instead.  A stale prepared
+        round is abandoned (placement state restored, staged mutations
+        dropped) and the trigger falls back to the normal path —
+        mis-speculation costs only the wasted host work, never correctness.
+        Returns True when the prepared round was adopted.
         """
         if not self._pending:
-            return
-        nodes = self._pending
-        self._pending = []
-        self._round_seq = 0
+            if prepared is not None:
+                self.abandon_prepared(prepared)
+            return False
+        if limit is not None and 0 < limit < len(self._pending):
+            nodes = self._pending[:limit]
+            self._pending = self._pending[limit:]
+            # leftover nodes keep their round_seq ordering; new invokes
+            # keep appending monotonically after them
+        else:
+            nodes = self._pending
+            self._pending = []
+            self._round_seq = 0
+        if prepared is not None and prepared.nodes != nodes:
+            self.abandon_prepared(prepared)
+            prepared = None
         self.sync_rounds += 1
 
-        sched_start = time.perf_counter()
-        batches = self._scheduler.schedule(nodes)
-        self.profiler.add("scheduling", time.perf_counter() - sched_start)
+        if prepared is not None:
+            commit_start = time.perf_counter()
+            self.planner.commit_staged(prepared.staged)
+            self.profiler.add(
+                "prepare", prepared.prepare_s + (time.perf_counter() - commit_start)
+            )
+            batches, plans = prepared.batches, prepared.plans
+        else:
+            sched_start = time.perf_counter()
+            batches = self._scheduler.schedule(nodes)
+            self.profiler.add("scheduling", time.perf_counter() - sched_start)
 
-        if self._placement is not None:
-            place_start = time.perf_counter()
-            batches = self._placement.place_round(batches, self.device, self.kernels)
-            self.profiler.add("placement", time.perf_counter() - place_start)
+            if self._placement is not None:
+                place_start = time.perf_counter()
+                batches = self._placement.place_round(
+                    batches, self.device, self.kernels
+                )
+                self.profiler.add("placement", time.perf_counter() - place_start)
 
-        plan_start = time.perf_counter()
-        plans = self.planner.plan_round(batches, self.kernels)
-        self.profiler.add("memory_planning", time.perf_counter() - plan_start)
+            plan_start = time.perf_counter()
+            plans = self.planner.plan_round(batches, self.kernels)
+            self.profiler.add("memory_planning", time.perf_counter() - plan_start)
 
         for plan in plans:
             self._execute_batch(plan)
         self.num_batches_total += len(batches)
         self.profiler.bump("num_batches", len(batches))
+        return prepared is not None
+
+    def finish_partial_round(self) -> None:
+        """Round boundary after a capped trigger left nodes pending: reset
+        the per-round collectors exactly as the next round's
+        :meth:`reset` would, but keep the live lazy graph — the leftover
+        nodes are the next round's oldest requests."""
+        self.num_nodes_total = len(self._pending)
+        self.num_batches_total = 0
+        self.sync_rounds = 0
+        self.profiler.reset()
+        self.planner.reset()
+        if self._placement is not None:
+            self._placement.note_reset()
+
+    # -- prepare pipeline ------------------------------------------------------
+    def prepare_pending(self, limit: Optional[int] = None) -> Optional[PreparedRound]:
+        """Build a :class:`PreparedRound` from the current pending nodes
+        without committing anything.
+
+        Runs the full host pipeline — schedule, placement, memory planning —
+        against a snapshot of the pending list, but defers every state
+        mutation: the planner stages (``plan_round_staged``), and the
+        placement policy's rotation state is snapshotted for rollback.  The
+        DFG nodes themselves are shared with the runtime (building them was
+        already paid for at ``invoke`` time), which is also what makes the
+        adoption check exact: identity of the node lists.
+
+        Safe to call from a second host thread while the previous round's
+        *device* share is in flight — by construction nothing here touches
+        the device simulator, the specialization tier, or any cumulative
+        counter.  The caller must not interleave it with ``invoke``/
+        ``trigger`` on the same runtime (serving loops serialize via their
+        own synchronization).
+
+        ``limit`` prepares only the oldest ``limit`` pending nodes — the
+        composition a round-capped flush would execute (see
+        :meth:`trigger`).
+        """
+        if not self._pending:
+            return None
+        if limit is not None and 0 < limit < len(self._pending):
+            nodes = self._pending[:limit]
+        else:
+            nodes = list(self._pending)
+        start = time.perf_counter()
+        batches = self._scheduler.schedule(nodes)
+        placement_state = None
+        if self._placement is not None:
+            placement_state = self._placement.snapshot_state()
+            batches = self._placement.place_round(batches, self.device, self.kernels)
+        plans, staged = self.planner.plan_round_staged(batches, self.kernels)
+        prepare_s = time.perf_counter() - start
+        return PreparedRound(nodes, batches, plans, staged, placement_state, prepare_s)
+
+    def prepared_matches(
+        self, prepared: PreparedRound, limit: Optional[int] = None
+    ) -> bool:
+        """True when the prepared round still describes exactly the nodes
+        the next flush would execute (list identity: same objects, same
+        order).  With a round cap (``limit``) that is the oldest-``limit``
+        prefix — later admissions append *behind* it, so a prepared prefix
+        survives arrival churn."""
+        if limit is not None and 0 < limit < len(self._pending):
+            pending = self._pending[:limit]
+        else:
+            pending = self._pending
+        return prepared.nodes == pending
+
+    def abandon_prepared(self, prepared: PreparedRound) -> None:
+        """Discard a prepared round: restore the placement policy's state
+        and drop the staged planner mutations.  After this, the runtime is
+        observably identical to one that never speculated."""
+        if self._placement is not None and prepared.placement_state is not None:
+            self._placement.restore_state(prepared.placement_state)
 
     def arm_specialization(self) -> None:
         """Arm the kernel-specialization tier (idempotent, a no-op when the
@@ -432,6 +581,12 @@ class AcrobatRuntime:
             # the placement bucket exists only when a policy is active, so
             # single-device breakdowns keep their historical shape
             host_ms["placement"] = self.profiler.ms("placement")
+        prepare = self.profiler.ms("prepare")
+        if prepare:
+            # pipelined host work (schedule+placement+planning done ahead of
+            # the flush); the bucket exists only when rounds actually adopt
+            # prepared work, so non-pipelined breakdowns keep their shape
+            host_ms["prepare"] = prepare
         if self._specializer is not None and self._specializer.armed:
             # promotion (entry freezing / cross-checking) time; like
             # placement, the bucket exists only when the tier is active

@@ -18,6 +18,11 @@ setting, where independent requests arrive continuously and must be batched
   event loop: thread-safe bounded admission (backpressure), loop-driven
   deadline polling, and continuous batching over a
   :class:`~repro.serve.loop.DeviceTimeline`;
+* :mod:`repro.serve.prepare` — :class:`RoundPreparer`, the wall-clock
+  worker of the overlapped host pipeline: builds the predicted next round
+  (schedule/placement/memory plan) while the loop sleeps, so a flush only
+  has to execute (``ServeLoop(prepare=True)``;
+  deterministically inlined in ``run_trace``);
 * :mod:`repro.serve.server` — :class:`Server`/:class:`Endpoint`
   multiplexing multiple compiled models over one shared device simulator,
   with ``run()``/``drain()``/``shutdown()`` facading the loop;
@@ -52,6 +57,7 @@ from .policy import (
     register_flush_policy,
     unregister_flush_policy,
 )
+from .prepare import RoundPreparer
 from .request import RequestHandle, RequestStats
 from .server import Endpoint, Server
 from .session import InferenceSession, RoundAborted
@@ -74,6 +80,7 @@ __all__ = [
     "BackpressureFull",
     "RequestShed",
     "LoopStopped",
+    "RoundPreparer",
     "BACKPRESSURE_POLICIES",
     "FlushPolicy",
     "ManualPolicy",

@@ -184,6 +184,17 @@ class ServeLoop:
         ``"reject"`` raises :class:`BackpressureFull`, ``"shed-oldest"``
         drops the oldest queued request (failing its handle with
         :class:`RequestShed`) to admit the new one.
+    prepare:
+        Enable the overlapped host pipeline: build the next round's
+        schedule/placement/memory plan ahead of its flush whenever the
+        flush policy predicts the round's composition
+        (:meth:`~repro.serve.policy.FlushPolicy.predict_next_flush`).  In
+        wall-clock mode a :class:`~repro.serve.prepare.RoundPreparer`
+        worker thread runs while the loop sleeps; in :meth:`run_trace` the
+        preparation happens at deterministic event-loop points, so replays
+        stay bit-for-bit identical.  Mis-speculation only wastes host work
+        — a prepared round whose admission diverged is abandoned and the
+        flush falls back to the normal path.
     """
 
     def __init__(
@@ -194,6 +205,7 @@ class ServeLoop:
         clock: Optional[Clock] = None,
         max_pending: Optional[int] = None,
         backpressure: str = "block",
+        prepare: bool = False,
     ) -> None:
         if (server is None) == (sessions is None):
             raise ValueError("pass exactly one of server= or sessions=")
@@ -214,6 +226,14 @@ class ServeLoop:
             self.clock = clock
         self.max_pending = max_pending
         self.backpressure = backpressure
+        #: overlapped host pipeline on by default for this loop's modes
+        #: (run_trace can override per replay via its ``prepare=`` argument)
+        self.prepare = bool(prepare)
+        #: the wall-clock preparer worker (exists only while running with
+        #: ``prepare`` on)
+        self._preparer = None
+        # simulated-mode flag: run_trace sets it for the replay's duration
+        self._prepare_active = False
 
         self._cond = threading.Condition()
         # serializes mode transitions (start/shutdown) with inline
@@ -278,6 +298,10 @@ class ServeLoop:
             self._stop = False
             self._stopped = False
             self._error = None
+            if self.prepare:
+                from .prepare import RoundPreparer
+
+                self._preparer = RoundPreparer(self)
             self._thread = threading.Thread(
                 target=self._run_wall, name="repro-serve-loop", daemon=True
             )
@@ -294,13 +318,17 @@ class ServeLoop:
             if not self.running:
                 first: Optional[BaseException] = None
                 for session in self.sessions().values():
-                    try:
-                        session.flush()
-                    except BaseException as exc:
-                        # the flush failed its round's handles and reset
-                        # the session; keep draining the other endpoints
-                        if first is None:
-                            first = exc
+                    # capping policies flush at most round_cap requests per
+                    # call: drain until empty (a failing flush aborts the
+                    # whole backlog, so the loop terminates either way)
+                    while session.pending_requests:
+                        try:
+                            session.flush()
+                        except BaseException as exc:
+                            # the flush failed its round's handles and reset
+                            # the session; keep draining the other endpoints
+                            if first is None:
+                                first = exc
                 self._raise_if_dead()
                 if first is not None:
                     raise first
@@ -489,8 +517,13 @@ class ServeLoop:
 
     # -- wall-clock mode -------------------------------------------------------
     def _run_wall(self) -> None:
+        preparer = self._preparer
         try:
             while True:
+                if preparer is not None:
+                    # a preparer-worker crash surfaces here, on the loop
+                    # thread, and takes the ordinary loop-death path below
+                    preparer.reraise()
                 with self._cond:
                     deadline = self.next_deadline()
                     timeout = (
@@ -500,7 +533,17 @@ class ServeLoop:
                     )
                     if not self._queue and not self._drain_requested and not self._stop:
                         if timeout is None or timeout > 0:
+                            # the loop is about to sleep: exactly the window
+                            # in which the preparer may own the sessions.
+                            # wait() releases the condition lock while
+                            # sleeping, and pause() blocks until the worker
+                            # is idle again, so the loop never touches a
+                            # session concurrently with a prepare pass.
+                            if preparer is not None:
+                                preparer.allow()
                             self._cond.wait(timeout)
+                            if preparer is not None:
+                                preparer.pause()
                     admissions = list(self._queue)
                     self._queue.clear()
                     drain_requested = self._drain_requested
@@ -540,10 +583,15 @@ class ServeLoop:
                     # completed but before _stop was set): they were just
                     # dispatched above and must not be left pending forever
                     for session in self.sessions().values():
-                        try:
-                            session.flush()
-                        except BaseException:
-                            pass  # round's handles already failed
+                        # capping policies bound each flush at round_cap
+                        # requests: draining means flushing until empty (a
+                        # failed flush aborts the whole backlog, so either
+                        # way the loop terminates)
+                        while session.pending_requests:
+                            try:
+                                session.flush()
+                            except BaseException:
+                                pass  # round's handles already failed
                     with self._cond:
                         # this pass covered everything dispatched before it
                         self._flushed_seq = self._dispatched_seq
@@ -553,21 +601,34 @@ class ServeLoop:
                 if stopping:
                     return
         except BaseException as exc:  # infrastructure failure: die loudly
-            for session in self.sessions().values():
-                # abort (not just fail): _abort_round resolves the pending
-                # handles AND resets the session to a clean empty round, so
-                # a revived loop cannot re-flush stale failed handles
-                try:
-                    session._abort_round(exc)
-                except BaseException:
-                    pass
-            with self._cond:
-                self._error = exc
-                self._drain_requested = False
-                self._cond.notify_all()
-            died = LoopStopped("serve loop died")
-            died.__cause__ = exc
-            self._fail_queued(died)
+            self._die(exc)
+        finally:
+            if preparer is not None:
+                preparer.stop()
+                self._preparer = None
+
+    def _die(self, exc: BaseException) -> LoopStopped:
+        """The loop-death path, shared by both modes: abort every session's
+        round (failing implicated handles), record the error, and fail all
+        queued admissions with ``LoopStopped`` carrying ``__cause__``.
+        Returns the ``LoopStopped`` so simulated-mode callers can raise it.
+        """
+        for session in self.sessions().values():
+            # abort (not just fail): _abort_round resolves the pending
+            # handles AND resets the session to a clean empty round, so
+            # a revived loop cannot re-flush stale failed handles
+            try:
+                session._abort_round(exc)
+            except BaseException:
+                pass
+        with self._cond:
+            self._error = exc
+            self._drain_requested = False
+            self._cond.notify_all()
+        died = LoopStopped("serve loop died")
+        died.__cause__ = exc
+        self._fail_queued(died)
+        return died
 
     # -- simulated mode --------------------------------------------------------
     def run_trace(
@@ -576,6 +637,7 @@ class ServeLoop:
         *,
         deterministic: bool = True,
         host_model: Optional[Tuple[float, float]] = None,
+        prepare: Optional[bool] = None,
     ) -> Dict[str, List[RequestHandle]]:
         """Deterministically replay a tagged open-loop trace with continuous
         batching on the simulated clock.
@@ -593,6 +655,13 @@ class ServeLoop:
         pays a host cost per flush (serial with intake), just a modelled
         one.
 
+        ``prepare`` overrides the loop's overlapped-host-pipeline knob for
+        this replay (None keeps the constructor's setting).  With the
+        pipeline on, the loop speculatively prepares rounds at
+        deterministic points — after intake at a timestamp quiesces and
+        after every fired event — so the same trace still replays
+        bit-for-bit, speculation aborts and all.
+
         Returns the resolved handles per session name, in arrival order.
         """
         if self.running:
@@ -604,24 +673,49 @@ class ServeLoop:
         items = sorted(workload, key=lambda item: item[0])
         timeline = DeviceTimeline(start=clock.now())
         handles: Dict[str, List[RequestHandle]] = {}
-        with replay_state(
-            sessions.values(),
-            deterministic=deterministic,
-            host_model=host_model,
-            timeline=timeline,
-        ):
-            for t, name, instance in items:
-                self._advance_until(sessions, timeline, t)
-                clock.advance_to(t)
-                handles.setdefault(name, []).append(
-                    self._session(name).submit(instance, at=t)
-                )
-                self.num_admitted += 1
-            self._drain_simulated(sessions, timeline)
-            # the trace ends when the device finishes its last round
-            clock.advance_to(timeline.busy_until)
-            timeline.pop_completions(clock.now())
+        self._prepare_active = self.prepare if prepare is None else bool(prepare)
+        try:
+            with replay_state(
+                sessions.values(),
+                deterministic=deterministic,
+                host_model=host_model,
+                timeline=timeline,
+            ):
+                last = len(items) - 1
+                for i, (t, name, instance) in enumerate(items):
+                    self._advance_until(sessions, timeline, t)
+                    clock.advance_to(t)
+                    handles.setdefault(name, []).append(
+                        self._session(name).submit(instance, at=t)
+                    )
+                    self.num_admitted += 1
+                    if i == last or items[i + 1][0] > t:
+                        # intake at this timestamp has quiesced (a burst
+                        # submits many requests at one instant; speculating
+                        # between them would only churn abort/re-prepare)
+                        self._maybe_prepare(sessions)
+                self._drain_simulated(sessions, timeline)
+                # the trace ends when the device finishes its last round
+                clock.advance_to(timeline.busy_until)
+                timeline.pop_completions(clock.now())
+        finally:
+            self._prepare_active = False
         return handles
+
+    def _maybe_prepare(self, sessions: Dict[str, Any]) -> None:
+        """Simulated-mode speculation point: let every session prepare its
+        predicted next round.  A preparer failure here is an infrastructure
+        failure exactly as in wall-clock mode: sessions abort (failing
+        implicated handles) and ``LoopStopped`` raises with the original
+        error as ``__cause__``."""
+        if not self._prepare_active:
+            return
+        now = self.clock.now()
+        try:
+            for session in sessions.values():
+                session.consider_prepare(now)
+        except BaseException as exc:
+            raise self._die(exc) from exc
 
     def _next_event(
         self, sessions: Dict[str, Any], timeline: DeviceTimeline
@@ -661,6 +755,10 @@ class ServeLoop:
         else:
             for session in sessions.values():
                 session.poll()
+        # post-event speculation point: a flush just launched (device share
+        # in flight) or a deadline passed without flushing — either way the
+        # remaining backlog's composition may now be predictable
+        self._maybe_prepare(sessions)
 
     def _advance_until(
         self, sessions: Dict[str, Any], timeline: DeviceTimeline, t: float

@@ -79,6 +79,42 @@ class FlushPolicy:
         """Observation hook: called with the round's ``RunStats`` after
         every flush (adaptive policies update their estimates here)."""
 
+    def round_cap(self, session: "InferenceSession") -> Optional[int]:
+        """Maximum number of requests one flush may take, or None for no
+        cap (the flush drains everything pending).
+
+        A capped flush executes the *oldest* pending requests and leaves
+        the rest as the next round's prefix — continuous batching with
+        bounded rounds.  The cap is also what makes speculation robust
+        under arrival churn: admissions append *behind* the capped prefix,
+        so a speculatively prepared round stays valid while traffic keeps
+        arriving (see :meth:`InferenceSession.consider_prepare`).
+        """
+        return None
+
+    def predict_next_flush(
+        self, session: "InferenceSession", now: float
+    ) -> Optional[float]:
+        """Clock timestamp at which this policy expects the pending round to
+        flush *with its current composition*, or None when no confident
+        prediction exists.
+
+        This is the speculation hook of the overlapped host pipeline: when a
+        policy predicts that the pending requests will flush unchanged at
+        some future instant (no further arrival expected to join first), the
+        serve loop prepares the round ahead of time — schedule, placement
+        and memory plan — so the flush only has to execute.  A wrong
+        prediction is harmless (the prepared round is abandoned when
+        admission diverges and rebuilt at the next quiesce point), so
+        policies should predict whenever a definite flush horizon exists —
+        even if more arrivals are likely to join the round first — and
+        return None only when nothing schedules a flush at all.
+
+        The default never predicts (manual and size policies flush *on* an
+        arrival, so the composition always changes at flush time).
+        """
+        return None
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 
@@ -193,6 +229,19 @@ class DeadlinePolicy(FlushPolicy):
             return None
         return started + self.ms / 1e3
 
+    def predict_next_flush(
+        self, session: "InferenceSession", now: float
+    ) -> Optional[float]:
+        # the round flushes at its deadline; mis-speculation is free (a
+        # prepared round whose admission diverges is abandoned and rebuilt
+        # at the next quiesce point), so predict whenever the deadline is
+        # still ahead — even if more arrivals are likely to join first, the
+        # rebuild after the *last* one still hides the wait to the deadline
+        when = self.next_deadline(session)
+        if when is None or when <= now:
+            return None
+        return when
+
     def __repr__(self) -> str:
         return f"DeadlinePolicy(ms={self.ms})"
 
@@ -274,19 +323,21 @@ class AdaptivePolicy(FlushPolicy):
     # -- policy hooks ---------------------------------------------------------
     def on_submit(self, session: "InferenceSession", now: float) -> bool:
         self._observe_arrival(now)
+        if session.last_submit_backdated or session.in_flight_rounds:
+            # draining a backlog, or earlier rounds still executing on the
+            # device (continuous batching under a serve loop): waiting is
+            # free — flushing now would only queue host work serially.
+            # Keep accumulating; rounds stay bounded anyway because the
+            # flush itself caps at max_batch (:meth:`round_cap`), and the
+            # loop's device-idle wakeup (:meth:`on_idle`) launches the next
+            # capped round the moment the device frees.  Launching capped
+            # rounds at completion boundaries instead of on the admitting
+            # submit is also what gives the prepare pipeline its window:
+            # the prepared prefix rides out the arrivals and adopts with
+            # the whole device flight hidden behind it.
+            return False
         if session.pending_requests >= self.max_batch:
             return True
-        if session.last_submit_backdated:
-            # draining a backlog: waiting is free, keep accumulating (the
-            # max_wait_ms deadline still bounds the round's age)
-            return False
-        if session.in_flight_rounds:
-            # earlier rounds are still executing on the device (continuous
-            # batching under a serve loop): launching now would only queue
-            # behind them, so waiting is free — keep accumulating and let
-            # the loop's device-idle wakeup (:meth:`on_idle`) launch the
-            # round the moment the device frees
-            return False
         return self.waiting_cost_us(session) > self.marginal_benefit_us(session)
 
     def next_deadline(self, session: "InferenceSession") -> Optional[float]:
@@ -302,11 +353,39 @@ class AdaptivePolicy(FlushPolicy):
         # device, keep accumulating instead: waiting is free again.)
         return session.pending_requests > 0 and not session.in_flight_rounds
 
+    def round_cap(self, session: "InferenceSession") -> Optional[int]:
+        # max_batch bounds the round wherever the flush comes from (idle
+        # launch, max_wait deadline, drain) — the overflow stays pending as
+        # the next round's prefix
+        return self.max_batch
+
     def note_flush(self, session: "InferenceSession", stats: Any) -> None:
         launches = float(stats.kernel_calls)
         self.round_launches = (
             self.smoothing * launches + (1 - self.smoothing) * self.round_launches
         )
+
+    def predict_next_flush(
+        self, session: "InferenceSession", now: float
+    ) -> Optional[float]:
+        # under continuous batching the accumulating round launches the
+        # moment the device goes idle (:meth:`on_idle` fires at the
+        # timeline's busy horizon) — that device-busy window is exactly
+        # where prepared host work hides; otherwise the max_wait deadline
+        # bounds the wait.  Predict whenever that horizon is still ahead:
+        # arrivals that join first only cost a free abandon-and-rebuild,
+        # while the rebuild after the last joiner hides the rest of the
+        # window.
+        started = session.round_started_at
+        if started is None:
+            return None
+        when = started + self.max_wait_ms / 1e3
+        timeline = session.timeline
+        if timeline is not None and timeline.in_flight(now):
+            when = min(when, timeline.busy_until)
+        if when <= now:
+            return None
+        return when
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,124 @@
+"""The wall-clock half of the overlapped host pipeline.
+
+:class:`RoundPreparer` owns a worker thread that builds the next round's
+schedule, placement and memory plan (via
+:meth:`~repro.serve.session.InferenceSession.consider_prepare`) while the
+:class:`~repro.serve.loop.ServeLoop` thread sleeps waiting for arrivals or
+deadlines — the only window in which host time is genuinely spare.
+
+Sessions are lock-free by design (the loop is their single owner), so the
+preparer never runs concurrently with the loop's own session mutations.
+The handshake is explicit and owned by the loop thread:
+
+* :meth:`allow` — called by the loop immediately before it blocks in its
+  condition wait: grants the worker exactly one prepare pass over the
+  loop's sessions.
+* :meth:`pause` — called immediately after the wait returns, before the
+  loop touches any session: revokes the grant and blocks until the worker
+  is idle again (a pass in flight finishes; one not yet started never
+  starts).
+* :meth:`reraise` — called at the top of every loop iteration: re-raises a
+  worker crash *on the loop thread*, inside its own try block, so a
+  preparer failure takes the same path as any other loop death (sessions
+  aborted, queued handles failed, ``LoopStopped`` with ``__cause__``).
+
+In simulated mode (:meth:`~repro.serve.loop.ServeLoop.run_trace`) no
+thread exists: the loop calls ``consider_prepare`` itself at deterministic
+event-loop points, so speculation resolves identically across replays.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .loop import ServeLoop
+
+
+class RoundPreparer:
+    """Background host-pipeline worker bound to one :class:`ServeLoop`.
+
+    The thread starts immediately and idles until the loop grants it a
+    pass; it dies on :meth:`stop` (loop shutdown) or on its first error
+    (which :meth:`reraise` then surfaces on the loop thread).
+    """
+
+    def __init__(self, loop: "ServeLoop") -> None:
+        self._loop = loop
+        self._cv = threading.Condition()
+        self._allowed = False
+        self._busy = False
+        self._stop = False
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-round-preparer", daemon=True
+        )
+        self._thread.start()
+
+    # -- loop-thread API -------------------------------------------------------
+    def allow(self) -> None:
+        """Grant one prepare pass (the loop is about to sleep)."""
+        with self._cv:
+            if self._stop or self._error is not None:
+                return
+            self._allowed = True
+            self._cv.notify_all()
+
+    def pause(self) -> None:
+        """Revoke the grant and wait until the worker is idle.
+
+        Never deadlocks on a dead worker: the wait re-checks thread
+        liveness, so a crashed preparer leaves ``pause`` immediately (the
+        crash itself surfaces via :meth:`reraise`).
+        """
+        with self._cv:
+            self._allowed = False
+            while self._busy and self._error is None and self._thread.is_alive():
+                self._cv.wait(timeout=0.05)
+
+    def reraise(self) -> None:
+        """Re-raise a stored worker crash on the calling (loop) thread."""
+        with self._cv:
+            exc = self._error
+        if exc is not None:
+            raise exc
+
+    def stop(self) -> None:
+        """Stop and join the worker (loop shutdown/death)."""
+        with self._cv:
+            self._stop = True
+            self._allowed = False
+            self._cv.notify_all()
+        self._thread.join(timeout=1.0)
+
+    # -- worker ----------------------------------------------------------------
+    def _run(self) -> None:
+        try:
+            while True:
+                with self._cv:
+                    while not self._allowed and not self._stop:
+                        self._cv.wait()
+                    if self._stop:
+                        return
+                    # one-shot grant: exactly one pass per allow(), so a
+                    # long loop sleep never turns into a busy spin
+                    self._allowed = False
+                    self._busy = True
+                try:
+                    now = self._loop.clock.now()
+                    for session in self._loop.sessions().values():
+                        session.consider_prepare(now)
+                finally:
+                    with self._cv:
+                        self._busy = False
+                        self._cv.notify_all()
+        except BaseException as exc:
+            with self._cv:
+                self._error = exc
+                self._busy = False
+                self._cv.notify_all()
+            # wake the loop even if it sleeps with no deadline: the crash
+            # must surface via reraise() now, not at the next arrival
+            with self._loop._cond:
+                self._loop._cond.notify_all()

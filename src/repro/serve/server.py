@@ -107,6 +107,11 @@ class Endpoint:
             "kernel_launches": session.total_kernel_calls,
             "mean_batch": (session.requests_flushed / flushes) if flushes else 0.0,
             "device_ms": session.total_device_ms,
+            # overlapped host pipeline: rounds adopted as prepared vs
+            # speculations abandoned when admission diverged
+            "speculation_hits": session.speculation_hits,
+            "speculation_aborts": session.speculation_aborts,
+            "prepare_hidden_ms": session.prepare_hidden_ms,
         }
 
     def __repr__(self) -> str:
@@ -133,7 +138,9 @@ class Server:
     :class:`~repro.serve.loop.ServeLoop` and ``backpressure`` picks the
     overflow policy (``"block"``/``"reject"``/``"shed-oldest"``); both only
     bite once :meth:`run` starts the loop (or, for the rejecting policies,
-    on inline intake too).
+    on inline intake too).  ``prepare`` turns on the loop's overlapped host
+    pipeline (speculative round preparation; see
+    :class:`~repro.serve.loop.ServeLoop`).
     """
 
     def __init__(
@@ -147,6 +154,7 @@ class Server:
         interconnect: Union[str, Any, None] = None,
         max_pending: Optional[int] = None,
         backpressure: str = "block",
+        prepare: bool = False,
     ) -> None:
         if devices is not None:
             from ..devices.group import DeviceGroup
@@ -176,7 +184,10 @@ class Server:
         self._endpoints: Dict[str, Endpoint] = {}
         #: the event loop owning this server's intake and flush choreography
         self.loop = ServeLoop(
-            self, max_pending=max_pending, backpressure=backpressure
+            self,
+            max_pending=max_pending,
+            backpressure=backpressure,
+            prepare=prepare,
         )
 
     @property

@@ -247,6 +247,7 @@ def replay_continuous(
     *,
     deterministic: bool = True,
     host_model: Optional[Tuple[float, float]] = None,
+    prepare: bool = False,
 ) -> TrafficReport:
     """Replay an open-loop arrival trace with **continuous batching**: the
     trace runs through a :class:`~repro.serve.loop.ServeLoop`, so flushed
@@ -256,7 +257,9 @@ def replay_continuous(
 
     With ``deterministic`` (default) the simulated timeline depends only on
     the trace and the device cost model: replaying the same trace is
-    bit-for-bit identical across runs.
+    bit-for-bit identical across runs.  ``prepare`` additionally turns on
+    the overlapped host pipeline (speculative round preparation) for the
+    replay — still bit-for-bit deterministic.
     """
     if len(requests) != len(arrivals):
         raise ValueError("need exactly one arrival time per request")
@@ -269,7 +272,7 @@ def replay_continuous(
         raise TypeError("replay_continuous needs a session driven by a SimulatedClock")
     start = _snapshot(session)
     first_arrival = arrivals[0] if len(arrivals) else clock.now()
-    loop = ServeLoop(sessions={"_": session}, clock=clock)
+    loop = ServeLoop(sessions={"_": session}, clock=clock, prepare=prepare)
     handles = loop.run_trace(
         [(t, "_", request) for t, request in zip(arrivals, requests)],
         deterministic=deterministic,
@@ -340,6 +343,7 @@ def replay_server_continuous(
     *,
     deterministic: bool = True,
     host_model: Optional[Tuple[float, float]] = None,
+    prepare: Optional[bool] = None,
 ) -> Dict[str, TrafficReport]:
     """Replay a tagged open-loop trace against a multi-endpoint server with
     continuous batching: the trace runs through the server's
@@ -358,7 +362,7 @@ def replay_server_continuous(
     for t, name, _ in items:
         first_arrival.setdefault(name, t)
     handles = server.loop.run_trace(
-        items, deterministic=deterministic, host_model=host_model
+        items, deterministic=deterministic, host_model=host_model, prepare=prepare
     )
     return {
         name: _report(
