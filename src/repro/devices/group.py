@@ -279,6 +279,12 @@ class DeviceGroup:
         for d in self.devices:
             d.reset_residency()
 
+    def note_resident(self, array, device: int = 0) -> None:
+        """Mark a device-born host array resident on one member (default the
+        primary).  A wrong member guess is safe: the next use on another
+        member charges a correctly-priced upload there."""
+        self.device_for(device).note_resident(array)
+
     def set_schedule_quality(self, kernel_name: str, quality: float) -> None:
         for d in self.devices:
             d.set_schedule_quality(kernel_name, quality)

@@ -11,6 +11,7 @@ from . import (
     continuous,
     figure5,
     figure6,
+    generation,
     overlap,
     serving,
     sharding,
@@ -50,12 +51,13 @@ ALL_EXPERIMENTS = {
     "continuous": continuous,
     "specialization": specialization,
     "overlap": overlap,
+    "generation": generation,
 }
 
 __all__ = [
     "table4", "table5", "table6", "table7", "table8", "table9",
     "figure5", "figure6", "serving", "sharding", "continuous", "specialization",
-    "overlap",
+    "overlap", "generation",
     "ALL_EXPERIMENTS",
     "ExperimentScale", "REDUCED", "PAPER", "current_scale",
     "run_acrobat", "run_dynet", "run_eager", "run_vm", "run_cortex",

@@ -8,10 +8,11 @@ Every model module provides the same surface:
 * ``make_batch(module, size, batch_size, seed) -> list of instances``
 """
 
-from . import berxit, birnn, drnn, mvrnn, nestedrnn, stackrnn, treelstm
+from . import berxit, birnn, declm, drnn, mvrnn, nestedrnn, stackrnn, treelstm
 from .configs import MODEL_NAMES, SIZES, TEST_SIZES, ModelSize, get_size
 
-#: model name -> module, in the paper's Table 3/5 order
+#: model name -> module, in the paper's Table 3/5 order; the ``declm``
+#: decoder cells (autoregressive generation, PR 8) follow the encoders
 MODEL_MODULES = {
     "treelstm": treelstm,
     "mvrnn": mvrnn,
@@ -20,6 +21,8 @@ MODEL_MODULES = {
     "drnn": drnn,
     "berxit": berxit,
     "stackrnn": stackrnn,
+    "declm": declm,
+    "declm_gru": declm.gru,
 }
 
 __all__ = [
@@ -30,6 +33,7 @@ __all__ = [
     "drnn",
     "berxit",
     "stackrnn",
+    "declm",
     "MODEL_MODULES",
     "MODEL_NAMES",
     "ModelSize",

@@ -70,6 +70,17 @@ SIZES: Dict[str, Dict[str, ModelSize]] = {
         "small": ModelSize("small", hidden=256),
         "large": ModelSize("large", hidden=512),
     },
+    # Autoregressive decoder cells (beyond the paper's Table 3): one decode
+    # step per request, driven by repro.generate.  ``classes`` doubles as the
+    # vocabulary size, kept small so greedy decoding hits EOS naturally.
+    "declm": {
+        "small": ModelSize("small", hidden=256, classes=32),
+        "large": ModelSize("large", hidden=512, classes=32),
+    },
+    "declm_gru": {
+        "small": ModelSize("small", hidden=256, classes=32),
+        "large": ModelSize("large", hidden=512, classes=32),
+    },
 }
 
 #: reduced sizes used by the unit-test suite so it runs in seconds
@@ -81,6 +92,8 @@ TEST_SIZES: Dict[str, ModelSize] = {
     "drnn": ModelSize("test", hidden=16),
     "berxit": ModelSize("test", hidden=16, layers=2, heads=2, seq_len=8, ffn=32),
     "stackrnn": ModelSize("test", hidden=16),
+    "declm": ModelSize("test", hidden=16, classes=16),
+    "declm_gru": ModelSize("test", hidden=16, classes=16),
 }
 
 MODEL_NAMES = list(SIZES.keys())

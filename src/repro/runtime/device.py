@@ -373,6 +373,17 @@ class DeviceSimulator:
         (batched launches write their outputs directly on the device)."""
         self._resident[("arena", arena.arena_id)] = arena
 
+    def note_resident(self, array) -> None:
+        """Mark a host array as device-resident without charging a transfer.
+
+        For data the device itself produced: a materialized output is a
+        zero-copy view into an output arena, so when the caller feeds that
+        array back as a later input (the recurrent-state path in
+        ``repro.generate``) the bytes are already on the device and only the
+        identity bookkeeping is needed.  The caller must keep the array
+        alive — the cache holds it weakly."""
+        self._resident[self._residency_key(array)] = array
+
     def is_resident(self, obj) -> bool:
         """Whether a host array or arena is currently device-resident."""
         return self._resident.get(self._residency_key(obj)) is obj

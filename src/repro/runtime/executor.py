@@ -400,6 +400,16 @@ class AcrobatRuntime:
         self.profiler.bump("num_batches", len(batches))
         return prepared is not None
 
+    def drop_pending_slice(self, start: int, end: int) -> None:
+        """Withdraw a contiguous slice of pending (unexecuted) DFG nodes —
+        the removal path for a cancelled request whose nodes were recorded
+        but whose round has not flushed.  Callers must pass whole-request
+        boundaries (the session's node offsets); the ``round_seq`` gap the
+        removal leaves behind only perturbs plan-cache signatures for this
+        one round, never correctness."""
+        del self._pending[start:end]
+        self.num_nodes_total = len(self._pending)
+
     def finish_partial_round(self) -> None:
         """Round boundary after a capped trigger left nodes pending: reset
         the per-round collectors exactly as the next round's

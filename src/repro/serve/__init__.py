@@ -58,7 +58,7 @@ from .policy import (
     unregister_flush_policy,
 )
 from .prepare import RoundPreparer
-from .request import RequestHandle, RequestStats
+from .request import RequestCancelled, RequestExpired, RequestHandle, RequestStats
 from .server import Endpoint, Server
 from .session import InferenceSession, RoundAborted
 from .traffic import (
@@ -93,6 +93,8 @@ __all__ = [
     "unregister_flush_policy",
     "RequestHandle",
     "RequestStats",
+    "RequestCancelled",
+    "RequestExpired",
     "InferenceSession",
     "RoundAborted",
     "Endpoint",

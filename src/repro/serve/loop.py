@@ -49,7 +49,7 @@ from collections import deque
 from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .clock import Clock, SimulatedClock
-from .request import RequestHandle
+from .request import RequestCancelled, RequestExpired, RequestHandle
 
 #: admission-queue overflow policies
 BACKPRESSURE_POLICIES = ("block", "reject", "shed-oldest")
@@ -152,15 +152,24 @@ def replay_state(
 
 
 class _Admission:
-    """One queued request: where it goes, what it is, when it arrived."""
+    """One queued request: where it goes, what it is, when it arrived, and
+    by when it must be dispatched (None = no deadline)."""
 
-    __slots__ = ("name", "instance", "at", "handle")
+    __slots__ = ("name", "instance", "at", "handle", "deadline")
 
-    def __init__(self, name: str, instance: Any, at: float, handle: RequestHandle):
+    def __init__(
+        self,
+        name: str,
+        instance: Any,
+        at: float,
+        handle: RequestHandle,
+        deadline: Optional[float] = None,
+    ):
         self.name = name
         self.instance = instance
         self.at = at
         self.handle = handle
+        self.deadline = deadline
 
 
 class ServeLoop:
@@ -261,6 +270,10 @@ class ServeLoop:
         self.num_shed = 0
         #: requests rejected by the ``reject`` backpressure policy
         self.num_rejected = 0
+        #: queued requests withdrawn via ``RequestHandle.cancel()``
+        self.num_cancelled = 0
+        #: requests whose deadline passed before dispatch
+        self.num_expired = 0
 
     # -- session access --------------------------------------------------------
     def sessions(self) -> Dict[str, Any]:
@@ -392,7 +405,12 @@ class ServeLoop:
 
     # -- intake ----------------------------------------------------------------
     def submit(
-        self, name: str, instance: Any, at: Optional[float] = None
+        self,
+        name: str,
+        instance: Any,
+        at: Optional[float] = None,
+        *,
+        deadline: Optional[float] = None,
     ) -> RequestHandle:
         """Admit one request for session ``name``; returns its handle
         immediately.
@@ -405,6 +423,11 @@ class ServeLoop:
         caller (inline submits serialize on the mode lock, so they cannot
         race a concurrent ``start()`` or each other).  After a shutdown it
         raises :class:`LoopStopped` until the loop is started again.
+
+        ``deadline`` is an absolute clock timestamp: a request still queued
+        when its deadline passes is dropped at dispatch time, its handle
+        failing with :class:`~repro.serve.request.RequestExpired` — it never
+        enters a round, so round-mates are unaffected.
         """
         session = self._session(name)  # fail fast on unknown names
         with self._mode_lock:
@@ -415,6 +438,17 @@ class ServeLoop:
                         "serve loop shut down — call Server.run() again to "
                         "resume serving"
                     )
+                if deadline is not None and self.clock.now() > deadline:
+                    # inline intake dispatches immediately, so the only way
+                    # to expire is to arrive already past the deadline
+                    handle = RequestHandle(-1, submitted_at=self.clock.now())
+                    self.num_expired += 1
+                    handle._fail(
+                        RequestExpired(
+                            f"deadline {deadline!r} already passed at submit"
+                        )
+                    )
+                    return handle
                 self._check_inline_capacity()
                 handle = session.submit(instance, at=at)
                 self.num_admitted += 1  # only successful admissions count
@@ -456,11 +490,38 @@ class ServeLoop:
             stamp = self.clock.now() if at is None else at
             handle = RequestHandle(-1, submitted_at=stamp)
             handle._managed = True
-            self._queue.append(_Admission(name, instance, stamp, handle))
+            handle._origin = self
+            self._queue.append(_Admission(name, instance, stamp, handle, deadline))
             self.num_admitted += 1
             self._admit_seq += 1
             self._cond.notify_all()
         return handle
+
+    def _cancel_handle(self, handle: RequestHandle) -> bool:
+        """Withdraw a still-queued admission (``RequestHandle.cancel()``
+        delegation target).  Thread-safe; returns False once the loop has
+        picked the request up — by then the session owns it (dispatch
+        re-points ``handle._origin`` at the session, so a cancel that loses
+        the race simply retargets there on the caller's next attempt)."""
+        with self._cond:
+            found = None
+            for adm in self._queue:
+                if adm.handle is handle:
+                    found = adm
+                    break
+            if found is None:
+                return False
+            self._queue.remove(found)
+            # a cancelled admission is resolved: count it dispatched and
+            # flushed so drain() never waits on it (same as shed)
+            self._dispatched_seq += 1
+            self._flushed_seq += 1
+            self.num_cancelled += 1
+            self._cond.notify_all()
+        handle._fail(
+            RequestCancelled("request cancelled while queued for admission")
+        )
+        return True
 
     def _check_inline_capacity(self) -> None:
         if self.max_pending is None:
@@ -551,6 +612,19 @@ class ServeLoop:
                     self._cond.notify_all()  # wake producers blocked on space
 
                 for adm in admissions:
+                    if adm.handle.done:
+                        continue  # resolved while queued (cancel/shed race)
+                    if adm.deadline is not None and self.clock.now() > adm.deadline:
+                        # expired while queued: dropped before it joins any
+                        # round, so round-mates never see it
+                        self.num_expired += 1
+                        adm.handle._fail(
+                            RequestExpired(
+                                f"deadline {adm.deadline!r} passed while the "
+                                "request was queued for admission"
+                            )
+                        )
+                        continue
                     # at= is the admission timestamp: if the loop was busy
                     # executing when the request arrived, the session sees
                     # it backdated — the continuous-batching backlog signal

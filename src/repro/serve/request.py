@@ -38,6 +38,17 @@ from typing import Any, Optional
 _UNSET = object()
 
 
+class RequestCancelled(Exception):
+    """The request was cancelled before its round formed.
+
+    Raised out of ``result()``/``await`` on a handle whose
+    :meth:`RequestHandle.cancel` succeeded; round-mates are unaffected."""
+
+
+class RequestExpired(Exception):
+    """The request's deadline passed before it could be dispatched/flushed."""
+
+
 @dataclass
 class RequestStats:
     """Per-request serving statistics, filled in when the request's round
@@ -69,7 +80,9 @@ class RequestStats:
 class RequestHandle:
     """Handle for one submitted request; resolves at its round's flush."""
 
-    __slots__ = ("index", "submitted_at", "done", "stats", "_future", "_managed")
+    __slots__ = (
+        "index", "submitted_at", "done", "stats", "_future", "_managed", "_origin"
+    )
 
     def __init__(self, index: int, submitted_at: float = 0.0) -> None:
         #: position of the request within its batching round (-1 while the
@@ -85,6 +98,9 @@ class RequestHandle:
         # called from another thread, so a bare result() blocks instead of
         # raising
         self._managed = False
+        # whoever currently owns the pending request (an InferenceSession or
+        # a ServeLoop) — the target cancel() delegates to
+        self._origin: Any = None
 
     # -- consumption -----------------------------------------------------------
     def _resolve(self, timeout: Any, accessor: str) -> Any:
@@ -133,6 +149,30 @@ class RequestHandle:
     def __await__(self):
         """Awaitable inside any running asyncio loop: ``await handle``."""
         return asyncio.wrap_future(self._future).__await__()
+
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(handle)`` when the handle resolves (from whichever thread
+        resolves it — keep the callback cheap and non-reentrant)."""
+        self._future.add_done_callback(lambda _f: fn(self))
+
+    # -- lifecycle -------------------------------------------------------------
+    def cancel(self) -> bool:
+        """Withdraw the request before its round forms.
+
+        Returns True when the request was still pending and has been removed
+        from its owner (session round or loop admission queue) — the handle
+        then fails with :class:`RequestCancelled` and round-mates flush as if
+        the request had never been submitted.  Returns False when the request
+        already resolved or its round already executed (results are not
+        retracted).  Safe from any thread for loop-managed handles; for
+        caller-driven sessions it must run on the driving thread.
+        """
+        if self.done:
+            return False
+        origin = self._origin
+        if origin is None:
+            return False
+        return bool(origin._cancel_handle(self))
 
     # -- resolution (serving internals) ----------------------------------------
     def _complete(self, value: Any, stats: RequestStats) -> None:

@@ -97,13 +97,32 @@ class Endpoint:
     def summary(self) -> Dict[str, float]:
         """Aggregate serving statistics across the endpoint's lifetime
         (running totals — O(1) regardless of how long the endpoint has
-        served)."""
+        served), plus two point-in-time gauges a decode-heavy deployment
+        watches: ``queue_depth`` (requests pending in the session round
+        plus admissions still queued at the loop for this endpoint) and
+        ``oldest_pending_age_ms`` (how long the oldest such request has
+        been waiting)."""
         session = self.session
         flushes = session.num_flushes
-        return {
+        now = session.clock.now()
+        oldest = session.round_started_at
+        queued = 0
+        if self._loop is not None:
+            with self._loop._cond:
+                for adm in self._loop._queue:
+                    if adm.name == self.name:
+                        queued += 1
+                        if oldest is None or adm.at < oldest:
+                            oldest = adm.at
+        out = {
             "requests": session.num_requests,
             "flushes": flushes,
             "pending": self.pending_requests,
+            "queue_depth": self.pending_requests + queued,
+            "oldest_pending_age_ms": (
+                max(0.0, now - oldest) * 1e3 if oldest is not None else 0.0
+            ),
+            "cancelled": session.num_cancelled,
             "kernel_launches": session.total_kernel_calls,
             "mean_batch": (session.requests_flushed / flushes) if flushes else 0.0,
             "device_ms": session.total_device_ms,
@@ -113,6 +132,10 @@ class Endpoint:
             "speculation_aborts": session.speculation_aborts,
             "prepare_hidden_ms": session.prepare_hidden_ms,
         }
+        metrics = session.generation_metrics
+        if metrics is not None:
+            out.update(metrics.summary())
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -258,7 +281,12 @@ class Server:
 
     # -- request path (facade over the serve loop) ------------------------------
     def submit(
-        self, name: str, instance: Any, at: Optional[float] = None
+        self,
+        name: str,
+        instance: Any,
+        at: Optional[float] = None,
+        *,
+        deadline: Optional[float] = None,
     ) -> RequestHandle:
         """Route one request to endpoint ``name``.
 
@@ -266,9 +294,11 @@ class Server:
         request enters the loop's bounded admission queue and the returned
         handle resolves when the loop flushes its round — ``await handle``
         or ``handle.result(timeout=...)``); before that it is the
-        historical synchronous intake path.
+        historical synchronous intake path.  ``deadline`` (absolute clock
+        timestamp) expires the request if it is still queued when the
+        deadline passes — see :meth:`ServeLoop.submit`.
         """
-        return self.loop.submit(name, instance, at=at)
+        return self.loop.submit(name, instance, at=at, deadline=deadline)
 
     def poll(self) -> int:
         """Fire every endpoint flush whose deadline has passed; returns the

@@ -50,7 +50,7 @@ from ..runtime.executor import RunStats
 from ..runtime.tensor import materialize_value
 from .clock import Clock, WallClock
 from .policy import FlushPolicy, ManualPolicy, SizePolicy, make_flush_policy
-from .request import RequestHandle, RequestStats
+from .request import RequestCancelled, RequestHandle, RequestStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.engine import ExecutionEngine
@@ -199,6 +199,13 @@ class InferenceSession:
         self.history: Deque[RunStats] = deque(maxlen=1024)
         self.num_requests = 0
         self.num_flushes = 0
+        #: requests withdrawn by :meth:`cancel` before their round formed
+        self.num_cancelled = 0
+        #: generation-layer SLO aggregates (time-to-first-step, inter-step
+        #: gaps), attached by :class:`repro.generate.GenerationSession` when
+        #: this session drives decode traffic; surfaced in
+        #: ``Endpoint.summary()``
+        self.generation_metrics = None
         #: requests executed across all flushes (mean batch size =
         #: ``requests_flushed / num_flushes``)
         self.requests_flushed = 0
@@ -321,6 +328,7 @@ class InferenceSession:
         else:
             handle.index = self._instance_seq
             handle.submitted_at = now
+        handle._origin = self
         self._instance_seq += 1
         if self._deferred:
             self._pending.append((handle, instance))
@@ -410,6 +418,60 @@ class InferenceSession:
             self._prepared_at = None
             self.speculation_aborts += 1
             self.engine.runtime.abandon_prepared(prepared)
+
+    # -- lifecycle -------------------------------------------------------------
+    def cancel(self, handle: RequestHandle) -> bool:
+        """Withdraw a pending request before its round flushes.
+
+        The request's recorded DFG nodes are removed from the shared lazy
+        graph (whole-request node slices — requests are independent, so
+        round-mates are untouched and flush exactly as if the request had
+        never been submitted), any speculatively prepared round is
+        abandoned (its composition no longer exists), and the handle fails
+        with :class:`~repro.serve.request.RequestCancelled`.
+
+        Returns False when the handle is unknown to this session or its
+        round already executed.  Not thread-safe against a concurrent
+        flush: under a running :class:`~repro.serve.loop.ServeLoop`, use
+        the endpoint's ``_session_op`` guard (``RequestHandle.cancel()``
+        on a still-queued admission is always safe — the loop removes it
+        before dispatch).
+        """
+        index = None
+        for i, (h, _) in enumerate(self._pending):
+            if h is handle:
+                index = i
+                break
+        if index is None or handle.done:
+            return False
+        self._discard_prepared()
+        if self._deferred:
+            del self._pending[index]
+        else:
+            rt = self.engine.runtime
+            start = self._node_offsets[index - 1] if index else 0
+            end = self._node_offsets[index]
+            removed = end - start
+            del self._pending[index]
+            del self._node_offsets[index]
+            if removed:
+                rt.drop_pending_slice(start, end)
+                for j in range(index, len(self._node_offsets)):
+                    self._node_offsets[j] -= removed
+        self.num_cancelled += 1
+        if self._pending:
+            self._round_started_at = self._pending[0][0].submitted_at
+        else:
+            self._round_started_at = None
+            # an emptied round may legally restart its trace timestamps
+            self._last_arrival = None
+        handle._fail(
+            RequestCancelled("request cancelled before its round flushed")
+        )
+        return True
+
+    # the RequestHandle.cancel() delegation target
+    _cancel_handle = cancel
 
     # -- execution -------------------------------------------------------------
     def poll(self) -> Optional[List[Any]]:

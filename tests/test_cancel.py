@@ -1,0 +1,229 @@
+"""Tests for request lifecycle at the serving layer: cancellation of
+pending round members (round-mates flush bit-identical, device counters
+stay consistent), prepared-round discard on cancel, cancellation of
+loop-queued admissions, deadline expiry on the inline and dispatch paths,
+and the Endpoint.summary() queue-depth / oldest-pending-age gauges."""
+
+import pytest
+
+from repro import CompilerOptions, compile_model, reference_run
+from repro.models import MODEL_MODULES
+from repro.serve import Server, SimulatedClock
+from repro.serve.request import RequestCancelled, RequestExpired
+from repro.utils import values_allclose
+
+BATCH = 5
+
+
+@pytest.fixture(scope="module")
+def treelstm_setup():
+    module = MODEL_MODULES["treelstm"]
+    mod, params, size = module.build_for("test")
+    instances = module.make_batch(mod, size, BATCH, seed=21)
+    reference = reference_run(mod, params, instances)
+    return mod, params, instances, reference
+
+
+def _session(setup, policy="manual", **kw):
+    mod, params, _, _ = setup
+    return compile_model(mod, params, CompilerOptions()).serve(
+        policy, clock=SimulatedClock(), **kw
+    )
+
+
+class TestSessionCancel:
+    @pytest.mark.parametrize("victim", [0, 2, BATCH - 1])
+    def test_roundmates_unaffected(self, treelstm_setup, victim):
+        """Cancelling any member of a pending round leaves the others'
+        results bit-identical to a round that never contained it."""
+        _, _, instances, reference = treelstm_setup
+        survivors = [i for i in range(BATCH) if i != victim]
+
+        # baseline: the round without the victim ever submitted
+        base = _session(treelstm_setup)
+        base_handles = [base.submit(instances[i]) for i in survivors]
+        base.flush()
+
+        sess = _session(treelstm_setup)
+        handles = [sess.submit(inst) for inst in instances]
+        assert sess.cancel(handles[victim]) is True
+        assert sess.pending_requests == BATCH - 1
+        sess.flush()
+
+        with pytest.raises(RequestCancelled):
+            handles[victim].result()
+        assert handles[victim].failed
+        for i, bh in zip(survivors, base_handles):
+            assert values_allclose(handles[i].result(), bh.result())
+            assert values_allclose(handles[i].result(), reference[i])
+        assert sess.num_cancelled == 1
+        # the flushed round priced exactly the survivors' work
+        assert sess.last_stats.kernel_calls == base.last_stats.kernel_calls
+        assert sess.requests_flushed == BATCH - 1
+
+    def test_cancel_resolved_handle_returns_false(self, treelstm_setup):
+        _, _, instances, reference = treelstm_setup
+        sess = _session(treelstm_setup)
+        h = sess.submit(instances[0])
+        sess.flush()
+        assert sess.cancel(h) is False
+        assert h.cancel() is False
+        assert values_allclose(h.result(), reference[0])
+
+    def test_cancel_twice_returns_false(self, treelstm_setup):
+        _, _, instances, _ = treelstm_setup
+        sess = _session(treelstm_setup)
+        h = sess.submit(instances[0])
+        assert sess.cancel(h) is True
+        assert sess.cancel(h) is False
+        assert sess.num_cancelled == 1
+
+    def test_cancel_whole_round_then_reuse(self, treelstm_setup):
+        """Emptying a round by cancellation leaves the session serviceable:
+        the next round flushes normally (and may restart its trace
+        timestamps)."""
+        _, _, instances, reference = treelstm_setup
+        sess = _session(treelstm_setup)
+        handles = [sess.submit(inst) for inst in instances[:3]]
+        for h in handles:
+            assert h.cancel() is True
+        assert sess.pending_requests == 0
+        h = sess.submit(instances[3])
+        sess.flush()
+        assert values_allclose(h.result(), reference[3])
+        assert sess.num_cancelled == 3
+
+    def test_handle_cancel_delegates_to_session(self, treelstm_setup):
+        """RequestHandle.cancel() on a session-origin handle withdraws it
+        without the caller touching the session API."""
+        _, _, instances, reference = treelstm_setup
+        sess = _session(treelstm_setup)
+        h0 = sess.submit(instances[0])
+        h1 = sess.submit(instances[1])
+        assert h0.cancel() is True
+        sess.flush()
+        assert values_allclose(h1.result(), reference[1])
+        with pytest.raises(RequestCancelled):
+            h0.result()
+
+    def test_cancel_discards_prepared_round(self, treelstm_setup):
+        """A speculatively prepared round is invalidated by cancellation —
+        admission diverged, so adopting it would execute a stale
+        composition."""
+        _, _, instances, reference = treelstm_setup
+        # a policy with a flush prediction, so speculation can fire
+        sess = _session(treelstm_setup, policy="deadline", ms=50.0)
+        handles = [sess.submit(inst) for inst in instances[:3]]
+        assert sess.consider_prepare(sess.clock.now()) is True
+        assert sess.cancel(handles[1]) is True
+        assert sess.speculation_aborts == 1
+        sess.flush()
+        assert sess.speculation_hits == 0
+        assert values_allclose(handles[0].result(), reference[0])
+        assert values_allclose(handles[2].result(), reference[2])
+
+
+class TestLoopLifecycle:
+    def test_cancel_queued_admission(self, treelstm_setup):
+        """A request still queued at the loop is withdrawn before dispatch:
+        it never joins a round, drain() does not wait on it, and the loop
+        counts it."""
+        mod, params, instances, reference = treelstm_setup
+        server = Server()
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()), policy="size", n=1
+        )
+        loop = server.run()
+        try:
+            with loop._cond:  # loop thread cannot dispatch while we hold this
+                h_cancel = server.submit("m", instances[0])
+                h_keep = server.submit("m", instances[1])
+                assert h_cancel.cancel() is True
+                assert h_cancel.cancel() is False
+            server.drain()
+            with pytest.raises(RequestCancelled, match="queued for admission"):
+                h_cancel.result(timeout=1.0)
+            assert values_allclose(h_keep.result(timeout=5.0), reference[1])
+            assert loop.num_cancelled == 1
+        finally:
+            server.shutdown()
+
+    def test_deadline_expires_queued_admission(self, treelstm_setup):
+        """A queued request whose deadline passed is dropped at dispatch,
+        failing with RequestExpired; round-mates are unaffected."""
+        mod, params, instances, reference = treelstm_setup
+        server = Server()
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()), policy="size", n=1
+        )
+        loop = server.run()
+        try:
+            past = server.clock.now() - 1.0
+            with loop._cond:
+                h_dead = server.submit("m", instances[0], deadline=past)
+                h_live = server.submit("m", instances[1])
+            server.drain()
+            with pytest.raises(RequestExpired, match="while the request was queued"):
+                h_dead.result(timeout=1.0)
+            assert values_allclose(h_live.result(timeout=5.0), reference[1])
+            assert loop.num_expired == 1
+        finally:
+            server.shutdown()
+
+    def test_deadline_expires_inline_submit(self, treelstm_setup):
+        """Before the loop ever runs, intake is synchronous — the only way
+        to expire is to arrive already past the deadline."""
+        mod, params, instances, reference = treelstm_setup
+        clock = SimulatedClock(start=10.0)
+        server = Server(clock=clock)
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()), policy="manual"
+        )
+        h_dead = server.submit("m", instances[0], deadline=9.0)
+        assert h_dead.failed
+        with pytest.raises(RequestExpired, match="already passed at submit"):
+            h_dead.result()
+        assert server.loop.num_expired == 1
+        h_live = server.submit("m", instances[1], deadline=11.0)
+        server.flush_all()
+        assert values_allclose(h_live.result(), reference[1])
+
+
+class TestSummaryGauges:
+    def test_queue_depth_and_oldest_pending_age(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        clock = SimulatedClock()
+        server = Server(clock=clock)
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()), policy="manual"
+        )
+        assert server.summary()["m"]["queue_depth"] == 0
+        assert server.summary()["m"]["oldest_pending_age_ms"] == 0.0
+
+        server.submit("m", instances[0])
+        clock.advance(0.004)
+        server.submit("m", instances[1])
+        summary = server.summary()["m"]
+        assert summary["queue_depth"] == 2
+        # the gauge tracks the *oldest* waiter
+        assert summary["oldest_pending_age_ms"] == pytest.approx(4.0)
+
+        server.flush_all()
+        summary = server.summary()["m"]
+        assert summary["queue_depth"] == 0
+        assert summary["oldest_pending_age_ms"] == 0.0
+
+    def test_summary_counts_cancelled(self, treelstm_setup):
+        mod, params, instances, _ = treelstm_setup
+        server = Server(clock=SimulatedClock())
+        server.add_endpoint(
+            "m", compile_model(mod, params, CompilerOptions()), policy="manual"
+        )
+        h = server.submit("m", instances[0])
+        keep = server.submit("m", instances[1])
+        assert h.cancel() is True
+        server.flush_all()
+        summary = server.summary()["m"]
+        assert summary["cancelled"] == 1
+        assert summary["requests"] == 2
+        assert keep.done and not keep.failed

@@ -1,0 +1,494 @@
+"""Tests for the autoregressive generation subsystem: per-step re-batching
+through the serving stack, bitwise reference identity of batched
+trajectories, EOS/max-token stopping, streaming, cancellation and deadline
+expiry at round-boundary granularity (round-mates untouched), recurrent
+state residency, per-step SLO metrics, deterministic replay, and the
+wall-clock pump behind a running Server."""
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro import CompilerOptions, compile_model
+from repro.generate import (
+    GenerationCancelled,
+    GenerationExpired,
+    GenerationRequest,
+    GenerationSession,
+    reference_generate,
+)
+from repro.models import MODEL_MODULES
+from repro.serve import Server, SimulatedClock
+from repro.serve.request import RequestCancelled, RequestExpired
+
+#: deterministic host cost model for flushes: (per_round_ms, per_request_ms)
+HOST_MODEL = (0.2, 0.05)
+
+
+@lru_cache(maxsize=None)
+def _setup(name):
+    module = MODEL_MODULES[name]
+    mod, params, size = module.build_for("test")
+    compiled = compile_model(mod, params, CompilerOptions())
+    return module, mod, params, size, compiled
+
+
+def _make_requests(vocab, n, max_new, seed, prompt_lens=(1, 5)):
+    """The experiment's open-loop trace in miniature: exponential gaps,
+    random prompts."""
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    out = []
+    for _ in range(n):
+        t += float(rng.exponential(0.0004))
+        length = int(rng.integers(*prompt_lens))
+        prompt = [int(tok) for tok in rng.integers(0, vocab, length)]
+        out.append(GenerationRequest(prompt, max_new_tokens=max_new, arrival=t))
+    return out
+
+
+def _references(name, requests, eos_id=None):
+    module, mod, params, size, _ = _setup(name)
+    return [
+        reference_generate(
+            mod, params, module, size, r.prompt, r.max_new_tokens, eos_id=eos_id
+        )
+        for r in requests
+    ]
+
+
+def _generate(name, requests, policy="adaptive", prepare=False, eos_id=None,
+              host_model=None, **policy_args):
+    module, _, _, size, compiled = _setup(name)
+    session = compiled.serve(policy, clock=SimulatedClock(), **policy_args)
+    gen = GenerationSession(session, module, size, eos_id=eos_id)
+    handles = gen.generate(requests, host_model=host_model, prepare=prepare)
+    return handles, session, gen
+
+
+def _snapshot(handles):
+    return [
+        (
+            tuple(h.tokens),
+            h.stats.first_token_at,
+            h.stats.finished_at,
+            tuple(h.stats.inter_step_ms),
+            h.stats.status,
+        )
+        for h in handles
+    ]
+
+
+class TestReferenceIdentity:
+    @pytest.mark.parametrize("name", ["declm", "declm_gru"])
+    @pytest.mark.parametrize(
+        "policy,args", [("adaptive", {}), ("size", {"n": 1})]
+    )
+    def test_batched_trajectories_match_eager_reference(self, name, policy, args):
+        """Every decode trajectory — continuously batched or one round per
+        step — equals the eager unbatched loop bitwise."""
+        _, _, _, size, _ = _setup(name)
+        requests = _make_requests(size.classes, 6, 6, seed=3)
+        reference = _references(name, requests)
+        handles, session, _ = _generate(name, requests, policy=policy, **args)
+        assert [h.result() for h in handles] == reference
+        assert all(h.stats.status == "done" for h in handles)
+        if policy == "adaptive":
+            # the win is real cross-request rounds, not degenerate batches
+            assert session.requests_flushed / session.num_flushes > 1.5
+
+    def test_prepare_pipeline_is_reference_identical(self):
+        """Speculative round preparation adopts real rounds and changes no
+        token."""
+        _, _, _, size, _ = _setup("declm")
+        requests = _make_requests(size.classes, 8, 8, seed=4)
+        reference = _references("declm", requests)
+        handles, session, _ = _generate(
+            "declm", requests, prepare=True, host_model=HOST_MODEL
+        )
+        assert [h.result() for h in handles] == reference
+        # decode cohorts are speculatable: composition is known before the
+        # barrier, so the overlapped host pipeline must actually fire
+        assert session.speculation_hits > 0
+
+    def test_eos_early_stop(self):
+        """A sequence hitting EOS stops there — exactly where the eager
+        reference with the same eos_id stops — and still batches with
+        longer round-mates."""
+        _, _, _, size, _ = _setup("declm")
+        requests = _make_requests(size.classes, 5, 8, seed=5)
+        full = _references("declm", requests)
+        eos = full[0][1]  # first sequence emits it at index <= 1
+        ref_eos = _references("declm", requests, eos_id=eos)
+        assert len(ref_eos[0]) < len(full[0])
+        handles, _, _ = _generate("declm", requests, eos_id=eos)
+        assert [h.result() for h in handles] == ref_eos
+        assert handles[0].tokens[-1] == eos
+        assert handles[0].stats.status == "done"
+
+    def test_variable_lengths(self):
+        """Per-request max_new_tokens: sequences retire at different steps
+        while the survivors keep batching."""
+        _, _, _, size, _ = _setup("declm")
+        rng = np.random.default_rng(6)
+        requests = [
+            GenerationRequest(
+                [int(t) for t in rng.integers(0, size.classes, 2)],
+                max_new_tokens=m,
+                arrival=i * 0.0003,
+            )
+            for i, m in enumerate([3, 7, 2, 9, 5])
+        ]
+        reference = _references("declm", requests)
+        handles, _, _ = _generate("declm", requests)
+        assert [h.result() for h in handles] == reference
+        assert [len(h.tokens) for h in handles] == [3, 7, 2, 9, 5]
+
+    def test_replay_is_bitwise_deterministic(self):
+        """Same trace, same tokens AND same timestamps — with and without
+        the prepare pipeline."""
+        _, _, _, size, _ = _setup("declm")
+        for prepare in (False, True):
+            requests = _make_requests(size.classes, 6, 6, seed=7)
+            first, _, _ = _generate(
+                "declm", requests, prepare=prepare, host_model=HOST_MODEL
+            )
+            requests = _make_requests(size.classes, 6, 6, seed=7)
+            again, _, _ = _generate(
+                "declm", requests, prepare=prepare, host_model=HOST_MODEL
+            )
+            assert _snapshot(first) == _snapshot(again)
+
+
+class TestStreamingAndStats:
+    def test_on_token_streams_in_order(self):
+        _, _, _, size, _ = _setup("declm")
+        seen = []
+        requests = _make_requests(size.classes, 3, 5, seed=8)
+        requests[1].on_token = lambda h, tok, i, at: seen.append((tok, i, at))
+        handles, _, _ = _generate("declm", requests)
+        assert [tok for tok, _, _ in seen] == handles[1].tokens
+        assert [i for _, i, _ in seen] == list(range(len(handles[1].tokens)))
+        ats = [at for _, _, at in seen]
+        assert ats == sorted(ats)
+
+    def test_stream_iterator_yields_full_sequence(self):
+        _, _, _, size, _ = _setup("declm")
+        requests = _make_requests(size.classes, 3, 5, seed=9)
+        handles, _, _ = _generate("declm", requests)
+        for h in handles:
+            assert list(h.stream(timeout=1.0)) == h.tokens
+
+    def test_per_sequence_stats(self):
+        _, _, _, size, _ = _setup("declm")
+        requests = _make_requests(size.classes, 4, 6, seed=10)
+        handles, _, _ = _generate("declm", requests)
+        for h in handles:
+            s = h.stats
+            assert s.status == "done"
+            assert s.tokens == len(h.tokens) == h.request.max_new_tokens
+            # one step per consumed prompt token beyond the first, plus one
+            # per emitted token
+            assert s.steps == len(h.request.prompt) - 1 + s.tokens
+            assert s.ttfs_ms is not None and s.ttfs_ms > 0
+            assert len(s.inter_step_ms) == s.tokens - 1
+            assert s.finished_at >= s.first_token_at >= s.submitted_at
+
+    def test_metrics_summary(self):
+        _, _, _, size, _ = _setup("declm")
+        requests = _make_requests(size.classes, 4, 5, seed=11)
+        _, _, gen = _generate("declm", requests)
+        m = gen.metrics.summary()
+        assert m["gen_requests"] == 4
+        assert m["gen_tokens"] == 4 * 5
+        assert m["gen_cancelled"] == 0 and m["gen_expired"] == 0
+        assert m["ttfs_p50_ms"] > 0
+        assert m["ttfs_p99_ms"] >= m["ttfs_p50_ms"]
+        assert m["inter_step_p99_ms"] > 0
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError, match="non-empty prompt"):
+            GenerationRequest([])
+        with pytest.raises(ValueError, match="max_new_tokens"):
+            GenerationRequest([1], max_new_tokens=0)
+
+
+class TestCancellation:
+    def _paired_requests(self, size, n=3, max_new=6):
+        """Simultaneous prompt-length-1 requests: every cohort contains one
+        step of each live sequence, processed in index order."""
+        rng = np.random.default_rng(13)
+        return [
+            GenerationRequest(
+                [int(rng.integers(0, size.classes))],
+                max_new_tokens=max_new,
+                arrival=0.0,
+            )
+            for _ in range(n)
+        ]
+
+    def test_self_cancel_from_stream_callback(self):
+        """A sequence cancelling itself mid-generation is dropped at the
+        next round boundary; round-mates stay bitwise identical to the
+        uncancelled run."""
+        _, _, _, size, _ = _setup("declm")
+        requests = self._paired_requests(size)
+        reference = _references("declm", requests)
+        requests[1].on_token = (
+            lambda h, tok, i, at: h.cancel() if i == 1 else None
+        )
+        handles, session, gen = _generate("declm", requests)
+
+        assert handles[1].stats.status == "cancelled"
+        assert handles[1].failed
+        with pytest.raises(GenerationCancelled):
+            handles[1].result()
+        # partial tokens survive, and are the reference prefix
+        assert handles[1].tokens == reference[1][:2]
+        # round-mates: every token bitwise identical to the reference
+        assert handles[0].result() == reference[0]
+        assert handles[2].result() == reference[2]
+        assert gen.metrics.cancelled == 1
+        # the pending step was withdrawn from the shared round before it
+        # flushed
+        assert session.num_cancelled == 1
+
+    def test_cancel_peer_pending_step_withdrawn(self):
+        """Cancelling a sequence whose next step is already pending in the
+        round: the sweep withdraws its DFG nodes at the round boundary and
+        the round flushes as if it had never stepped."""
+        _, _, _, size, _ = _setup("declm")
+        requests = self._paired_requests(size)
+        reference = _references("declm", requests)
+        box = {}
+        requests[0].on_token = lambda h, tok, i, at: box.__setitem__(0, h)
+        # sequence 2 is processed after sequence 0 in each cohort, so by the
+        # time this fires, sequence 0's next step is pending un-flushed
+        requests[2].on_token = (
+            lambda h, tok, i, at: box[0].cancel() if i == 1 else None
+        )
+        handles, session, gen = _generate("declm", requests)
+
+        assert handles[0].stats.status == "cancelled"
+        assert handles[0].tokens == reference[0][:2]
+        with pytest.raises(RequestCancelled):  # superclass catches it too
+            handles[0].result()
+        assert session.num_cancelled == 1
+        assert handles[1].result() == reference[1]
+        assert handles[2].result() == reference[2]
+        assert gen.metrics.cancelled == 1
+
+    def test_cancel_peer_mid_cohort(self):
+        """Cancelling a sequence after its step flushed but before its
+        result was consumed: the result is discarded, no token is emitted
+        from it."""
+        _, _, _, size, _ = _setup("declm")
+        requests = self._paired_requests(size)
+        reference = _references("declm", requests)
+        box = {}
+        requests[2].on_token = lambda h, tok, i, at: box.__setitem__(2, h)
+        # sequence 0 is processed before sequence 2 in each cohort: at
+        # cohort k>0 this cancels sequence 2 between its flush and its
+        # consume
+        requests[0].on_token = (
+            lambda h, tok, i, at: box[2].cancel() if i == 1 else None
+        )
+        handles, _, gen = _generate("declm", requests)
+
+        assert handles[2].stats.status == "cancelled"
+        assert handles[2].tokens == reference[2][:1]
+        assert handles[0].result() == reference[0]
+        assert handles[1].result() == reference[1]
+        assert gen.metrics.cancelled == 1
+
+    def test_cancel_after_done_returns_false(self):
+        _, _, _, size, _ = _setup("declm")
+        requests = self._paired_requests(size, n=1, max_new=2)
+        handles, _, _ = _generate("declm", requests)
+        assert handles[0].stats.status == "done"
+        assert handles[0].cancel() is False
+
+    def test_raising_on_token_fails_only_its_sequence(self):
+        _, _, _, size, _ = _setup("declm")
+        requests = self._paired_requests(size)
+        reference = _references("declm", requests)
+
+        def boom(h, tok, i, at):
+            if i == 1:
+                raise RuntimeError("consumer exploded")
+
+        requests[1].on_token = boom
+        handles, _, _ = _generate("declm", requests)
+        assert handles[1].stats.status == "failed"
+        with pytest.raises(RuntimeError, match="consumer exploded"):
+            handles[1].result()
+        assert handles[0].result() == reference[0]
+        assert handles[2].result() == reference[2]
+
+
+class TestDeadlines:
+    def test_deadline_expiry_mid_generation(self):
+        """A deadline passing mid-decode drops the sequence at the next
+        round boundary with its partial tokens; round-mates finish
+        untouched."""
+        _, _, _, size, _ = _setup("declm")
+        rng = np.random.default_rng(17)
+        mk = lambda: [  # noqa: E731
+            GenerationRequest(
+                [int(rng.integers(0, size.classes))],
+                max_new_tokens=8,
+                arrival=i * 0.0002,
+            )
+            for i in range(3)
+        ]
+        baseline = _generate("declm", mk())[0]
+        reference = [list(h.tokens) for h in baseline]
+        # place the deadline between token 1 and token 2 of sequence 1
+        s = baseline[1].stats
+        emit_at = [s.first_token_at]
+        for gap in s.inter_step_ms:
+            emit_at.append(emit_at[-1] + gap / 1e3)
+        deadline = (emit_at[1] + emit_at[2]) / 2
+
+        rng = np.random.default_rng(17)
+        requests = mk()
+        requests[1].deadline = deadline
+        handles, _, gen = _generate("declm", requests)
+
+        assert handles[1].stats.status == "expired"
+        assert handles[1].tokens == reference[1][:2]
+        with pytest.raises(GenerationExpired):
+            handles[1].result()
+        with pytest.raises(RequestExpired):  # superclass catches it too
+            handles[1].result()
+        assert handles[0].result() == reference[0]
+        assert handles[2].result() == reference[2]
+        assert gen.metrics.expired == 1
+
+    def test_deadline_dead_on_arrival(self):
+        _, _, _, size, _ = _setup("declm")
+        requests = [
+            GenerationRequest([1], max_new_tokens=4, arrival=0.0),
+            GenerationRequest(
+                [2], max_new_tokens=4, arrival=0.002, deadline=0.001
+            ),
+        ]
+        reference = _references("declm", requests)
+        handles, _, gen = _generate("declm", requests)
+        assert handles[1].stats.status == "expired"
+        assert handles[1].tokens == []
+        assert handles[1].stats.steps == 0
+        with pytest.raises(GenerationExpired):
+            handles[1].result()
+        assert handles[0].result() == reference[0]
+        assert gen.metrics.expired == 1
+
+
+class TestStateResidency:
+    def test_feedback_state_stays_on_device(self):
+        """The fed-back recurrent state is a device-born arena view marked
+        resident: steady-state decode rounds charge no host->device copy
+        for it.  Disabling the residency mark must strictly increase memcpy
+        traffic and change no token."""
+        _, _, _, size, _ = _setup("declm")
+
+        def run(mark):
+            requests = _make_requests(size.classes, 4, 6, seed=19)
+            module, _, _, _, compiled = _setup("declm")
+            session = compiled.serve("adaptive", clock=SimulatedClock())
+            gen = GenerationSession(session, module, size)
+            gen._mark_resident = mark
+            copies = []
+            flush = session.flush
+
+            def counting_flush(*a, **k):
+                out = flush(*a, **k)
+                if session.last_stats is not None:
+                    copies.append(session.last_stats.device["num_memcpy"])
+                return out
+
+            session.flush = counting_flush
+            handles = gen.generate(requests)
+            return [h.result() for h in handles], sum(copies)
+
+        tokens_on, copies_on = run(True)
+        tokens_off, copies_off = run(False)
+        assert tokens_on == tokens_off
+        assert copies_on < copies_off
+
+
+class TestModes:
+    def test_exactly_one_driver(self):
+        module, mod, params, size, compiled = _setup("declm")
+        with pytest.raises(ValueError, match="exactly one"):
+            GenerationSession(model=module, size=size)
+
+    def test_generate_requires_simulated_clock(self):
+        module, _, _, size, compiled = _setup("declm")
+        session = compiled.serve("adaptive")  # wall clock
+        gen = GenerationSession(session, module, size)
+        with pytest.raises(RuntimeError, match="SimulatedClock"):
+            gen.generate([GenerationRequest([1])])
+
+    def test_submit_requires_server_mode(self):
+        module, _, _, size, compiled = _setup("declm")
+        session = compiled.serve("adaptive", clock=SimulatedClock())
+        gen = GenerationSession(session, module, size)
+        with pytest.raises(RuntimeError, match="wall-clock"):
+            gen.submit(GenerationRequest([1]))
+
+    def test_wall_clock_generation_through_server(self):
+        """End-to-end wall-clock mode: the pump thread resubmits steps
+        through a running Server's loop, streams tokens, and the endpoint
+        summary surfaces the decode SLO metrics."""
+        module, mod, params, size, _ = _setup("declm")
+        requests = [
+            GenerationRequest([3, 1], max_new_tokens=4),
+            GenerationRequest([5], max_new_tokens=3),
+        ]
+        reference = [
+            reference_generate(
+                mod, params, module, size, r.prompt, r.max_new_tokens
+            )
+            for r in requests
+        ]
+        server = Server()
+        server.add_endpoint(
+            "dec", compile_model(mod, params, CompilerOptions()), policy="size", n=1
+        )
+        with server.run():
+            with GenerationSession(
+                server=server, endpoint="dec", model=module, size=size
+            ) as gen:
+                handles = [gen.submit(r) for r in requests]
+                streamed = list(handles[0].stream(timeout=10.0))
+                assert [h.result(timeout=10.0) for h in handles] == reference
+                assert streamed == reference[0]
+                gen.drain(timeout=10.0)
+            summary = server.summary()["dec"]
+            assert summary["gen_requests"] == 2
+            assert summary["gen_tokens"] == 7
+            assert summary["ttfs_p50_ms"] > 0
+
+    def test_wall_clock_cancel_before_first_step(self):
+        module, mod, params, size, _ = _setup("declm")
+        server = Server()
+        server.add_endpoint(
+            "dec", compile_model(mod, params, CompilerOptions()), policy="size", n=1
+        )
+        with server.run():
+            with GenerationSession(
+                server=server, endpoint="dec", model=module, size=size
+            ) as gen:
+                req = GenerationRequest([1], max_new_tokens=4)
+                done = GenerationRequest([2], max_new_tokens=2)
+                h_done = gen.submit(done)
+                h_done.result(timeout=10.0)
+                h = gen.submit(req)
+                h.cancel()
+                gen.drain(timeout=10.0)
+                assert h.stats.status in ("cancelled", "done")
+                if h.stats.status == "cancelled":
+                    with pytest.raises(GenerationCancelled):
+                        h.result(timeout=1.0)

@@ -448,6 +448,72 @@ class TestCappedFlush:
         outputs = [h.result() for h in handles]
         assert all(values_allclose(a, b) for a, b in zip(reference, outputs))
 
+    def test_reentrant_submission_appends_behind_prepared_prefix(
+        self, treelstm_setup
+    ):
+        """Submissions landing mid-drain (between the capped flushes of one
+        backlog) append *behind* the leftover prefix: the next speculation
+        covers the merged composition and every hit still lands."""
+        mod, params, instances, reference = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        clock = SimulatedClock()
+        session = model.serve(
+            "adaptive", clock=clock, max_batch=3, max_wait_ms=10_000.0
+        )
+        clock.advance(1.0)
+        handles = [session.submit(inst, at=0.0) for inst in instances[:4]]
+        assert session.consider_prepare(clock.now()) is True
+        first = session.flush()
+        assert len(first) == 3
+        assert session.speculation_hits == 1
+        # mid-drain: two new arrivals while one request is still pending —
+        # they queue behind it, preserving submission order
+        handles += [session.submit(inst, at=0.0) for inst in instances[4:6]]
+        assert session.pending_requests == 3
+        assert session.consider_prepare(clock.now()) is True
+        second = session.flush()
+        assert len(second) == 3
+        assert session.speculation_hits == 2
+        assert session.speculation_aborts == 0
+        assert session.pending_requests == 0
+        outputs = [h.result() for h in handles]
+        assert all(
+            exact_equal(a, b) for a, b in zip(reference[:6], outputs)
+        )
+
+    def test_reentrant_submission_from_done_callback(self, treelstm_setup):
+        """The fully re-entrant case: a handle's done callback submits a
+        new request *while the capped flush that resolves it is still
+        running*.  The submission must append behind the overflow prefix
+        without corrupting node offsets, arrival tracking, or the adopted
+        speculation."""
+        mod, params, instances, reference = treelstm_setup
+        model = compile_model(mod, params, CompilerOptions())
+        clock = SimulatedClock()
+        session = model.serve(
+            "adaptive", clock=clock, max_batch=3, max_wait_ms=10_000.0
+        )
+        clock.advance(1.0)
+        handles = [session.submit(inst, at=0.0) for inst in instances[:4]]
+        late = []
+        handles[0].add_done_callback(
+            lambda h: late.append(session.submit(instances[4], at=0.0))
+        )
+        assert session.consider_prepare(clock.now()) is True
+        first = session.flush()
+        assert len(first) == 3
+        assert session.speculation_hits == 1
+        # the callback fired mid-flush: its submission queued behind the
+        # leftover prefix
+        assert session.pending_requests == 2
+        second = session.flush()
+        assert len(second) == 2
+        assert session.speculation_aborts == 0
+        outputs = [h.result() for h in handles] + [late[0].result()]
+        assert all(
+            exact_equal(a, b) for a, b in zip(reference[:5], outputs)
+        )
+
     def test_capped_replay_is_deterministic_and_reference_identical(
         self, treelstm_setup
     ):
