@@ -15,9 +15,9 @@ of counters.  This package removes that assumption:
   per-device counters/residency, group aggregation, and elapsed-vs-total
   device-time accounting (members run concurrently);
 * :mod:`repro.devices.placement` — :class:`PlacementPolicy` and its
-  string-keyed registry (``single``, ``round_robin``, ``data_parallel``):
-  *where* each scheduled batch executes, mirroring the scheduler-policy
-  and flush-policy registries.
+  string-keyed registry (``single``, ``round_robin``, ``data_parallel``,
+  ``pipeline``, ``tensor_parallel``): *where* each scheduled batch
+  executes, mirroring the scheduler-policy and flush-policy registries.
 
 Entry points: ``compile_model(...).serve(policy, devices=4,
 placement="round_robin")`` opens a sharded serving session;
@@ -30,11 +30,15 @@ from .group import DeviceGroup
 from .interconnect import INTERCONNECT_PRESETS, Interconnect
 from .placement import (
     DataParallelPlacement,
+    LearnedWorkPlacement,
+    PipelinePlacement,
     PlacementPolicy,
     RoundRobinPlacement,
     SinglePlacement,
+    TensorParallelPlacement,
     available_placements,
     make_placement,
+    partition_stages,
     register_placement,
     unregister_placement,
 )
@@ -48,8 +52,12 @@ __all__ = [
     "SinglePlacement",
     "RoundRobinPlacement",
     "DataParallelPlacement",
+    "LearnedWorkPlacement",
+    "PipelinePlacement",
+    "TensorParallelPlacement",
     "available_placements",
     "make_placement",
+    "partition_stages",
     "register_placement",
     "unregister_placement",
 ]

@@ -257,18 +257,23 @@ class DeviceGroup:
         """Busy time, utilization and balance across the group.
 
         ``utilization`` is each member's busy time relative to the busiest
-        member; ``balance`` is the least-busy / busiest ratio (1.0 = perfect
-        balance, 0.0 = at least one member idle).  Reflects counters since
-        the last reset.
+        member; ``balance`` is the least-busy / busiest ratio over the
+        *participating* members (1.0 = the members sharing the work share
+        it perfectly).  A member a placement left idle is reported by
+        ``active_devices``, not by zeroing balance: ``single`` on a 4-group
+        is one perfectly balanced active device, not a 0.00-balance group.
+        Reflects counters since the last reset.
         """
         busy = [d.counters.total_device_us for d in self.devices]
+        active = [b for b in busy if b > 0.0]
         top = max(busy)
         return {
             "count": len(self.devices),
+            "active_devices": len(active),
             "interconnect": self.interconnect.name,
             "busy_us": busy,
             "utilization": [b / top if top > 0 else 0.0 for b in busy],
-            "balance": (min(busy) / top) if top > 0 else 1.0,
+            "balance": (min(active) / top) if active else 1.0,
         }
 
     def reset(self) -> None:

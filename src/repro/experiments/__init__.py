@@ -13,6 +13,7 @@ from . import (
     figure6,
     generation,
     overlap,
+    pipeline,
     serving,
     sharding,
     specialization,
@@ -48,6 +49,7 @@ ALL_EXPERIMENTS = {
     "figure6": figure6,
     "serving": serving,
     "sharding": sharding,
+    "pipeline": pipeline,
     "continuous": continuous,
     "specialization": specialization,
     "overlap": overlap,
@@ -56,8 +58,8 @@ ALL_EXPERIMENTS = {
 
 __all__ = [
     "table4", "table5", "table6", "table7", "table8", "table9",
-    "figure5", "figure6", "serving", "sharding", "continuous", "specialization",
-    "overlap", "generation",
+    "figure5", "figure6", "serving", "sharding", "pipeline", "continuous",
+    "specialization", "overlap", "generation",
     "ALL_EXPERIMENTS",
     "ExperimentScale", "REDUCED", "PAPER", "current_scale",
     "run_acrobat", "run_dynet", "run_eager", "run_vm", "run_cortex",

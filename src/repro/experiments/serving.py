@@ -61,6 +61,7 @@ CACHE_HEADERS = (
     "config",
     "flushes",
     "hits",
+    "misses",
     "hit_rate",
     "memory_planning_ms",
 )
@@ -182,6 +183,7 @@ def run_plan_cache(
                 label,
                 rounds,
                 hits,
+                misses,
                 hits / max(1, hits + misses),
                 planning,
             ]

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..compiler.options import CompilerOptions
 from ..core.api import compile_model, reference_run
 from ..devices.group import DeviceGroup
+from ..models import MODEL_MODULES
 from ..runtime.device import GPUSpec
 from ..serve.clock import SimulatedClock
 from ..serve.traffic import TrafficReport, poisson_arrivals, replay
@@ -63,11 +64,16 @@ HEADERS = (
     "launches",
     "peer_transfers",
     "balance",
+    "active_devices",
     "matches_ref",
     "counters_sum",
 )
 
 PLACEMENTS = ("single", "round_robin", "data_parallel")
+#: the full placement registry accepted by --placements; the default sweep
+#: keeps the original three, the depth-staged policies have their own sweep
+#: (:mod:`repro.experiments.pipeline`) but can be pulled in here ad hoc
+PLACEMENT_CHOICES = PLACEMENTS + ("pipeline", "tensor_parallel")
 DEVICE_COUNTS = (1, 2, 4)
 
 MODEL = "treelstm"
@@ -116,18 +122,28 @@ def _counters_sum_ok(history) -> bool:
     return True
 
 
-def _busy_balance(history) -> float:
-    """min/max per-device busy time across the replay's flushes (1.0 =
-    perfectly balanced; single-device runs are balanced by definition)."""
+def _busy_balance(history) -> Tuple[float, int]:
+    """Busy-time balance over the *participating* devices plus how many
+    participated, accumulated across the replay's flushes.
+
+    Balance is min/max cumulative busy time over members that did any work
+    (1.0 = the members sharing the work share it perfectly).  Members a
+    placement left idle are reported through the active count rather than
+    by zeroing the ratio — ``single`` on a 4-group is one perfectly
+    balanced active device, not a 0.00-balance group.
+    """
     busy: Dict[int, float] = {}
     for stats in history:
         for d in stats.per_device:
             idx = int(d.get("device", 0))
             busy[idx] = busy.get(idx, 0.0) + d.get("total_device_us", 0.0)
-    if len(busy) <= 1:
-        return 1.0
-    top = max(busy.values())
-    return (min(busy.values()) / top) if top > 0 else 1.0
+    if not busy:
+        # single-simulator session: no per-device breakdown, one device busy
+        return 1.0, 1
+    active = [b for b in busy.values() if b > 0.0]
+    if len(active) <= 1:
+        return 1.0, len(active)
+    return min(active) / max(active), len(active)
 
 
 def _replay_config(
@@ -150,8 +166,10 @@ def run(
     scale: Optional[ExperimentScale] = None,
     device_counts: Sequence[int] = DEVICE_COUNTS,
     placements: Sequence[str] = PLACEMENTS,
+    models: Sequence[str] = (MODEL,),
 ) -> Tuple[Tuple[str, ...], List[List]]:
-    """The device-scaling table (one row per placement x device count).
+    """The device-scaling table (one row per model x placement x device
+    count).
 
     Device counts are swept in ascending order and each placement's
     ``speedup`` column is relative to its own run at the *smallest* swept
@@ -162,43 +180,48 @@ def run(
     rate = ARRIVAL_RATE.get(scale.name, 1600.0)
     device_counts = tuple(sorted(set(device_counts)))
 
-    mod, params, size = build_model(MODEL, SIZE_NAME, scale.seed)
-    requests = make_instances(MODEL, mod, size, n, seed=scale.seed + 3)
-    reference = reference_run(mod, params, requests)
-    compiled = compile_model(mod, params, CompilerOptions())
-
     rows: List[List] = []
-    for placement in placements:
-        base_throughput: Optional[float] = None
-        for devices in device_counts:
-            report, session = _replay_config(
-                compiled, requests, rate, scale.seed, placement, devices
-            )
-            ok = all(
-                values_allclose(a, b) for a, b in zip(reference, report.outputs)
-            )
-            peer = sum(
-                s.device.get("num_peer_transfers", 0) for s in session.history
-            )
-            if base_throughput is None:
-                base_throughput = report.throughput_rps
-            rows.append(
-                [
-                    MODEL,
-                    placement,
-                    devices,
-                    report.throughput_rps,
-                    report.throughput_rps / base_throughput,
-                    report.p50_ms,
-                    report.p99_ms,
-                    report.mean_batch,
-                    report.kernel_launches,
-                    peer,
-                    _busy_balance(session.history),
-                    "yes" if ok else "NO",
-                    "yes" if _counters_sum_ok(session.history) else "NO",
-                ]
-            )
+    for model in models:
+        mod, params, size = build_model(model, SIZE_NAME, scale.seed)
+        requests = make_instances(model, mod, size, n, seed=scale.seed + 3)
+        reference = reference_run(mod, params, requests)
+        compiled = compile_model(mod, params, CompilerOptions())
+
+        for placement in placements:
+            base_throughput: Optional[float] = None
+            for devices in device_counts:
+                report, session = _replay_config(
+                    compiled, requests, rate, scale.seed, placement, devices
+                )
+                ok = all(
+                    values_allclose(a, b)
+                    for a, b in zip(reference, report.outputs)
+                )
+                peer = sum(
+                    s.device.get("num_peer_transfers", 0)
+                    for s in session.history
+                )
+                if base_throughput is None:
+                    base_throughput = report.throughput_rps
+                balance, active = _busy_balance(session.history)
+                rows.append(
+                    [
+                        model,
+                        placement,
+                        devices,
+                        report.throughput_rps,
+                        report.throughput_rps / base_throughput,
+                        report.p50_ms,
+                        report.p99_ms,
+                        report.mean_batch,
+                        report.kernel_launches,
+                        peer,
+                        balance,
+                        active,
+                        "yes" if ok else "NO",
+                        "yes" if _counters_sum_ok(session.history) else "NO",
+                    ]
+                )
     return HEADERS, rows
 
 
@@ -208,7 +231,7 @@ def format_report(headers: Tuple[str, ...], rows: List[List]) -> str:
         rows,
         title=(
             "Sharding: open-loop Poisson traffic vs device count per placement "
-            f"policy ({SIZE_NAME}-size {MODEL} on a {EDGE_SPEC.name} group, "
+            f"policy ({SIZE_NAME}-size models on a {EDGE_SPEC.name} group, "
             f"{INTERCONNECT} interconnect, size({FLUSH_SIZE}) flushes; "
             "speedup is each placement's throughput over its own run at the "
             "smallest swept device count)"
@@ -235,8 +258,17 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
         "--placements",
         nargs="+",
         default=None,
-        choices=PLACEMENTS,
-        help="placement policies to sweep (default: all)",
+        choices=PLACEMENT_CHOICES,
+        help=f"placement policies to sweep (default: {' '.join(PLACEMENTS)})",
+    )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        default=None,
+        choices=sorted(MODEL_MODULES),
+        metavar="MODEL",
+        help="registered model names to sweep (default: "
+        f"{MODEL}; choices: {' '.join(sorted(MODEL_MODULES))})",
     )
     args = parser.parse_args(list(argv) if argv is not None else [])
     counts: Sequence[int] = DEVICE_COUNTS
@@ -245,7 +277,9 @@ def main(argv: Optional[Sequence[str]] = None) -> str:
         # thing however the counts are given ("--devices 2" = smoke {1, 2})
         counts = tuple(sorted({1, *args.devices}))
     headers, rows = run(
-        device_counts=counts, placements=args.placements or PLACEMENTS
+        device_counts=counts,
+        placements=args.placements or PLACEMENTS,
+        models=tuple(args.models) if args.models else (MODEL,),
     )
     text = format_report(headers, rows)
     print(text)

@@ -281,7 +281,11 @@ class GenerationSession:
             )
         session = self._session
         clock = session.clock
-        timeline = DeviceTimeline(clock.now())
+        # one lane per group member, so multi-device decode rounds overlap
+        # lane-wise exactly as in ServeLoop.run_trace
+        timeline = DeviceTimeline(
+            clock.now(), num_devices=getattr(session.engine, "num_devices", 1)
+        )
         handles = [GenerationHandle(req) for req in requests]
         with replay_state(
             [session],

@@ -48,6 +48,7 @@ class StorageArena:
         "batch_size",
         "broadcast",
         "device_index",
+        "partial_shards",
         "__weakref__",
     )
 
@@ -67,6 +68,10 @@ class StorageArena:
         #: classifies operands read from another device's arena as priced
         #: peer transfers
         self.device_index = device_index
+        #: partial-output arena kind: the tensor-parallel member set whose
+        #: column/row partials this buffer was assembled from (gathers
+        #: charged at launch time), or None for an ordinary whole output
+        self.partial_shards = None
 
     # -- construction ---------------------------------------------------------
     @classmethod

@@ -251,6 +251,11 @@ class MemoryPlanner:
         self.last_plans: List[BatchPlan] = []
         #: cumulative per-kind operand counts since the last reset
         self.operand_counts: Dict[str, int] = {k.value: 0 for k in OperandKind}
+        #: partial-output arenas born since the last reset: output arenas of
+        #: tensor-parallel launches, assembled on the home device from the
+        #: members' column/row partials (the executor counts them when it
+        #: charges the gathers; :meth:`commit` marks the arenas themselves)
+        self.partial_arenas = 0
         self.plan_cache_enabled = plan_cache
         self._plan_cache: "OrderedDict[Tuple, _PlanTemplate]" = OrderedDict()
         #: cumulative cache accounting over the planner's lifetime (NOT
@@ -305,6 +310,7 @@ class MemoryPlanner:
         which is exactly when they pay off."""
         self.last_plans = []
         self.operand_counts = {k.value: 0 for k in OperandKind}
+        self.partial_arenas = 0
         self._round_ordinal = 0
 
     # -- planning --------------------------------------------------------------
@@ -513,8 +519,15 @@ class MemoryPlanner:
             nodes = batch.nodes
             # placement identity: equal signatures must imply identical
             # device assignment, or a cache hit could replay a plan whose
-            # peer-transfer classification no longer matches the round
-            members = (batch.device, *(node.round_seq for node in nodes))
+            # peer-transfer classification no longer matches the round.
+            # The tensor-parallel shard set is part of that identity (a
+            # split and an unsplit launch of the same round charge
+            # different members), so fingerprints carry the shard axis too.
+            members = (
+                batch.device,
+                batch.tp_devices,
+                *(node.round_seq for node in nodes),
+            )
             if len(nodes) == 1:
                 # batch of one classifies from the block alone
                 add((batch.block_id, members))
@@ -840,6 +853,7 @@ class MemoryPlanner:
         member's residency cache), so later rounds price reads from them by
         where they actually live."""
         nodes = plan.batch.nodes
+        tp_devices = plan.batch.tp_devices
         local = device.device_for(plan.device)
         arenas: List[StorageArena] = []
         for k, (out, arena_id) in enumerate(zip(outputs, plan.output_arena_ids)):
@@ -851,6 +865,10 @@ class MemoryPlanner:
                 arena = StorageArena.from_broadcast(
                     out.array, len(nodes), arena_id=arena_id, device_index=plan.device
                 )
+            # a tensor-parallel launch's outputs are *partial-output* arenas:
+            # assembled on the home device from the members' column/row
+            # partials (the gathers were charged at launch time)
+            arena.partial_shards = tp_devices
             local.note_arena(arena)
             for b, node in enumerate(nodes):
                 node.outputs[k].storage = TensorStorage(arena, b)

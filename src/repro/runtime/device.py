@@ -277,6 +277,7 @@ class DeviceSimulator:
         busy = self.counters.total_device_us
         return {
             "count": 1,
+            "active_devices": 1 if busy > 0 else 0,
             "busy_us": [busy],
             "utilization": [1.0 if busy > 0 else 0.0],
             "balance": 1.0,

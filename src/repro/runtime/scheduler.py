@@ -24,7 +24,17 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .tensor import DFGNode, LazyTensor
 
@@ -38,6 +48,11 @@ class ScheduledBatch:
     #: index of the device this batch executes on, within the runtime's
     #: device group (assigned by a placement policy; 0 = the primary device)
     device: int = 0
+    #: tensor-parallel member set: when a placement policy splits this
+    #: batch's kernel column/row-wise, the group devices sharing the launch
+    #: (``device`` is the home member assembling the output partials); None
+    #: for an ordinary whole-batch launch
+    tp_devices: Optional[Tuple[int, ...]] = None
 
     @property
     def size(self) -> int:

@@ -83,21 +83,84 @@ class DeviceTimeline:
     horizon out.  Sessions consult :meth:`in_flight` for the adaptive
     policy; the loop consults :meth:`next_completion` to wake exactly when
     the device frees.
+
+    With ``num_devices > 1`` the timeline keeps one busy horizon per group
+    member (a *lane*), and :meth:`launch_round` occupies only the lanes a
+    round actually uses: different members' rounds overlap, and a
+    depth-staged round's lanes free one by one as its stages drain — stage
+    ``k`` of the next round starts on its device while stage ``k+1`` of
+    this one is still executing downstream.  :meth:`launch` (the aggregate
+    path) occupies every lane, so single-device traces behave exactly as
+    they always have.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
-        #: timestamp at which the device finishes everything launched so far
-        self.busy_until = float(start)
+    def __init__(self, start: float = 0.0, num_devices: int = 1) -> None:
+        #: per-device busy horizons (one lane per group member)
+        self._lanes: List[float] = [float(start)] * max(1, int(num_devices))
         #: rounds launched over the timeline's lifetime
         self.rounds_launched = 0
         self._completions: List[float] = []  # min-heap of undrained completions
 
+    @property
+    def num_devices(self) -> int:
+        return len(self._lanes)
+
+    @property
+    def busy_until(self) -> float:
+        """Timestamp at which every lane finishes everything launched so
+        far (the whole device group goes idle)."""
+        lanes = self._lanes
+        return lanes[0] if len(lanes) == 1 else max(lanes)
+
     def launch(self, now: float, duration_s: float) -> float:
-        """Queue one round of ``duration_s`` device seconds; returns its
-        completion timestamp."""
+        """Queue one round of ``duration_s`` device seconds across the whole
+        group; returns its completion timestamp."""
         begin = max(float(now), self.busy_until)
         completion = begin + max(0.0, float(duration_s))
-        self.busy_until = completion
+        for i in range(len(self._lanes)):
+            self._lanes[i] = completion
+        self.rounds_launched += 1
+        heapq.heappush(self._completions, completion)
+        return completion
+
+    def launch_round(
+        self,
+        now: float,
+        shares: List[Tuple[int, float]],
+        staged: bool = False,
+    ) -> float:
+        """Queue one round given its per-device shares — ``(device_index,
+        duration_s)`` pairs in execution order — occupying only the lanes
+        the round uses.  Returns the round's completion timestamp.
+
+        ``staged=False`` (sharding placements): the members execute their
+        shares concurrently, each behind its own lane's backlog; the round
+        completes when the slowest member finishes.  ``staged=True``
+        (pipeline placement): the shares execute *in sequence* — each stage
+        starts when its input is ready (the previous stage done) and its
+        device's lane is free — so consecutive rounds overlap stage-wise
+        and the steady-state round rate is set by the busiest stage.
+        """
+        if not shares:
+            return self.launch(now, 0.0)
+        now = float(now)
+        lanes = self._lanes
+        n = len(lanes)
+        if staged:
+            t = now
+            for device, duration_s in shares:
+                lane = device % n
+                t = max(t, lanes[lane]) + max(0.0, float(duration_s))
+                lanes[lane] = t
+            completion = t
+        else:
+            completion = now
+            for device, duration_s in shares:
+                lane = device % n
+                end = max(now, lanes[lane]) + max(0.0, float(duration_s))
+                lanes[lane] = end
+                if end > completion:
+                    completion = end
         self.rounds_launched += 1
         heapq.heappush(self._completions, completion)
         return completion
@@ -745,7 +808,13 @@ class ServeLoop:
         clock = self.clock
         sessions = self.sessions()
         items = sorted(workload, key=lambda item: item[0])
-        timeline = DeviceTimeline(start=clock.now())
+        # one lane per device of the widest session's group, so multi-device
+        # rounds overlap lane-wise (single-device traces keep one lane and
+        # replay exactly as before)
+        num_lanes = 1
+        for session in sessions.values():
+            num_lanes = max(num_lanes, getattr(session.engine, "num_devices", 1))
+        timeline = DeviceTimeline(start=clock.now(), num_devices=num_lanes)
         handles: Dict[str, List[RequestHandle]] = {}
         self._prepare_active = self.prepare if prepare is None else bool(prepare)
         try:

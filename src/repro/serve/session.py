@@ -617,9 +617,24 @@ class InferenceSession:
         if self.timeline is not None:
             # continuous batching: charge only the host share to the clock,
             # then *launch* the round — it completes at the device's busy
-            # horizon plus its own device time, while intake keeps running
+            # horizon plus its own device time, while intake keeps running.
+            # On a multi-lane timeline the round occupies only the lanes its
+            # per-device shares use (staged for pipeline placements), so
+            # different members' rounds — and consecutive staged rounds —
+            # overlap; the aggregate launch is the single-device path.
             self.clock.charge(host_ms / 1e3)
-            completed_at = self.timeline.launch(self.clock.now(), device_ms / 1e3)
+            shares = self._device_shares(stats)
+            if shares is None:
+                completed_at = self.timeline.launch(
+                    self.clock.now(), device_ms / 1e3
+                )
+            else:
+                placement = getattr(self.engine, "placement", None)
+                completed_at = self.timeline.launch_round(
+                    self.clock.now(),
+                    shares,
+                    staged=getattr(placement, "timeline_mode", None) == "staged",
+                )
             execute_ms = (completed_at - flush_start) * 1e3
         else:
             # caller-driven: the round's execution latency blocks the clock
@@ -671,6 +686,22 @@ class InferenceSession:
                 self.flush()
 
     # -- internals -------------------------------------------------------------
+    def _device_shares(self, stats: RunStats) -> Optional[List[Tuple[int, float]]]:
+        """Per-member device shares of the flushed round, in device order —
+        what :meth:`DeviceTimeline.launch_round` occupies lane by lane.
+        None (meaning: use the aggregate :meth:`DeviceTimeline.launch`) for
+        standalone devices and single-lane timelines, which keeps
+        single-device traces bit-identical to the aggregate-timeline era.
+        Valid because the flush reset the device counters at its start, so
+        ``stats.per_device`` is exactly this round's breakdown."""
+        per_device = stats.per_device
+        if len(per_device) <= 1 or self.timeline.num_devices <= 1:
+            return None
+        return [
+            (int(d.get("device", i)), d.get("total_device_us", 0.0) / 1e6)
+            for i, d in enumerate(per_device)
+        ]
+
     def _abort_round(self, cause: BaseException) -> None:
         """Fail the current round's pending handles and reset the session
         to a clean empty round (the runtime's lazy graph is discarded, the

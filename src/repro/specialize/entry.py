@@ -481,6 +481,7 @@ class SpecializedEntry:
         """Commit outputs under the planned arena ids using the frozen
         output templates (mirrors ``MemoryPlanner.commit``)."""
         nodes = plan.batch.nodes
+        tp_devices = plan.batch.tp_devices
         local = device.device_for(plan.device)
         for k, (out, arena_id) in enumerate(zip(outputs, plan.output_arena_ids)):
             batched, shape = self.output_specs[k]
@@ -498,6 +499,9 @@ class SpecializedEntry:
                 arena = StorageArena.from_broadcast(
                     arr, len(nodes), arena_id=arena_id, device_index=plan.device
                 )
+            # mirror MemoryPlanner.commit: tensor-parallel outputs are
+            # partial-output arenas assembled from the members' shards
+            arena.partial_shards = tp_devices
             local.note_arena(arena)
             for b, node in enumerate(nodes):
                 node.outputs[k].storage = TensorStorage(arena, b)

@@ -235,9 +235,15 @@ class TestDeviceGroup:
         group[0].launch(record)
         summary = group.device_summary()
         assert summary["count"] == 2
-        assert summary["balance"] == 0.0  # device 1 idle
+        # balance is over *participating* members: one busy device is
+        # perfectly balanced with itself, the idle member shows up in
+        # active_devices instead
+        assert summary["active_devices"] == 1
+        assert summary["balance"] == pytest.approx(1.0)
         group[1].launch(record)
-        assert group.device_summary()["balance"] == pytest.approx(1.0)
+        summary = group.device_summary()
+        assert summary["active_devices"] == 2
+        assert summary["balance"] == pytest.approx(1.0)
 
     def test_reset_and_schedule_quality_fan_out(self):
         group = DeviceGroup(2)
