@@ -12,6 +12,7 @@ from . import (
     figure5,
     figure6,
     generation,
+    multiloop,
     overlap,
     pipeline,
     serving,
@@ -54,12 +55,13 @@ ALL_EXPERIMENTS = {
     "specialization": specialization,
     "overlap": overlap,
     "generation": generation,
+    "multiloop": multiloop,
 }
 
 __all__ = [
     "table4", "table5", "table6", "table7", "table8", "table9",
     "figure5", "figure6", "serving", "sharding", "pipeline", "continuous",
-    "specialization", "overlap", "generation",
+    "specialization", "overlap", "generation", "multiloop",
     "ALL_EXPERIMENTS",
     "ExperimentScale", "REDUCED", "PAPER", "current_scale",
     "run_acrobat", "run_dynet", "run_eager", "run_vm", "run_cortex",

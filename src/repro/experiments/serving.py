@@ -16,7 +16,11 @@ the latency-vs-throughput tradeoff each policy picks:
 Reported per configuration: throughput, p50/p99 end-to-end latency on the
 simulated clock, mean batch size, total kernel launches and the launch
 reduction vs ``per_request``.  Every policy's outputs are checked against
-the eager reference — batching policy must never change results.
+the eager reference — batching policy must never change results.  The
+replay is deterministic: measured host wall time is excluded and replaced
+by the fixed linear ``HOST_MODEL`` cost, so every column is a pure
+function of the trace and the device cost model (bit-for-bit identical
+across runs and hosts).
 
 A second table isolates the memory planner's plan cache
 (:mod:`repro.memory.planner`): a session flushing structurally identical
@@ -83,6 +87,12 @@ MODELS = ("treelstm", "birnn")
 ARRIVAL_RATE = {"reduced": 4000.0, "paper": 2000.0}
 NUM_REQUESTS = {"reduced": 32, "paper": 64}
 
+#: deterministic linear host-cost model (ms per round, ms per request)
+#: charged in place of measured wall time: the policy matrix replays
+#: bit-for-bit on any host, so the launch-reduction and latency columns
+#: are pure functions of the trace + cost model (no perf-floor flake)
+HOST_MODEL = (0.5, 0.05)
+
 
 def _best_of() -> int:
     return max(1, int(os.environ.get("REPRO_BEST_OF", "1")))
@@ -93,7 +103,9 @@ def _replay_policy(
 ) -> TrafficReport:
     arrivals = poisson_arrivals(rate, len(requests), seed=seed)
     session = compiled.serve(policy, clock=SimulatedClock(), **policy_args)
-    return replay(session, requests, arrivals)
+    return replay(
+        session, requests, arrivals, deterministic=True, host_model=HOST_MODEL
+    )
 
 
 def run(scale: Optional[ExperimentScale] = None) -> Tuple[Tuple[str, ...], List[List]]:
@@ -112,14 +124,10 @@ def run(scale: Optional[ExperimentScale] = None) -> Tuple[Tuple[str, ...], List[
 
         base_launches: Optional[int] = None
         for label, policy, policy_args in POLICIES:
-            # wall-clock host time feeds the simulated latency, so keep the
-            # best-of-N benchmark hygiene the other tables use
-            report = min(
-                (
-                    _replay_policy(compiled, requests, rate, scale.seed, policy, policy_args)
-                    for _ in range(_best_of())
-                ),
-                key=lambda r: r.p99_ms,
+            # the replay is deterministic (fixed host model, simulated
+            # clock), so a single run is already exact — no best-of-N needed
+            report = _replay_policy(
+                compiled, requests, rate, scale.seed, policy, policy_args
             )
             ok = all(
                 values_allclose(a, b) for a, b in zip(reference, report.outputs)

@@ -27,9 +27,16 @@ setting, where independent requests arrive continuously and must be batched
   multiplexing multiple compiled models over one shared device simulator,
   with ``run()``/``drain()``/``shutdown()`` facading the loop;
 * :mod:`repro.serve.traffic` — open-loop arrival processes (Poisson,
-  bursty) and deterministic replay on the simulated clock — caller-driven
-  (``replay``) or continuous (``replay_continuous``) — feeding the
-  ``experiments.serving`` and ``experiments.continuous`` benchmarks.
+  bursty, multi-tenant ``tenant_mix``) and deterministic replay on the
+  simulated clock — caller-driven (``replay``) or continuous
+  (``replay_continuous``) — feeding the ``experiments.serving`` and
+  ``experiments.continuous`` benchmarks;
+* :mod:`repro.serve.topology` — the sharded serving front door: the loop
+  topology registry (``single``/``per_device``/``per_endpoint``),
+  SLO-aware admission (priority classes, per-tenant token-bucket quotas,
+  slack-based shedding), cross-loop work-stealing, and
+  :func:`run_topology_trace`, the deterministic multi-loop trace driver
+  behind ``Server.run_trace``.
 
 Entry points: ``compile_model(...).serve(policy="adaptive")`` opens a
 policy-driven session; ``Server().add_endpoint(name, model, policy=...)``
@@ -47,6 +54,7 @@ from .loop import (
     ServeLoop,
 )
 from .policy import (
+    PRIORITY_CLASSES,
     AdaptivePolicy,
     DeadlinePolicy,
     FlushPolicy,
@@ -54,14 +62,36 @@ from .policy import (
     SizePolicy,
     available_flush_policies,
     make_flush_policy,
+    priority_rank,
     register_flush_policy,
+    resolve_priority,
+    select_shed_victim,
     unregister_flush_policy,
 )
 from .prepare import RoundPreparer
-from .request import RequestCancelled, RequestExpired, RequestHandle, RequestStats
+from .request import (
+    QuotaExceeded,
+    RequestCancelled,
+    RequestExpired,
+    RequestHandle,
+    RequestStats,
+)
 from .server import Endpoint, Server
 from .session import InferenceSession, RoundAborted
+from .topology import (
+    AdmissionController,
+    LoopTopology,
+    PerDeviceTopology,
+    PerEndpointTopology,
+    SingleTopology,
+    TokenBucket,
+    available_topologies,
+    make_topology,
+    register_topology,
+    run_topology_trace,
+)
 from .traffic import (
+    TenantSpec,
     TrafficReport,
     bursty_arrivals,
     poisson_arrivals,
@@ -69,6 +99,7 @@ from .traffic import (
     replay_continuous,
     replay_server,
     replay_server_continuous,
+    tenant_mix,
 )
 
 __all__ = [
@@ -95,13 +126,30 @@ __all__ = [
     "RequestStats",
     "RequestCancelled",
     "RequestExpired",
+    "QuotaExceeded",
     "InferenceSession",
     "RoundAborted",
     "Endpoint",
     "Server",
+    "PRIORITY_CLASSES",
+    "resolve_priority",
+    "priority_rank",
+    "select_shed_victim",
+    "TokenBucket",
+    "AdmissionController",
+    "LoopTopology",
+    "SingleTopology",
+    "PerDeviceTopology",
+    "PerEndpointTopology",
+    "register_topology",
+    "make_topology",
+    "available_topologies",
+    "run_topology_trace",
     "TrafficReport",
     "poisson_arrivals",
     "bursty_arrivals",
+    "tenant_mix",
+    "TenantSpec",
     "replay",
     "replay_continuous",
     "replay_server",

@@ -49,10 +49,15 @@ from collections import deque
 from typing import Any, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .clock import Clock, SimulatedClock
+from .policy import select_shed_victim
 from .request import RequestCancelled, RequestExpired, RequestHandle
 
-#: admission-queue overflow policies
-BACKPRESSURE_POLICIES = ("block", "reject", "shed-oldest")
+#: admission-queue overflow policies: ``shed-oldest`` is the classic
+#: age-based drop; ``shed-slack`` is SLO-aware — among the lowest priority
+#: class present it sheds the request with the *most* deadline slack (the
+#: one that can best afford a retry), which may be the incoming request
+#: itself (see :func:`repro.serve.policy.select_shed_victim`)
+BACKPRESSURE_POLICIES = ("block", "reject", "shed-oldest", "shed-slack")
 
 
 class BackpressureFull(RuntimeError):
@@ -62,7 +67,9 @@ class BackpressureFull(RuntimeError):
 
 class RequestShed(RuntimeError):
     """Resolves a queued request's handle under ``backpressure="shed-oldest"``
-    when a newer arrival pushed it out of the full admission queue."""
+    (a newer arrival pushed it out of the full admission queue) or
+    ``backpressure="shed-slack"`` (it had the lowest priority and the most
+    deadline slack when the queue overflowed)."""
 
 
 class LoopStopped(RuntimeError):
@@ -189,6 +196,33 @@ class DeviceTimeline:
         )
 
 
+class HostLane:
+    """One serving loop's host busy horizon in a multi-loop simulated trace.
+
+    The single-loop :meth:`ServeLoop.run_trace` serializes a flush's host
+    share against intake by charging it to the shared clock.  With N loops
+    that would serialize host work *across* loops — exactly the scaling
+    ceiling the sharded front door removes — so the multi-loop driver
+    (:func:`repro.serve.topology.run_topology_trace`) gives each loop a
+    lane instead: a flush advances ``busy_until`` and the driver delays the
+    owning loop's next event (and the dispatch of its queued arrivals)
+    until the lane frees.  The device side is unchanged — rounds still
+    launch on the :class:`DeviceTimeline`.
+    """
+
+    __slots__ = ("busy_until",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.busy_until = float(start)
+
+    def free_at(self, now: float) -> float:
+        """Earliest instant at or after ``now`` the lane is free."""
+        return max(float(now), self.busy_until)
+
+    def __repr__(self) -> str:
+        return f"HostLane(busy_until={self.busy_until:.6f})"
+
+
 @contextlib.contextmanager
 def replay_state(
     sessions: Iterable[Any],
@@ -278,6 +312,7 @@ class ServeLoop:
         max_pending: Optional[int] = None,
         backpressure: str = "block",
         prepare: bool = False,
+        name: str = "loop0",
     ) -> None:
         if (server is None) == (sessions is None):
             raise ValueError("pass exactly one of server= or sessions=")
@@ -337,6 +372,19 @@ class ServeLoop:
         self.num_cancelled = 0
         #: requests whose deadline passed before dispatch
         self.num_expired = 0
+        #: display name in multi-loop summaries ("loop0", "loop1", ...)
+        self.name = name
+        #: sibling loops of a multi-loop topology this loop may steal
+        #: queued admissions from when it goes idle (set by the topology)
+        self.peers: List["ServeLoop"] = []
+        #: minimum queued backlog a victim must hold before an idle loop
+        #: steals its newest half; None disables work-stealing
+        self.steal_min: Optional[int] = 2
+        #: how long an idle wall-clock loop sleeps between steal scans
+        self.steal_interval_s = 0.005
+        #: requests this loop stole from siblings / lost to siblings
+        self.num_stolen_in = 0
+        self.num_stolen_out = 0
 
     # -- session access --------------------------------------------------------
     def sessions(self) -> Dict[str, Any]:
@@ -474,6 +522,8 @@ class ServeLoop:
         at: Optional[float] = None,
         *,
         deadline: Optional[float] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
     ) -> RequestHandle:
         """Admit one request for session ``name``; returns its handle
         immediately.
@@ -491,6 +541,13 @@ class ServeLoop:
         when its deadline passes is dropped at dispatch time, its handle
         failing with :class:`~repro.serve.request.RequestExpired` — it never
         enters a round, so round-mates are unaffected.
+
+        ``tenant`` and ``priority`` tag the request for SLO-aware admission
+        (see :mod:`repro.serve.topology`): the ``shed-slack`` backpressure
+        policy sheds lowest-priority/most-slack first, and priority-classed
+        requests with a deadline additionally clamp their round's flush to
+        that deadline.  A request without a priority class keeps the exact
+        pre-SLO semantics.
         """
         session = self._session(name)  # fail fast on unknown names
         with self._mode_lock:
@@ -513,10 +570,14 @@ class ServeLoop:
                     )
                     return handle
                 self._check_inline_capacity()
-                handle = session.submit(instance, at=at)
+                handle = session.submit(
+                    instance, at=at, tenant=tenant, priority=priority,
+                    deadline=deadline,
+                )
                 self.num_admitted += 1  # only successful admissions count
                 return handle
         with self._cond:
+            handle: Optional[RequestHandle] = None
             if self.max_pending is not None:
                 while len(self._queue) >= self.max_pending:
                     if self.backpressure == "reject":
@@ -540,6 +601,46 @@ class ServeLoop:
                             )
                         )
                         break
+                    if self.backpressure == "shed-slack":
+                        # SLO-aware shed: the victim — possibly the incoming
+                        # request itself — is the lowest-priority queued
+                        # request with the most deadline slack.  Never
+                        # waits, so stamping here keeps queue order ==
+                        # timestamp order.
+                        stamp = self.clock.now() if at is None else at
+                        handle = RequestHandle(
+                            -1, submitted_at=stamp, tenant=tenant,
+                            priority=priority, deadline=deadline,
+                        )
+                        handle._managed = True
+                        handle._origin = self
+                        candidates = [adm.handle for adm in self._queue]
+                        candidates.append(handle)
+                        victim = select_shed_victim(candidates, self.clock.now())
+                        self.num_shed += 1
+                        if victim == len(candidates) - 1:
+                            handle._fail(
+                                RequestShed(
+                                    "request shed by SLO-aware backpressure: it "
+                                    "had the lowest priority and the most "
+                                    "deadline slack of the full admission queue "
+                                    f"(max_pending={self.max_pending})"
+                                )
+                            )
+                            return handle
+                        adm = self._queue[victim]
+                        del self._queue[victim]
+                        self._dispatched_seq += 1
+                        self._flushed_seq += 1
+                        adm.handle._fail(
+                            RequestShed(
+                                "request shed by SLO-aware backpressure: it had "
+                                "the lowest priority and the most deadline "
+                                "slack when the admission queue overflowed "
+                                f"(max_pending={self.max_pending})"
+                            )
+                        )
+                        break
                     # block: wait for the loop to make space
                     if self._stop or self._error is not None or not self.running:
                         break
@@ -547,14 +648,20 @@ class ServeLoop:
             if self._stop or self._error is not None or not self.running:
                 self._raise_if_dead()
                 raise LoopStopped("serve loop is shutting down")
-            # stamp under the lock: queue order == timestamp order, so the
-            # monotonic-arrival invariant holds per session no matter how
-            # many producer threads race
-            stamp = self.clock.now() if at is None else at
-            handle = RequestHandle(-1, submitted_at=stamp)
-            handle._managed = True
-            handle._origin = self
-            self._queue.append(_Admission(name, instance, stamp, handle, deadline))
+            if handle is None:
+                # stamp under the lock: queue order == timestamp order, so
+                # the monotonic-arrival invariant holds per session no
+                # matter how many producer threads race
+                stamp = self.clock.now() if at is None else at
+                handle = RequestHandle(
+                    -1, submitted_at=stamp, tenant=tenant, priority=priority,
+                    deadline=deadline,
+                )
+                handle._managed = True
+                handle._origin = self
+            self._queue.append(
+                _Admission(name, instance, handle.submitted_at, handle, deadline)
+            )
             self.num_admitted += 1
             self._admit_seq += 1
             self._cond.notify_all()
@@ -598,7 +705,8 @@ class ServeLoop:
         if backlog < self.max_pending:
             return
         # inline intake builds DFG nodes at submit, so an admitted request
-        # cannot be shed afterwards: both overflow policies reject here
+        # cannot be shed afterwards: every non-blocking overflow policy
+        # rejects here
         self.num_rejected += 1
         raise BackpressureFull(
             f"{backlog} requests pending >= max_pending={self.max_pending}"
@@ -655,6 +763,11 @@ class ServeLoop:
                         if deadline is None
                         else max(0.0, deadline - self.clock.now())
                     )
+                    if timeout is None and self.steal_min is not None and self.peers:
+                        # an idle loop with siblings wakes periodically to
+                        # scan for stealable backlog instead of sleeping
+                        # until its own next submit
+                        timeout = self.steal_interval_s
                     if not self._queue and not self._drain_requested and not self._stop:
                         if timeout is None or timeout > 0:
                             # the loop is about to sleep: exactly the window
@@ -674,39 +787,7 @@ class ServeLoop:
                     stopping = self._stop
                     self._cond.notify_all()  # wake producers blocked on space
 
-                for adm in admissions:
-                    if adm.handle.done:
-                        continue  # resolved while queued (cancel/shed race)
-                    if adm.deadline is not None and self.clock.now() > adm.deadline:
-                        # expired while queued: dropped before it joins any
-                        # round, so round-mates never see it
-                        self.num_expired += 1
-                        adm.handle._fail(
-                            RequestExpired(
-                                f"deadline {adm.deadline!r} passed while the "
-                                "request was queued for admission"
-                            )
-                        )
-                        continue
-                    # at= is the admission timestamp: if the loop was busy
-                    # executing when the request arrived, the session sees
-                    # it backdated — the continuous-batching backlog signal
-                    try:
-                        self._session(adm.name).submit(
-                            adm.instance, at=adm.at, handle=adm.handle
-                        )
-                    except BaseException as exc:
-                        # one malformed request must not take down a
-                        # multi-tenant loop: the session already aborted any
-                        # poisoned round (failing its handles with
-                        # RoundAborted), so fail this request's handle with
-                        # the original error and keep serving
-                        if not adm.handle.done:
-                            adm.handle._fail(exc)
-                if admissions:
-                    with self._cond:
-                        self._dispatched_seq += len(admissions)
-                        self._cond.notify_all()
+                self._dispatch_wall(admissions)
                 for session in self.sessions().values():
                     try:
                         session.poll()
@@ -714,6 +795,13 @@ class ServeLoop:
                         # the flush failed its round's handles and reset the
                         # session (InferenceSession.flush is exception-safe)
                         pass
+                if (
+                    not admissions
+                    and not stopping
+                    and self.steal_min is not None
+                    and self.peers
+                ):
+                    self._try_steal_wall()
                 if drain_requested or stopping:
                     # on the stopping iteration this also covers requests
                     # admitted in the shutdown window (after drain()
@@ -743,6 +831,89 @@ class ServeLoop:
             if preparer is not None:
                 preparer.stop()
                 self._preparer = None
+
+    def _dispatch_wall(self, admissions: List[_Admission]) -> None:
+        """Dispatch picked-up admissions into their sessions (wall mode)."""
+        for adm in admissions:
+            if adm.handle.done:
+                continue  # resolved while queued (cancel/shed race)
+            if adm.deadline is not None and self.clock.now() > adm.deadline:
+                # expired while queued: dropped before it joins any
+                # round, so round-mates never see it
+                self.num_expired += 1
+                adm.handle._fail(
+                    RequestExpired(
+                        f"deadline {adm.deadline!r} passed while the "
+                        "request was queued for admission"
+                    )
+                )
+                continue
+            # at= is the admission timestamp: if the loop was busy
+            # executing when the request arrived, the session sees
+            # it backdated — the continuous-batching backlog signal
+            try:
+                self._session(adm.name).submit(
+                    adm.instance, at=adm.at, handle=adm.handle
+                )
+            except BaseException as exc:
+                # one malformed request must not take down a
+                # multi-tenant loop: the session already aborted any
+                # poisoned round (failing its handles with
+                # RoundAborted), so fail this request's handle with
+                # the original error and keep serving
+                if not adm.handle.done:
+                    adm.handle._fail(exc)
+        if admissions:
+            with self._cond:
+                self._dispatched_seq += len(admissions)
+                self._cond.notify_all()
+
+    def _try_steal_wall(self) -> int:
+        """Cross-loop work-stealing (wall mode): a fully idle loop takes the
+        newest half of the most-backlogged sibling's admission queue and
+        dispatches it locally.  Returns how many admissions were stolen.
+
+        Stealing the *newest* admissions keeps the victim's oldest requests
+        — the ones closest to dispatch and to any prepared round — on their
+        home loop, and guarantees the thief's sessions (empty by the idle
+        precondition) see monotonically increasing arrival stamps.
+        """
+        mine = self.sessions()
+        if any(s.pending_requests for s in mine.values()) or self._queue:
+            return 0  # only a fully idle loop steals
+        floor = max(1, int(self.steal_min or 1))
+        best: Optional["ServeLoop"] = None
+        best_len = floor - 1
+        for peer in self.peers:
+            if peer is self:
+                continue
+            n = len(peer._queue)  # racy scan; confirmed under the lock below
+            if n > best_len:
+                best, best_len = peer, n
+        if best is None:
+            return 0
+        stolen: List[_Admission] = []
+        with best._cond:
+            eligible = [
+                adm
+                for adm in best._queue
+                if adm.name in mine and not adm.handle.done
+            ]
+            if len(eligible) < floor:
+                return 0
+            for adm in eligible[-(len(eligible) // 2) or -1:]:
+                best._queue.remove(adm)
+                adm.handle._origin = self
+                stolen.append(adm)
+            # the thief resolves these now: account them dispatched+flushed
+            # on the victim so its drain() generations never wait on them
+            best._dispatched_seq += len(stolen)
+            best._flushed_seq += len(stolen)
+            best.num_stolen_out += len(stolen)
+            best._cond.notify_all()
+        self.num_stolen_in += len(stolen)
+        self._dispatch_wall(stolen)
+        return len(stolen)
 
     def _die(self, exc: BaseException) -> LoopStopped:
         """The loop-death path, shared by both modes: abort every session's

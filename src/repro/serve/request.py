@@ -49,6 +49,15 @@ class RequestExpired(Exception):
     """The request's deadline passed before it could be dispatched/flushed."""
 
 
+class QuotaExceeded(Exception):
+    """The tenant's token-bucket quota rejected the request at admission.
+
+    Raised (or set on the handle) by the server's
+    :class:`~repro.serve.topology.AdmissionController` before the request
+    ever reaches a loop — quota rejections never consume loop or device
+    capacity."""
+
+
 @dataclass
 class RequestStats:
     """Per-request serving statistics, filled in when the request's round
@@ -81,15 +90,32 @@ class RequestHandle:
     """Handle for one submitted request; resolves at its round's flush."""
 
     __slots__ = (
-        "index", "submitted_at", "done", "stats", "_future", "_managed", "_origin"
+        "index", "submitted_at", "done", "stats", "_future", "_managed",
+        "_origin", "tenant", "priority", "deadline",
     )
 
-    def __init__(self, index: int, submitted_at: float = 0.0) -> None:
+    def __init__(
+        self,
+        index: int,
+        submitted_at: float = 0.0,
+        *,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> None:
         #: position of the request within its batching round (-1 while the
         #: request sits in a serve loop's admission queue)
         self.index = index
         #: clock timestamp of submission
         self.submitted_at = submitted_at
+        #: tenant the request bills against (None: untracked/anonymous)
+        self.tenant = tenant
+        #: priority-class name (see ``repro.serve.policy.PRIORITY_CLASSES``);
+        #: None means the request opted out of SLO-aware treatment entirely
+        self.priority = priority
+        #: clock timestamp the SLO considers the request late after (None:
+        #: no deadline — infinite slack under slack-based shedding)
+        self.deadline = deadline
         self.done = False
         #: per-request statistics (None until the round flushes)
         self.stats: Optional[RequestStats] = None
@@ -154,6 +180,14 @@ class RequestHandle:
         """Run ``fn(handle)`` when the handle resolves (from whichever thread
         resolves it — keep the callback cheap and non-reentrant)."""
         self._future.add_done_callback(lambda _f: fn(self))
+
+    def slack(self, now: float) -> float:
+        """Seconds of headroom before this request misses its deadline
+        (``inf`` when it carries none) — the quantity SLO-aware shedding
+        maximizes over its victims."""
+        if self.deadline is None:
+            return float("inf")
+        return self.deadline - now
 
     # -- lifecycle -------------------------------------------------------------
     def cancel(self) -> bool:

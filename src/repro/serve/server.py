@@ -33,8 +33,20 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from ..runtime.device import DeviceSimulator, GPUSpec
 from .clock import Clock, WallClock
 from .loop import ServeLoop
-from .request import RequestHandle
+from .policy import FlushPolicy, resolve_priority
+from .request import QuotaExceeded, RequestHandle
 from .session import InferenceSession
+from .topology import (
+    AdmissionController,
+    LoopTopology,
+    SingleTopology,
+    TopologyRun,
+    make_topology,
+    run_topology_trace,
+)
+
+#: endpoint names Server.summary() uses for its own aggregate entries
+RESERVED_ENDPOINT_NAMES = ("devices", "tenants", "loops")
 
 
 class Endpoint:
@@ -51,21 +63,96 @@ class Endpoint:
         model: Any,
         session: InferenceSession,
         loop: Optional[ServeLoop] = None,
+        *,
+        server: Any = None,
+        policy: Any = None,
+        policy_args: Optional[Dict[str, Any]] = None,
+        scheduler: Optional[str] = None,
+        placement: Any = None,
     ) -> None:
         self.name = name
         self.model = model
         self.session = session
         self._loop = loop
+        self._server = server
+        #: one serving session per topology slice (a single-loop server has
+        #: exactly one replica: the session itself)
+        self.replicas: List[InferenceSession] = [session]
+        # construction arguments, kept so a multi-loop topology can rebuild
+        # the endpoint's session per device complement
+        self._policy = policy
+        self._policy_args = policy_args
+        self._scheduler = scheduler
+        self._placement = placement
+
+    def _all_loops(self) -> List[ServeLoop]:
+        """Every loop serving this endpoint (one, before a multi-loop
+        topology materializes)."""
+        server = self._server
+        if server is not None and server._topology_built:
+            loops = server.topology.loops_for(self.name)
+            if loops:
+                return loops
+        return [self._loop] if self._loop is not None else []
+
+    def _build_replicas(
+        self, complements: List[Any], clock: Clock
+    ) -> List[InferenceSession]:
+        """Rebuild the endpoint's serving session once per device
+        complement (multi-loop topologies).  Stateful policy/placement
+        instances belong to exactly one session/engine, so replication
+        requires registry names for both."""
+        current = self.session.engine.device
+        if len(complements) == 1 and complements[0] is current:
+            self.replicas = [self.session]
+            return self.replicas
+        if len(complements) > 1:
+            if isinstance(self._policy, FlushPolicy):
+                raise TypeError(
+                    "a flush-policy instance is stateful and belongs to one "
+                    "session; multi-loop topologies need the policy by "
+                    "registry name (add_endpoint(policy='adaptive', ...))"
+                )
+            if self._placement is not None and not isinstance(self._placement, str):
+                raise TypeError(
+                    "a placement instance is stateful and belongs to one "
+                    "engine; multi-loop topologies need the placement by "
+                    "registry name"
+                )
+        replicas = []
+        for dev in complements:
+            multi = getattr(dev, "num_devices", 1) > 1
+            engine = self.model.make_engine(
+                device=dev,
+                scheduler=self._scheduler,
+                # a single-member slice has nothing to shard: placement only
+                # rides along when the complement is itself a group
+                placement=self._placement if multi else None,
+            )
+            replicas.append(
+                InferenceSession(
+                    engine,
+                    policy=self._policy,
+                    policy_args=dict(self._policy_args)
+                    if self._policy_args
+                    else None,
+                    clock=clock,
+                )
+            )
+        self.replicas = replicas
+        self.session = replicas[0]
+        return replicas
 
     def _session_op(self, what: str, op: Any) -> Any:
         """Run a session mutation under the loop's mode lock: the check and
         the operation are atomic against a concurrent ``Server.run()``, so
         the inline path can never race the freshly started loop thread
         (the same protocol ``ServeLoop.submit`` uses)."""
-        if self._loop is None:
+        loops = self._all_loops()
+        if not loops:
             return op()
-        with self._loop._mode_lock:
-            if self._loop.running:
+        with loops[0]._mode_lock:
+            if any(loop.running for loop in loops):
                 raise RuntimeError(
                     f"cannot {what} directly while the serve loop is "
                     "running — the loop thread owns this endpoint's "
@@ -89,50 +176,60 @@ class Endpoint:
     # -- introspection ---------------------------------------------------------
     @property
     def pending_requests(self) -> int:
-        return self.session.pending_requests
+        return sum(s.pending_requests for s in self.replicas)
 
     def next_deadline(self) -> Optional[float]:
-        return self.session.next_deadline()
+        deadlines = [
+            d for d in (s.next_deadline() for s in self.replicas) if d is not None
+        ]
+        return min(deadlines) if deadlines else None
 
     def summary(self) -> Dict[str, float]:
         """Aggregate serving statistics across the endpoint's lifetime
         (running totals — O(1) regardless of how long the endpoint has
-        served), plus two point-in-time gauges a decode-heavy deployment
-        watches: ``queue_depth`` (requests pending in the session round
-        plus admissions still queued at the loop for this endpoint) and
+        served, summed over every replica under a multi-loop topology),
+        plus two point-in-time gauges a decode-heavy deployment watches:
+        ``queue_depth`` (requests pending in the session round(s) plus
+        admissions still queued at the loops for this endpoint) and
         ``oldest_pending_age_ms`` (how long the oldest such request has
         been waiting)."""
-        session = self.session
-        flushes = session.num_flushes
-        now = session.clock.now()
-        oldest = session.round_started_at
+        replicas = self.replicas
+        flushes = sum(s.num_flushes for s in replicas)
+        requests_flushed = sum(s.requests_flushed for s in replicas)
+        now = self.session.clock.now()
+        oldest: Optional[float] = None
+        for s in replicas:
+            started = s.round_started_at
+            if started is not None and (oldest is None or started < oldest):
+                oldest = started
         queued = 0
-        if self._loop is not None:
-            with self._loop._cond:
-                for adm in self._loop._queue:
+        for loop in self._all_loops():
+            with loop._cond:
+                for adm in loop._queue:
                     if adm.name == self.name:
                         queued += 1
                         if oldest is None or adm.at < oldest:
                             oldest = adm.at
+        pending = self.pending_requests
         out = {
-            "requests": session.num_requests,
+            "requests": sum(s.num_requests for s in replicas),
             "flushes": flushes,
-            "pending": self.pending_requests,
-            "queue_depth": self.pending_requests + queued,
+            "pending": pending,
+            "queue_depth": pending + queued,
             "oldest_pending_age_ms": (
                 max(0.0, now - oldest) * 1e3 if oldest is not None else 0.0
             ),
-            "cancelled": session.num_cancelled,
-            "kernel_launches": session.total_kernel_calls,
-            "mean_batch": (session.requests_flushed / flushes) if flushes else 0.0,
-            "device_ms": session.total_device_ms,
+            "cancelled": sum(s.num_cancelled for s in replicas),
+            "kernel_launches": sum(s.total_kernel_calls for s in replicas),
+            "mean_batch": (requests_flushed / flushes) if flushes else 0.0,
+            "device_ms": sum(s.total_device_ms for s in replicas),
             # overlapped host pipeline: rounds adopted as prepared vs
             # speculations abandoned when admission diverged
-            "speculation_hits": session.speculation_hits,
-            "speculation_aborts": session.speculation_aborts,
-            "prepare_hidden_ms": session.prepare_hidden_ms,
+            "speculation_hits": sum(s.speculation_hits for s in replicas),
+            "speculation_aborts": sum(s.speculation_aborts for s in replicas),
+            "prepare_hidden_ms": sum(s.prepare_hidden_ms for s in replicas),
         }
-        metrics = session.generation_metrics
+        metrics = self.session.generation_metrics
         if metrics is not None:
             out.update(metrics.summary())
         return out
@@ -159,11 +256,21 @@ class Server:
 
     ``max_pending`` bounds the admission queue of the server's
     :class:`~repro.serve.loop.ServeLoop` and ``backpressure`` picks the
-    overflow policy (``"block"``/``"reject"``/``"shed-oldest"``); both only
-    bite once :meth:`run` starts the loop (or, for the rejecting policies,
-    on inline intake too).  ``prepare`` turns on the loop's overlapped host
-    pipeline (speculative round preparation; see
-    :class:`~repro.serve.loop.ServeLoop`).
+    overflow policy (``"block"``/``"reject"``/``"shed-oldest"``/
+    ``"shed-slack"``); both only bite once :meth:`run` starts the loop (or,
+    for the rejecting policies, on inline intake too).  ``prepare`` turns
+    on the loop's overlapped host pipeline (speculative round preparation;
+    see :class:`~repro.serve.loop.ServeLoop`).
+
+    ``topology`` shards the front door (see :mod:`repro.serve.topology`):
+    a registry name (``"single"``/``"per_device"``/``"per_endpoint"``, with
+    ``topology_args``) or a ready :class:`LoopTopology` instance.  The
+    topology materializes lazily at the first :meth:`run`/:meth:`run_trace`
+    (or the first routed :meth:`submit`); endpoint registration must happen
+    before that.  ``tenants`` maps tenant name → ``(rate_rps, burst)``
+    token-bucket quotas for SLO-aware admission; requests from tenants over
+    quota resolve with :class:`~repro.serve.request.QuotaExceeded` without
+    ever reaching a loop.
     """
 
     def __init__(
@@ -178,6 +285,9 @@ class Server:
         max_pending: Optional[int] = None,
         backpressure: str = "block",
         prepare: bool = False,
+        topology: Union[str, LoopTopology] = "single",
+        topology_args: Optional[Dict[str, Any]] = None,
+        tenants: Optional[Dict[str, Any]] = None,
     ) -> None:
         if devices is not None:
             from ..devices.group import DeviceGroup
@@ -206,16 +316,49 @@ class Server:
         self.clock = clock or WallClock()
         self._endpoints: Dict[str, Endpoint] = {}
         #: the event loop owning this server's intake and flush choreography
+        #: (under a multi-loop topology, re-pointed at loop 0 once the
+        #: topology materializes; ``topology.loops`` holds them all)
         self.loop = ServeLoop(
             self,
             max_pending=max_pending,
             backpressure=backpressure,
             prepare=prepare,
         )
+        #: SLO-aware admission: per-tenant quotas + lifecycle gauges
+        self.admission = AdmissionController(tenants)
+        if isinstance(topology, LoopTopology):
+            self.topology = topology
+        elif isinstance(topology, str):
+            self.topology = make_topology(topology, **(topology_args or {}))
+        else:
+            raise TypeError(
+                "topology must be a registry name or a LoopTopology instance, "
+                f"got {type(topology).__name__}"
+            )
+        self._topology_built = False
 
     @property
     def num_devices(self) -> int:
         return getattr(self.device, "num_devices", 1)
+
+    def _loops(self) -> List[ServeLoop]:
+        """Every serve loop of the (materialized) topology; just the
+        server's own loop before materialization."""
+        return self.topology.loops if self._topology_built else [self.loop]
+
+    def _materialize_topology(self) -> None:
+        """Build the topology's loops against this server (idempotent).
+        Happens lazily at the first ``run()``/``run_trace()`` (or a routed
+        ``submit``), so every ``add_endpoint`` call is visible to it."""
+        if self._topology_built:
+            return
+        loops = self.topology.build(self)
+        self._topology_built = True
+        if loops and loops[0] is not self.loop:
+            self.loop = loops[0]
+        for ep in self._endpoints.values():
+            serving = self.topology.loops_for(ep.name)
+            ep._loop = serving[0] if serving else None
 
     # -- endpoint management ---------------------------------------------------
     def add_endpoint(
@@ -239,27 +382,45 @@ class Server:
         (group) and clock; ``placement`` overrides the server-wide
         placement policy for this endpoint.
         """
-        if name == "devices":
+        if name in RESERVED_ENDPOINT_NAMES:
             raise ValueError(
-                "endpoint name 'devices' is reserved (Server.summary() "
-                "reports the device-group breakdown under that key)"
+                f"endpoint name {name!r} is reserved (Server.summary() "
+                "reports its own aggregate entries under "
+                f"{', '.join(RESERVED_ENDPOINT_NAMES)})"
             )
         if name in self._endpoints:
             raise ValueError(f"endpoint {name!r} already exists")
-        if self.loop.running:
+        if any(loop.running for loop in self._loops()):
             raise RuntimeError(
                 "cannot add endpoints while the serve loop is running; "
                 "register endpoints before Server.run() (or shutdown() first)"
             )
+        if self._topology_built and len(self.topology.loops) > 1:
+            raise RuntimeError(
+                "cannot add endpoints after a multi-loop topology has "
+                "materialized; register every endpoint before the first "
+                "Server.run()/run_trace()"
+            )
+        resolved_placement = placement if placement is not None else self.placement
         engine = model.make_engine(
             device=self.device,
             scheduler=scheduler,
-            placement=placement if placement is not None else self.placement,
+            placement=resolved_placement,
         )
         session = InferenceSession(
             engine, policy=policy, policy_args=policy_args or None, clock=self.clock
         )
-        endpoint = Endpoint(name, model, session, loop=self.loop)
+        endpoint = Endpoint(
+            name,
+            model,
+            session,
+            loop=self.loop,
+            server=self,
+            policy=policy,
+            policy_args=policy_args or None,
+            scheduler=scheduler,
+            placement=resolved_placement,
+        )
         self._endpoints[name] = endpoint
         return endpoint
 
@@ -287,6 +448,8 @@ class Server:
         at: Optional[float] = None,
         *,
         deadline: Optional[float] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
     ) -> RequestHandle:
         """Route one request to endpoint ``name``.
 
@@ -297,51 +460,147 @@ class Server:
         historical synchronous intake path.  ``deadline`` (absolute clock
         timestamp) expires the request if it is still queued when the
         deadline passes — see :meth:`ServeLoop.submit`.
+
+        ``tenant``/``priority`` tag the request for SLO-aware admission: a
+        tenant over its token-bucket quota gets a handle resolved with
+        :class:`~repro.serve.request.QuotaExceeded` (never an exception
+        from ``submit`` itself), and priority classes steer the
+        ``shed-slack`` backpressure policy and the per-tenant gauges in
+        :meth:`summary`.  Under a multi-loop topology the request routes
+        to the least-backlogged loop serving the endpoint.
         """
-        return self.loop.submit(name, instance, at=at, deadline=deadline)
+        self.endpoint(name)  # fail fast on unknown endpoints
+        if priority is not None:
+            priority = resolve_priority(priority)
+        if not self._topology_built and not isinstance(self.topology, SingleTopology):
+            self._materialize_topology()
+        now = self.clock.now() if at is None else at
+        if not self.admission.admit(tenant, now):
+            handle = RequestHandle(
+                -1,
+                submitted_at=now,
+                tenant=tenant,
+                priority=priority,
+                deadline=deadline,
+            )
+            self.admission.track(handle)
+            handle._fail(
+                QuotaExceeded(f"tenant {tenant!r} over its admission quota")
+            )
+            return handle
+        loops = self._loops()
+        loop = self.topology.route(name) if len(loops) > 1 else self.loop
+        handle = loop.submit(
+            name, instance, at=at, deadline=deadline, tenant=tenant,
+            priority=priority,
+        )
+        self.admission.track(handle)
+        return handle
 
     def poll(self) -> int:
         """Fire every endpoint flush whose deadline has passed; returns the
         number of rounds flushed.  With the loop running, deadline polling
         is the loop's job — this just nudges it awake."""
-        return self.loop.poll()
+        return sum(loop.poll() for loop in self._loops())
 
     def flush_all(self) -> Dict[str, Optional[List[Any]]]:
         """Flush every endpoint's backlog (drain); returns outputs by
         endpoint name (None for endpoints that were empty).  With the loop
         running this delegates to :meth:`drain` and returns ``{}``."""
-        return self.loop.flush_all()
+        loops = self._loops()
+        if len(loops) == 1:
+            return self.loop.flush_all()
+        out: Dict[str, Optional[List[Any]]] = {}
+        for loop in loops:
+            for name, outputs in loop.flush_all().items():
+                if name not in out or out[name] is None:
+                    out[name] = outputs
+                elif outputs:
+                    out[name] = list(out[name]) + list(outputs)
+        return out
 
     def next_deadline(self) -> Optional[float]:
         """Earliest pending flush deadline across all endpoints."""
-        return self.loop.next_deadline()
+        deadlines = [
+            d for d in (lp.next_deadline() for lp in self._loops()) if d is not None
+        ]
+        return min(deadlines) if deadlines else None
 
     # -- event-loop lifecycle ---------------------------------------------------
-    def run(self) -> ServeLoop:
-        """Start the serving event loop (wall-clock traffic).
+    def run(self) -> Any:
+        """Start the serving event loop(s) (wall-clock traffic).
 
-        From here on :meth:`submit` is thread-safe and the loop drives all
-        deadline polling and flushing itself.  Returns the loop, which is a
-        context manager::
+        From here on :meth:`submit` is thread-safe and the loop(s) drive
+        all deadline polling and flushing.  Returns a context manager::
 
             with server.run():
                 handle = server.submit("trees", request)
                 output = handle.result(timeout=5.0)
 
+        Under the default ``single`` topology this is the loop itself
+        (back-compatible); a multi-loop topology starts one thread per
+        loop and returns a :class:`~repro.serve.topology.TopologyRun`.
         Simulated clocks replay deterministically through
-        ``server.loop.run_trace`` /
+        :meth:`run_trace` /
         :func:`repro.serve.traffic.replay_server_continuous` instead.
         """
-        return self.loop.start()
+        self._materialize_topology()
+        loops = self.topology.loops
+        if len(loops) == 1:
+            return loops[0].start()
+        started = []
+        try:
+            for loop in loops:
+                loop.start()
+                started.append(loop)
+        except BaseException:
+            for loop in started:
+                loop.shutdown()
+            raise
+        return TopologyRun(self)
+
+    def run_trace(
+        self,
+        workload: Any,
+        *,
+        deterministic: bool = True,
+        host_model: Optional[Tuple[float, float]] = None,
+        prepare: Optional[bool] = None,
+    ) -> Dict[str, List[RequestHandle]]:
+        """Deterministically replay a tagged open-loop trace against the
+        server's (possibly multi-loop) topology on the simulated clock —
+        see :func:`repro.serve.topology.run_topology_trace`.  Workload
+        items are ``(arrival_time, endpoint, request)`` or ``(...,
+        meta)`` with ``meta`` carrying ``tenant``/``priority``/
+        ``deadline``.  Returns every request's handle per endpoint, in
+        arrival order (failed admissions included — filter with
+        ``handle.failed``)."""
+        self._materialize_topology()
+        return run_topology_trace(
+            self,
+            workload,
+            deterministic=deterministic,
+            host_model=host_model,
+            prepare=prepare,
+        )
 
     def drain(self) -> None:
         """Flush every backlog and wait for all admitted requests to
         complete (works with or without a running loop)."""
-        self.loop.drain()
+        for loop in self._loops():
+            loop.drain()
 
     def shutdown(self) -> None:
-        """Drain, then stop the serving loop (no-op if it never ran)."""
-        self.loop.shutdown()
+        """Drain, then stop the serving loop(s) (no-op if never run)."""
+        first: Optional[BaseException] = None
+        for loop in self._loops():
+            try:
+                loop.shutdown()
+            except BaseException as exc:
+                if first is None:
+                    first = exc
+        if first is not None:
+            raise first
 
     # -- introspection ---------------------------------------------------------
     def device_summary(self) -> Dict[str, Any]:
@@ -353,12 +612,30 @@ class Server:
         return self.device.device_summary()
 
     def summary(self) -> Dict[str, Dict[str, Any]]:
-        """Per-endpoint aggregate serving statistics, plus a ``devices``
-        entry with the group's utilization/balance breakdown."""
+        """Per-endpoint aggregate serving statistics, plus three aggregate
+        entries: ``devices`` (the group's utilization/balance breakdown),
+        ``tenants`` (per-tenant SLO-aware admission gauges — submitted/
+        completed/rejected/shed/expired, per priority class, with SLO
+        attainment), and ``loops`` (per-loop admission and work-stealing
+        counters)."""
         out: Dict[str, Dict[str, Any]] = {
             name: ep.summary() for name, ep in sorted(self._endpoints.items())
         }
         out["devices"] = self.device_summary()
+        out["tenants"] = self.admission.summary()
+        out["loops"] = {
+            loop.name: {
+                "admitted": loop.num_admitted,
+                "rejected": loop.num_rejected,
+                "shed": loop.num_shed,
+                "expired": loop.num_expired,
+                "cancelled": loop.num_cancelled,
+                "stolen_in": loop.num_stolen_in,
+                "stolen_out": loop.num_stolen_out,
+                "queued": len(loop._queue),
+            }
+            for loop in self._loops()
+        }
         return out
 
     def __repr__(self) -> str:

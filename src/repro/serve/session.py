@@ -137,6 +137,12 @@ class InferenceSession:
         engine.runtime.arm_specialization()
         self._deferred = engine.program.uses_fibers
         self._pending: List[Tuple[RequestHandle, Any]] = []
+        #: original submitted instances, parallel to ``_pending`` in
+        #: DFG-accumulation mode (the tuple there holds the *lazy output*,
+        #: not the input) — what :meth:`withdraw` hands a stealing loop so
+        #: the request can be rebuilt in a sibling session.  Deferred mode
+        #: already keeps instances in ``_pending`` itself.
+        self._pending_instances: List[Any] = []
         #: cumulative node counts at request boundaries (DFG-accumulation
         #: mode): ``_node_offsets[i]`` is the runtime's node count right
         #: after pending request ``i`` recorded its DFG, so a capped flush
@@ -180,6 +186,13 @@ class InferenceSession:
         #: rounds launch asynchronously — completion lands on the timeline
         #: instead of blocking the clock for the round's device time
         self.timeline = None
+        #: per-loop host lane (set by the multi-loop trace driver, see
+        #: :mod:`repro.serve.topology`): when present, a flush serializes
+        #: its host share against *this loop only* — the lane's
+        #: ``busy_until`` advances instead of the shared clock, so sibling
+        #: loops' host work proceeds in parallel (the whole point of the
+        #: sharded front door)
+        self.host_lane = None
         #: charge measured host wall time to the clock at each flush (the
         #: default).  Deterministic replays switch this off so the simulated
         #: timeline depends only on simulated device quantities and the
@@ -265,10 +278,33 @@ class InferenceSession:
 
     def next_deadline(self) -> Optional[float]:
         """Clock timestamp by which the pending round must flush, or None
-        (no pending requests, or the policy imposes no deadline)."""
+        (no pending requests, or the policy imposes no deadline).
+
+        SLO-aware clamp: when pending requests carry a priority class *and*
+        a deadline, the round must flush by the earliest such deadline even
+        if the policy would wait longer — a batching round never outwaits
+        the SLO of a request riding in it.  Requests without a priority
+        class keep the pre-SLO semantics (their ``deadline=`` only expires
+        them while queued), and ``manual`` policies opt out entirely.
+        """
         if not self._pending:
             return None
-        return self.policy.next_deadline(self)
+        deadline = self.policy.next_deadline(self)
+        if getattr(self.policy, "slo_deadline_clamp", True):
+            slo = self.earliest_request_deadline
+            if slo is not None:
+                deadline = slo if deadline is None else min(deadline, slo)
+        return deadline
+
+    @property
+    def earliest_request_deadline(self) -> Optional[float]:
+        """Earliest SLO deadline among pending priority-classed requests."""
+        slo: Optional[float] = None
+        for h, _ in self._pending:
+            if h.priority is not None and h.deadline is not None:
+                if slo is None or h.deadline < slo:
+                    slo = h.deadline
+        return slo
 
     # -- request intake --------------------------------------------------------
     def submit(
@@ -277,6 +313,9 @@ class InferenceSession:
         at: Optional[float] = None,
         *,
         handle: Optional[RequestHandle] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> RequestHandle:
         """Accept one request; returns a handle resolved at the next flush.
 
@@ -324,8 +363,16 @@ class InferenceSession:
             self._gap_count += 1
         self._prev_arrival = now
         if handle is None:
-            handle = RequestHandle(self._instance_seq, submitted_at=now)
+            handle = RequestHandle(
+                self._instance_seq,
+                submitted_at=now,
+                tenant=tenant,
+                priority=priority,
+                deadline=deadline,
+            )
         else:
+            # loop-admitted (or stolen) handles already carry their SLO
+            # metadata; only the round position and arrival stamp move
             handle.index = self._instance_seq
             handle.submitted_at = now
         handle._origin = self
@@ -350,6 +397,7 @@ class InferenceSession:
                 raise
             self._build_s += time.perf_counter() - build_start
             self._pending.append((handle, raw))
+            self._pending_instances.append(instance)
             self._node_offsets.append(rt.pending_count)
         self.num_requests += 1
         if self._round_started_at is None:
@@ -437,38 +485,64 @@ class InferenceSession:
         on a still-queued admission is always safe — the loop removes it
         before dispatch).
         """
+        removed = self.withdraw(handle)
+        if removed is None:
+            return False
+        self.num_cancelled += 1
+        handle._fail(
+            RequestCancelled("request cancelled before its round flushed")
+        )
+        return True
+
+    def withdraw(self, handle: RequestHandle) -> Optional[Tuple[Any, float]]:
+        """Remove a pending request from the round *without* resolving its
+        handle, returning ``(instance, submitted_at)`` — the raw material a
+        stealing loop needs to rebuild the request in a sibling session
+        (cross-loop work-stealing), or for slack-based shedding to fail it
+        with the right error.  Returns None when the handle is unknown to
+        this session or its round already executed.
+
+        Exactly :meth:`cancel`'s node-slice surgery (round-mates flush as
+        if the request had never been submitted; a speculatively prepared
+        round is abandoned), minus the handle resolution.
+        """
         index = None
         for i, (h, _) in enumerate(self._pending):
             if h is handle:
                 index = i
                 break
         if index is None or handle.done:
-            return False
+            return None
         self._discard_prepared()
         if self._deferred:
+            instance = self._pending[index][1]
             del self._pending[index]
         else:
             rt = self.engine.runtime
+            instance = self._pending_instances[index]
             start = self._node_offsets[index - 1] if index else 0
             end = self._node_offsets[index]
-            removed = end - start
+            dropped = end - start
             del self._pending[index]
+            del self._pending_instances[index]
             del self._node_offsets[index]
-            if removed:
+            if dropped:
                 rt.drop_pending_slice(start, end)
                 for j in range(index, len(self._node_offsets)):
-                    self._node_offsets[j] -= removed
-        self.num_cancelled += 1
+                    self._node_offsets[j] -= dropped
         if self._pending:
             self._round_started_at = self._pending[0][0].submitted_at
         else:
             self._round_started_at = None
             # an emptied round may legally restart its trace timestamps
             self._last_arrival = None
-        handle._fail(
-            RequestCancelled("request cancelled before its round flushed")
-        )
-        return True
+        return instance, handle.submitted_at
+
+    #: handles pending in the session (oldest first) — what SLO-aware
+    #: shedding and work-stealing inspect
+    @property
+    def pending_handles(self) -> List[RequestHandle]:
+        return [h for h, _ in self._pending]
 
     # the RequestHandle.cancel() delegation target
     _cancel_handle = cancel
@@ -516,6 +590,8 @@ class InferenceSession:
         if cap is not None:
             pending = self._pending[:cap]
             self._pending = self._pending[cap:]
+            if not self._deferred:
+                self._pending_instances = self._pending_instances[cap:]
             # rebase leftover boundaries onto the post-flush node numbering
             self._node_offsets = [o - node_limit for o in saved_offsets[cap:]]
             # the leftover prefix anchors the next round's deadline at its
@@ -524,6 +600,7 @@ class InferenceSession:
             self._round_started_at = self._pending[0][0].submitted_at
         else:
             pending, self._pending = self._pending, []
+            self._pending_instances = []
             self._node_offsets = []
             self._round_started_at = None
             # a fresh trace may legally restart its timestamps next round
@@ -622,16 +699,23 @@ class InferenceSession:
             # per-device shares use (staged for pipeline placements), so
             # different members' rounds — and consecutive staged rounds —
             # overlap; the aggregate launch is the single-device path.
-            self.clock.charge(host_ms / 1e3)
+            if self.host_lane is not None:
+                # sharded loops: the host share occupies this loop's lane
+                # only — sibling loops' host work runs in parallel; the
+                # multi-loop driver delays this loop's next event until the
+                # lane frees instead of advancing the shared clock
+                launch_at = flush_start + host_ms / 1e3
+                self.host_lane.busy_until = launch_at
+            else:
+                self.clock.charge(host_ms / 1e3)
+                launch_at = self.clock.now()
             shares = self._device_shares(stats)
             if shares is None:
-                completed_at = self.timeline.launch(
-                    self.clock.now(), device_ms / 1e3
-                )
+                completed_at = self.timeline.launch(launch_at, device_ms / 1e3)
             else:
                 placement = getattr(self.engine, "placement", None)
                 completed_at = self.timeline.launch_round(
-                    self.clock.now(),
+                    launch_at,
                     shares,
                     staged=getattr(placement, "timeline_mode", None) == "staged",
                 )
@@ -710,6 +794,7 @@ class InferenceSession:
         unrecoverable, but the session — and everything else behind the
         same server — keeps serving."""
         pending, self._pending = self._pending, []
+        self._pending_instances = []
         self._discard_prepared()
         self._node_offsets = []
         self._instance_seq = 0

@@ -1,0 +1,924 @@
+"""The sharded serving front door: loop topologies, SLO-aware admission,
+and cross-loop work-stealing.
+
+A single :class:`~repro.serve.loop.ServeLoop` is a scaling ceiling: every
+flush's host share — DFG building, scheduling, placement, launch API calls
+— serializes with intake on one event loop, so once the host is the
+bottleneck, adding devices buys nothing.  This module shards the front
+door.  A **loop topology** (registry, mirroring the scheduler/flush/
+placement registries) decides how many loops a server runs and which
+slice of the device group each owns:
+
+* ``single`` — the historical one-loop server (default; bit-compatible);
+* ``per_device`` — one loop per device-group member (or per
+  ``members_per_loop``-sized slice), each endpoint replicated into every
+  loop over its member slice, so N host lanes run in parallel in front of
+  N device lanes;
+* ``per_endpoint`` — one loop per endpoint, each on its own fresh device
+  complement (loop threads never share a simulator).
+
+Request admission becomes **SLO-aware**: requests carry a tenant, a
+priority class (:data:`~repro.serve.policy.PRIORITY_CLASSES`) and a
+deadline; per-tenant :class:`TokenBucket` quotas gate admission before a
+request ever reaches a loop, and under backpressure the ``shed-slack``
+policy sheds the lowest-priority request with the *most* deadline slack
+(the one that can best afford a retry) instead of the oldest.  The
+:class:`AdmissionController` keeps per-tenant/per-priority gauges
+(admitted, shed, expired, SLO attainment) surfaced in
+``Server.summary()``.
+
+An idle loop **steals work** from its most-backlogged sibling — the
+newest half of the victim's queued admissions (and, in simulated mode,
+its pending round tail via :meth:`InferenceSession.withdraw`) — so a
+burst aimed at one loop spreads across the group.  Both modes survive:
+wall-clock stealing runs in :meth:`ServeLoop._try_steal_wall`; simulated
+stealing happens at deterministic event-loop points here.
+
+:func:`run_topology_trace` is the multi-loop analogue of
+:meth:`ServeLoop.run_trace`: one deterministic event loop interleaving
+*all* loops' events — arrivals, flush deadlines, device completions,
+host-gated dispatches — in global timestamp order on the shared
+:class:`~repro.serve.clock.SimulatedClock`.  Each loop gets its own
+:class:`~repro.serve.loop.HostLane`, so host shares serialize per loop
+instead of globally (the sharding win), and the same trace replays
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+
+from .clock import SimulatedClock
+from .loop import (
+    BackpressureFull,
+    DeviceTimeline,
+    HostLane,
+    RequestShed,
+    ServeLoop,
+    _Admission,
+    replay_state,
+)
+from .policy import resolve_priority, select_shed_victim
+from .request import (
+    QuotaExceeded,
+    RequestCancelled,
+    RequestExpired,
+    RequestHandle,
+)
+
+__all__ = [
+    "TokenBucket",
+    "AdmissionController",
+    "LoopTopology",
+    "SingleTopology",
+    "PerDeviceTopology",
+    "PerEndpointTopology",
+    "register_topology",
+    "make_topology",
+    "available_topologies",
+    "run_topology_trace",
+]
+
+
+# -- per-tenant quotas ---------------------------------------------------------
+
+
+class TokenBucket:
+    """Deterministic token-bucket rate limiter on the serving clock.
+
+    Refills continuously at ``rate`` tokens/second up to ``burst``;
+    :meth:`try_take` is a pure function of the call timestamps, so quota
+    decisions replay bit-for-bit on a simulated clock."""
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("token-bucket rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last: Optional[float] = None
+
+    def try_take(self, now: float) -> bool:
+        """Consume one token if available at ``now``; False = over quota."""
+        if self._last is not None and now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        self._last = now if self._last is None else max(self._last, now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"TokenBucket(rate={self.rate}, burst={self.burst}, tokens={self.tokens:.2f})"
+
+
+def _blank_gauges() -> Dict[str, Any]:
+    return {
+        "submitted": 0,
+        "completed": 0,
+        "rejected": 0,
+        "shed": 0,
+        "expired": 0,
+        "cancelled": 0,
+        "failed": 0,
+        "slo_met": 0,
+        "per_priority": {},
+    }
+
+
+class AdmissionController:
+    """SLO-aware admission: per-tenant quotas plus lifecycle gauges.
+
+    ``quotas`` maps tenant name → ``(rate_rps, burst)`` (or a dict with
+    ``rate``/``burst`` keys); tenants without a quota are never
+    rate-limited.  Every tracked handle is classified exactly once when it
+    resolves — completed, rejected (quota), shed (backpressure), expired
+    (deadline), cancelled, or failed — and counted per tenant and per
+    priority class, with SLO attainment (completed by the deadline) on
+    top.  Thread-safe: wall-clock loops resolve handles from their own
+    threads.
+    """
+
+    def __init__(self, quotas: Optional[Dict[str, Any]] = None) -> None:
+        import threading
+
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+        for tenant, quota in (quotas or {}).items():
+            if isinstance(quota, dict):
+                rate, burst = quota["rate"], quota.get("burst", quota["rate"])
+            else:
+                rate, burst = quota
+            self._buckets[tenant] = TokenBucket(rate, burst)
+        self._tenants: Dict[str, Dict[str, Any]] = {}
+
+    def admit(self, tenant: Optional[str], now: float) -> bool:
+        """Token-bucket gate: False when the tenant's quota is exhausted at
+        ``now`` (tenants without a configured quota always pass)."""
+        if tenant is None:
+            return True
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            return True
+        with self._lock:
+            return bucket.try_take(now)
+
+    def track(self, handle: RequestHandle) -> RequestHandle:
+        """Register one handle for lifecycle accounting; returns it."""
+        tenant = handle.tenant or "anonymous"
+        with self._lock:
+            gauges = self._tenants.setdefault(tenant, _blank_gauges())
+            gauges["submitted"] += 1
+            prio = handle.priority or "unclassified"
+            per = gauges["per_priority"].setdefault(
+                prio,
+                {"submitted": 0, "completed": 0, "shed": 0, "expired": 0, "slo_met": 0},
+            )
+            per["submitted"] += 1
+        handle.add_done_callback(self._on_done)
+        return handle
+
+    def _on_done(self, handle: RequestHandle) -> None:
+        tenant = handle.tenant or "anonymous"
+        exc = handle._future.exception(0)
+        with self._lock:
+            gauges = self._tenants.setdefault(tenant, _blank_gauges())
+            prio = handle.priority or "unclassified"
+            per = gauges["per_priority"].setdefault(
+                prio,
+                {"submitted": 0, "completed": 0, "shed": 0, "expired": 0, "slo_met": 0},
+            )
+            if exc is None:
+                gauges["completed"] += 1
+                per["completed"] += 1
+                met = handle.deadline is None or (
+                    handle.stats is not None
+                    and handle.stats.completed_at <= handle.deadline
+                )
+                if met:
+                    gauges["slo_met"] += 1
+                    per["slo_met"] += 1
+            elif isinstance(exc, QuotaExceeded):
+                gauges["rejected"] += 1
+            elif isinstance(exc, RequestShed):
+                gauges["shed"] += 1
+                per["shed"] += 1
+            elif isinstance(exc, RequestExpired):
+                gauges["expired"] += 1
+                per["expired"] += 1
+            elif isinstance(exc, RequestCancelled):
+                gauges["cancelled"] += 1
+            else:
+                gauges["failed"] += 1
+
+    def summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-tenant gauges; ``slo_attainment`` counts every non-cancelled
+        submission against the SLO, so quota rejections and sheds are
+        misses — the honest number under overload."""
+        out: Dict[str, Dict[str, Any]] = {}
+        with self._lock:
+            for tenant, gauges in sorted(self._tenants.items()):
+                entry = {
+                    k: (dict(v) if isinstance(v, dict) else v)
+                    for k, v in gauges.items()
+                }
+                entry["per_priority"] = {
+                    p: dict(c) for p, c in gauges["per_priority"].items()
+                }
+                finished = gauges["submitted"] - gauges["cancelled"]
+                entry["slo_attainment"] = (
+                    gauges["slo_met"] / finished if finished else 1.0
+                )
+                out[tenant] = entry
+        return out
+
+
+# -- topology registry ---------------------------------------------------------
+
+TOPOLOGIES: Dict[str, Callable[..., "LoopTopology"]] = {}
+
+
+def register_topology(name: str):
+    """Register a topology class under ``name`` (decorator), mirroring the
+    scheduler/flush-policy/placement registries."""
+
+    def deco(cls):
+        TOPOLOGIES[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def make_topology(name: str, **kwargs: Any) -> "LoopTopology":
+    try:
+        factory = TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown loop topology {name!r}; "
+            f"available: {', '.join(sorted(TOPOLOGIES))}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_topologies() -> List[str]:
+    return sorted(TOPOLOGIES)
+
+
+class LoopTopology:
+    """How a server's front door is sharded into serve loops.
+
+    A topology is pure configuration until :meth:`build` materializes it
+    against a server (``Server`` does this lazily at the first
+    ``run()``/``run_trace()``); after that :attr:`loops` holds the
+    server's loops and :meth:`route` maps an admitted request to its home
+    loop (least backlog among the loops serving the endpoint, ties to the
+    lowest loop index — deterministic).
+    """
+
+    name = "base"
+
+    def __init__(self, steal_min: Optional[int] = 2) -> None:
+        #: minimum sibling backlog before an idle loop steals (None: off)
+        self.steal_min = steal_min
+        self.loops: List[ServeLoop] = []
+
+    # -- materialization -------------------------------------------------------
+    def build(self, server: Any) -> List[ServeLoop]:
+        raise NotImplementedError
+
+    def _wire(self, loops: List[ServeLoop]) -> List[ServeLoop]:
+        self.loops = loops
+        if len(loops) > 1:
+            for loop in loops:
+                loop.peers = [lp for lp in loops if lp is not loop]
+                loop.steal_min = self.steal_min
+        return loops
+
+    # -- routing ---------------------------------------------------------------
+    def loops_for(self, name: str) -> List[ServeLoop]:
+        """The loops serving endpoint ``name`` (topology order)."""
+        return [lp for lp in self.loops if name in lp.sessions()]
+
+    def route(
+        self,
+        name: str,
+        backlog_of: Optional[Callable[[ServeLoop], int]] = None,
+    ) -> ServeLoop:
+        """Home loop for one request to endpoint ``name``: least backlog,
+        ties to the lowest loop index.  ``backlog_of`` overrides the
+        backlog metric (the trace driver counts its own dispatch queues)."""
+        candidates = self.loops_for(name)
+        if not candidates:
+            raise KeyError(f"no loop serves endpoint {name!r}")
+        if len(candidates) == 1:
+            return candidates[0]
+        if backlog_of is None:
+            backlog_of = _wall_backlog
+        return min(candidates, key=backlog_of)  # stable: ties keep order
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(loops={len(self.loops)})"
+
+
+def _wall_backlog(loop: ServeLoop) -> int:
+    return len(loop._queue) + sum(
+        s.pending_requests for s in loop.sessions().values()
+    )
+
+
+@register_topology("single")
+class SingleTopology(LoopTopology):
+    """The historical one-loop front door (default): the server's own
+    loop serves every endpoint over the whole device (group)."""
+
+    def __init__(self, steal_min: Optional[int] = None) -> None:
+        super().__init__(steal_min=steal_min)
+
+    def build(self, server: Any) -> List[ServeLoop]:
+        return self._wire([server.loop])
+
+
+def _fresh_complement(server: Any, width: int) -> Any:
+    """A fresh device (group) mirroring the server's members: same specs
+    and schedule table, its *own* simulators — so loops running in their
+    own threads never race a shared simulator's counters."""
+    from ..devices.group import DeviceGroup
+    from ..runtime.device import DeviceSimulator
+
+    device = server.device
+    members = list(device.devices) if hasattr(device, "devices") else [device]
+    specs = [m.spec for m in members]
+    if len(specs) != width:
+        specs = [specs[0]] * width
+    table = members[0].schedule_table or None
+    quality = getattr(members[0], "default_schedule_quality", 0.9)
+    if width == 1:
+        return DeviceSimulator(
+            spec=specs[0], schedule_table=table, default_schedule_quality=quality
+        )
+    interconnect = getattr(device, "interconnect", "pcie")
+    return DeviceGroup(
+        width,
+        spec=specs,
+        interconnect=interconnect,
+        schedule_table=table,
+        default_schedule_quality=quality,
+    )
+
+
+@register_topology("per_device")
+class PerDeviceTopology(LoopTopology):
+    """One loop per device-group member (or per ``members_per_loop``-sized
+    slice): every endpoint is replicated into every loop over its slice,
+    so N host lanes feed N device lanes in parallel — the sharded front
+    door.  ``members_per_loop > 1`` keeps placement-sharded rounds inside
+    each loop's sub-group (placement composes unchanged underneath)."""
+
+    def __init__(
+        self, members_per_loop: int = 1, steal_min: Optional[int] = 2
+    ) -> None:
+        super().__init__(steal_min=steal_min)
+        if members_per_loop < 1:
+            raise ValueError("members_per_loop must be a positive integer")
+        self.members_per_loop = members_per_loop
+
+    def build(self, server: Any) -> List[ServeLoop]:
+        from ..devices.group import DeviceGroup
+
+        group = server.device
+        n = getattr(group, "num_devices", 1)
+        k = self.members_per_loop
+        if n % k:
+            raise ValueError(
+                f"per_device topology cannot slice {n} devices into loops of "
+                f"{k} members (must divide evenly)"
+            )
+        n_loops = n // k
+        if n_loops == 1:
+            complements: List[Any] = [group]
+        else:
+            members = group.devices
+            complements = []
+            for j in range(n_loops):
+                piece = members[j * k : (j + 1) * k]
+                # adopt the members unmutated; the sub-group keeps the
+                # parent's interconnect pricing.  Single members are wrapped
+                # too: group addressing is positional, so a member adopted
+                # from slot j of the parent serves as device 0 of its loop.
+                complements.append(
+                    DeviceGroup(piece, interconnect=group.interconnect)
+                )
+        return self._wire(_loops_over_complements(server, complements))
+
+
+def _loops_over_complements(server: Any, complements: List[Any]) -> List[ServeLoop]:
+    """Replicate every endpoint across ``complements`` and build one loop
+    per complement owning that slice's replicas."""
+    for ep in server._endpoints.values():
+        ep._build_replicas(complements, clock=server.clock)
+    template = server.loop
+    loops = []
+    for j in range(len(complements)):
+        loops.append(
+            ServeLoop(
+                sessions={
+                    name: ep.replicas[j] for name, ep in server._endpoints.items()
+                },
+                clock=server.clock,
+                max_pending=template.max_pending,
+                backpressure=template.backpressure,
+                prepare=template.prepare,
+                name=f"loop{j}",
+            )
+        )
+    return loops
+
+
+@register_topology("per_endpoint")
+class PerEndpointTopology(LoopTopology):
+    """One loop per endpoint, each over its own fresh device complement
+    (``devices_per_loop`` wide, default: mirror the server's group).  The
+    hard isolation topology: endpoints never contend for a loop or a
+    simulator, at the cost of static device partitioning.  Loops share no
+    endpoints, so work-stealing is structurally off."""
+
+    def __init__(
+        self,
+        devices_per_loop: Optional[int] = None,
+        steal_min: Optional[int] = None,
+    ) -> None:
+        super().__init__(steal_min=steal_min)
+        self.devices_per_loop = devices_per_loop
+
+    def build(self, server: Any) -> List[ServeLoop]:
+        width = self.devices_per_loop or server.num_devices
+        template = server.loop
+        loops = []
+        for j, (name, ep) in enumerate(sorted(server._endpoints.items())):
+            complement = _fresh_complement(server, width)
+            ep._build_replicas([complement], clock=server.clock)
+            loops.append(
+                ServeLoop(
+                    sessions={name: ep.replicas[0]},
+                    clock=server.clock,
+                    max_pending=template.max_pending,
+                    backpressure=template.backpressure,
+                    prepare=template.prepare,
+                    name=f"loop{j}",
+                )
+            )
+        return self._wire(loops)
+
+
+class TopologyRun:
+    """Context manager returned by ``Server.run()`` on a multi-loop
+    topology: exiting drains and shuts every loop down."""
+
+    def __init__(self, server: Any) -> None:
+        self._server = server
+
+    def __enter__(self) -> "TopologyRun":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._server.shutdown()
+
+
+# -- the deterministic multi-loop trace driver ---------------------------------
+
+
+class _LoopState:
+    """One loop's simulated-mode machinery: its sessions, device timeline,
+    host lane, and the host-gated dispatch queue."""
+
+    __slots__ = ("loop", "index", "sessions", "timeline", "host", "queue")
+
+    def __init__(self, loop: ServeLoop, index: int, start: float) -> None:
+        self.loop = loop
+        self.index = index
+        self.sessions: Dict[str, Any] = loop.sessions()
+        lanes = 1
+        for session in self.sessions.values():
+            lanes = max(lanes, getattr(session.engine, "num_devices", 1))
+        self.timeline = DeviceTimeline(start=start, num_devices=lanes)
+        self.host = HostLane(start)
+        #: admissions waiting for the host lane to free before dispatch
+        self.queue: Deque[_Admission] = deque()
+
+    def backlog(self) -> int:
+        return len(self.queue) + sum(
+            s.pending_requests for s in self.sessions.values()
+        )
+
+    def idle(self, now: float) -> bool:
+        """Fully quiescent: nothing queued, pending, in flight, and the
+        host lane free — the only state in which this loop may steal."""
+        return (
+            not self.queue
+            and self.host.busy_until <= now
+            and self.timeline.in_flight(now) == 0
+            and all(not s.pending_requests for s in self.sessions.values())
+        )
+
+
+def _unpack(item: Tuple) -> Tuple[float, str, Any, Dict[str, Any]]:
+    if len(item) == 3:
+        t, name, instance = item
+        return float(t), name, instance, {}
+    t, name, instance, meta = item
+    if meta is None:
+        meta = {}
+    elif not isinstance(meta, dict):
+        # dataclass-style tags (e.g. traffic.TaggedArrival leftovers)
+        meta = {
+            k: getattr(meta, k)
+            for k in ("tenant", "priority", "deadline", "loop")
+            if getattr(meta, k, None) is not None
+        }
+    return float(t), name, instance, meta
+
+
+def run_topology_trace(
+    server: Any,
+    workload: Iterable[Tuple],
+    *,
+    deterministic: bool = True,
+    host_model: Optional[Tuple[float, float]] = None,
+    prepare: Optional[bool] = None,
+) -> Dict[str, List[RequestHandle]]:
+    """Deterministically replay a tagged open-loop trace against *all* of a
+    server's loops, interleaving their events in global timestamp order.
+
+    ``workload`` yields ``(arrival_time, endpoint, request)`` or
+    ``(arrival_time, endpoint, request, meta)`` sorted by arrival time,
+    where ``meta`` optionally carries ``tenant``/``priority``/``deadline``
+    (absolute clock timestamp) and — for tests — ``loop`` (an explicit
+    home-loop index overriding the router).
+
+    Per arrival: quota gate (:class:`AdmissionController`) → router (least
+    backlog) → per-loop backpressure (``reject``/``shed-oldest``/
+    ``shed-slack`` resolve the victim's handle; ``block`` is inert in a
+    deterministic trace) → the loop's host-gated dispatch queue.  A
+    dispatch submits into the loop's session (flushes charge the loop's
+    :class:`~repro.serve.loop.HostLane`, not the shared clock, so sibling
+    loops' host work overlaps); device shares land on each loop's own
+    :class:`~repro.serve.loop.DeviceTimeline`.  Work-stealing runs at
+    deterministic points: after intake at a timestamp quiesces and during
+    the drain phase, a fully idle loop takes the newest half of the most
+    backlogged sibling's backlog (dispatch queue tail first, then the
+    pending round tail via :meth:`InferenceSession.withdraw`).
+
+    Returns every admitted request's handle per endpoint, in arrival order
+    — including handles resolved exceptionally (quota-rejected, shed,
+    expired); filter with ``handle.failed``.  The same trace replays
+    bit-for-bit: the timeline is a pure function of the trace and the
+    device cost model.
+    """
+    clock = server.clock
+    if not isinstance(clock, SimulatedClock):
+        raise TypeError("run_topology_trace needs a SimulatedClock")
+    topology = server.topology
+    loops = topology.loops
+    if not loops:
+        raise RuntimeError("topology not materialized; call through Server.run_trace")
+    for loop in loops:
+        if loop.running:
+            raise RuntimeError(
+                "run_topology_trace needs exclusive ownership; a loop thread "
+                "is running"
+            )
+    admission: AdmissionController = server.admission
+    items = sorted(workload, key=lambda item: item[0])
+    start = clock.now()
+    states = [_LoopState(loop, i, start) for i, loop in enumerate(loops)]
+    by_loop = {st.loop: st for st in states}
+    all_sessions: List[Any] = []
+    for st in states:
+        all_sessions.extend(st.sessions.values())
+    prep_active = [
+        (st.loop.prepare if prepare is None else bool(prepare)) for st in states
+    ]
+    handles: Dict[str, List[RequestHandle]] = {}
+
+    # -- helpers (close over clock/states) ------------------------------------
+
+    def dispatch_queue(state: _LoopState) -> None:
+        """Dispatch queued admissions while the loop's host lane is free
+        (a dispatched submit that flushes re-busies the lane and stops the
+        drain — later arrivals wait for the next dispatch event)."""
+        now = clock.now()
+        while state.queue and state.host.busy_until <= now:
+            adm = state.queue.popleft()
+            handle = adm.handle
+            if handle.done:
+                continue  # resolved while queued (shed/steal race)
+            if adm.deadline is not None and now > adm.deadline:
+                state.loop.num_expired += 1
+                handle._fail(
+                    RequestExpired(
+                        f"deadline {adm.deadline!r} passed while the request "
+                        "was queued for admission"
+                    )
+                )
+                continue
+            session = state.sessions[adm.name]
+            handle._managed = False  # session-owned from here
+            try:
+                session.submit(adm.instance, at=adm.at, handle=handle)
+            except BaseException as exc:
+                if not handle.done:
+                    handle._fail(exc)
+
+    def shed_for_capacity(state: _LoopState, incoming: RequestHandle) -> bool:
+        """Enforce ``max_pending`` over the loop's whole backlog (queued +
+        pending round) with the loop's overflow policy.  Returns False when
+        the *incoming* request was the victim (already resolved)."""
+        loop = state.loop
+        if loop.max_pending is None or loop.backpressure == "block":
+            return True
+        now = clock.now()
+        while state.backlog() >= loop.max_pending:
+            if loop.backpressure == "reject":
+                loop.num_rejected += 1
+                incoming._fail(
+                    BackpressureFull(
+                        f"admission queue full ({loop.max_pending} pending)"
+                    )
+                )
+                return False
+            # enumerate the backlog oldest-first: pending round first (its
+            # arrivals predate anything still queued), then the queue
+            pending: List[Tuple[RequestHandle, Optional[str]]] = []
+            for name, session in sorted(state.sessions.items()):
+                for h in session.pending_handles:
+                    pending.append((h, name))
+            queued = [(adm.handle, None) for adm in state.queue]
+            candidates = pending + queued
+            if loop.backpressure == "shed-oldest":
+                victim = min(
+                    range(len(candidates)),
+                    key=lambda i: (candidates[i][0].submitted_at, i),
+                )
+                reason = (
+                    "request shed by backpressure: a newer arrival displaced "
+                    f"it from the full admission queue "
+                    f"(max_pending={loop.max_pending})"
+                )
+            else:  # shed-slack
+                pool = [h for h, _ in candidates]
+                pool.append(incoming)
+                victim = select_shed_victim(pool, now)
+                reason = (
+                    "request shed by SLO-aware backpressure: it had the "
+                    "lowest priority and the most deadline slack when the "
+                    f"admission queue overflowed (max_pending={loop.max_pending})"
+                )
+                if victim == len(pool) - 1:
+                    loop.num_shed += 1
+                    incoming._fail(RequestShed(reason))
+                    return False
+            handle, name = candidates[victim]
+            if name is not None:
+                state.sessions[name].withdraw(handle)
+            else:
+                for adm in state.queue:
+                    if adm.handle is handle:
+                        state.queue.remove(adm)
+                        break
+            loop.num_shed += 1
+            handle._fail(RequestShed(reason))
+        return True
+
+    def admit(t: float, name: str, instance: Any, meta: Dict[str, Any]) -> RequestHandle:
+        tenant = meta.get("tenant")
+        priority = meta.get("priority")
+        if priority is not None:
+            priority = resolve_priority(priority)
+        deadline = meta.get("deadline")
+        handle = RequestHandle(
+            -1, submitted_at=t, tenant=tenant, priority=priority, deadline=deadline
+        )
+        handle._managed = True
+        admission.track(handle)
+        if not admission.admit(tenant, t):
+            handle._fail(
+                QuotaExceeded(
+                    f"tenant {tenant!r} over its admission quota at t={t:.6f}"
+                )
+            )
+            return handle
+        pinned = meta.get("loop")
+        if pinned is not None:
+            state = states[pinned]
+            if name not in state.sessions:
+                raise KeyError(f"loop {pinned} does not serve endpoint {name!r}")
+        else:
+            state = by_loop[
+                topology.route(name, backlog_of=lambda lp: by_loop[lp].backlog())
+            ]
+        if deadline is not None and t > deadline:
+            state.loop.num_expired += 1
+            handle._fail(
+                RequestExpired(f"deadline {deadline!r} already passed at submit")
+            )
+            return handle
+        if not shed_for_capacity(state, handle):
+            return handle
+        state.queue.append(_Admission(name, instance, t, handle, deadline))
+        state.loop.num_admitted += 1
+        dispatch_queue(state)
+        return handle
+
+    def next_event() -> Optional[Tuple[float, int, int]]:
+        """Earliest pending wakeup across all loops: ``(time, kind,
+        loop_index)`` with kind 0 = device completion, 1 = flush deadline,
+        2 = host-gated dispatch.  Times are *effective*: a busy host lane
+        delays its loop's events until it frees, which is exactly how the
+        sharded front door overlaps host work across loops.  Completions
+        win ties (device-idle launch before a same-instant deadline),
+        matching the single-loop driver."""
+        best: Optional[Tuple[float, int, int]] = None
+        for st in states:
+            free = st.host.busy_until
+            completion = st.timeline.next_completion()
+            if completion is not None:
+                ev = (max(completion, free), 0, st.index)
+                if best is None or ev < best:
+                    best = ev
+            deadline = st.loop.next_deadline()
+            if deadline is not None:
+                ev = (max(deadline, free), 1, st.index)
+                if best is None or ev < best:
+                    best = ev
+            if st.queue:
+                ev = (max(st.queue[0].at, free), 2, st.index)
+                if best is None or ev < best:
+                    best = ev
+        return best
+
+    def maybe_prepare(state: _LoopState) -> None:
+        if not prep_active[state.index]:
+            return
+        now = clock.now()
+        try:
+            for session in state.sessions.values():
+                session.consider_prepare(now)
+        except BaseException as exc:
+            raise state.loop._die(exc) from exc
+
+    def fire_event(event: Tuple[float, int, int]) -> None:
+        when, kind, index = event
+        state = states[index]
+        clock.advance_to(when)
+        if kind == 0:
+            state.timeline.pop_completions(clock.now())
+            for session in state.sessions.values():
+                if state.timeline.in_flight(clock.now()) != 0:
+                    break
+                if session.pending_requests and session.policy.on_idle(
+                    session, clock.now()
+                ):
+                    session.flush(reason=session.policy.name)
+        elif kind == 1:
+            for session in state.sessions.values():
+                session.poll()
+        else:
+            dispatch_queue(state)
+        maybe_prepare(state)
+
+    def advance_until(t: float) -> None:
+        while True:
+            event = next_event()
+            if event is None or event[0] > t:
+                return
+            fire_event(event)
+
+    def steal_pass() -> int:
+        """Deterministic cross-loop work-stealing: every fully idle loop
+        (lowest index first) takes the newest half of the most backlogged
+        sibling's stealable backlog — dispatch-queue tail first, then the
+        victim's largest shared pending round's tail (via ``withdraw``).
+        Runs until no steal fires; returns the total stolen."""
+        total = 0
+        now = clock.now()
+        changed = True
+        while changed:
+            changed = False
+            for thief in states:
+                floor = thief.loop.steal_min
+                if floor is None or not thief.loop.peers or not thief.idle(now):
+                    continue
+                floor = max(1, int(floor))
+                shared = set(thief.sessions)
+                best: Optional[_LoopState] = None
+                best_count = floor - 1
+                for victim in states:
+                    if victim is thief:
+                        continue
+                    count = sum(
+                        1 for adm in victim.queue if adm.name in shared
+                    ) + sum(
+                        victim.sessions[n].pending_requests
+                        for n in victim.sessions
+                        if n in shared
+                    )
+                    if count > best_count:
+                        best, best_count = victim, count
+                if best is None:
+                    continue
+                stolen = _steal_from(best, thief, shared, best_count // 2 or 1)
+                if stolen:
+                    total += stolen
+                    changed = True
+        return total
+
+    def _steal_from(
+        victim: _LoopState, thief: _LoopState, shared: set, want: int
+    ) -> int:
+        """Move up to ``want`` of the victim's newest stealable requests to
+        the thief and dispatch them there."""
+        moved: List[_Admission] = []
+        # newest first: the dispatch queue's tail is the newest backlog
+        for adm in reversed(list(victim.queue)):
+            if len(moved) >= want:
+                break
+            if adm.name in shared and not adm.handle.done:
+                victim.queue.remove(adm)
+                moved.append(adm)
+        shared_names = [n for n in victim.sessions if n in shared]
+        if len(moved) < want and shared_names:
+            # then the tail of the most loaded shared pending round
+            name = max(
+                shared_names,
+                key=lambda n: (victim.sessions[n].pending_requests, n),
+            )
+            session = victim.sessions[name]
+            while len(moved) < want and session.pending_requests:
+                handle = session.pending_handles[-1]
+                out = session.withdraw(handle)
+                if out is None:
+                    break
+                instance, at = out
+                moved.append(_Admission(name, instance, at, handle, handle.deadline))
+        if not moved:
+            return 0
+        victim.loop.num_stolen_out += len(moved)
+        thief.loop.num_stolen_in += len(moved)
+        # resubmit oldest-first: the thief is idle, so its sessions accept
+        # the stolen arrivals' original (monotonic) timestamps
+        for adm in sorted(moved, key=lambda a: a.at):
+            adm.handle._managed = True
+            thief.queue.append(adm)
+        dispatch_queue(thief)
+        return len(moved)
+
+    # -- the drive -------------------------------------------------------------
+
+    saved_lanes = [(s, s.host_lane) for s in all_sessions]
+    try:
+        with replay_state(
+            all_sessions, deterministic=deterministic, host_model=host_model
+        ):
+            for st in states:
+                for session in st.sessions.values():
+                    session.timeline = st.timeline
+                    session.host_lane = st.host
+            last = len(items) - 1
+            for i, item in enumerate(items):
+                t, name, instance, meta = _unpack(item)
+                advance_until(t)
+                clock.advance_to(t)
+                handles.setdefault(name, []).append(admit(t, name, instance, meta))
+                if i == last or items[i + 1][0] > t:
+                    # intake at this timestamp quiesced: deterministic
+                    # steal + speculation point
+                    steal_pass()
+                    for st in states:
+                        maybe_prepare(st)
+            # drain: fire remaining events until every backlog resolves
+            while any(st.backlog() for st in states):
+                steal_pass()
+                event = next_event()
+                if event is None:
+                    # only manual-style policies leave a deadline-less
+                    # backlog with an empty dispatch queue: force-flush
+                    for st in states:
+                        for session in st.sessions.values():
+                            if session.pending_requests:
+                                session.flush()
+                else:
+                    fire_event(event)
+            horizon = clock.now()
+            for st in states:
+                horizon = max(horizon, st.timeline.busy_until, st.host.busy_until)
+            clock.advance_to(horizon)
+            for st in states:
+                st.timeline.pop_completions(clock.now())
+    finally:
+        for session, lane in saved_lanes:
+            session.host_lane = lane
+    return handles
